@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure via the experiment
+harness, prints the rows (visible with ``pytest -s`` and always written to
+``benchmarks/results/``), and times the harness itself with
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(benchmark):
+    """Run an experiment under the benchmark timer and persist its table."""
+
+    def _run(fn, float_fmt: str = "{:.2f}"):
+        result = benchmark.pedantic(fn, rounds=1, iterations=1)
+        text = result.render(float_fmt=float_fmt)
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"{result.experiment}.txt"
+        out.write_text(text + "\n")
+        return result
+
+    return _run

@@ -1,0 +1,41 @@
+"""Ablation benches for DESIGN.md's called-out design choices:
+partition-candidate exploration depth (5.3), the early-quit alpha (6.5),
+and Update-then-Aggregate vs kernel splitting (4.3)."""
+
+from repro.bench.ablations import (
+    ablation_candidate_depth,
+    ablation_early_quit,
+    ablation_uta_vs_split,
+)
+
+
+def test_ablation_candidate_depth(report):
+    result = report(lambda: ablation_candidate_depth())
+    by = {row["case"]: row for row in result.rows}
+    # Exploration never hurts, and rescues the wide-FFN case decisively.
+    for row in result.rows:
+        assert row["benefit"] >= 0.99
+    assert by["FFN(2,11008)"]["benefit"] > 1.5
+    assert by["FFN(2,11008)"]["kernels_with"] > 1
+
+
+def test_ablation_early_quit(report):
+    result = report(lambda: ablation_early_quit(), float_fmt="{:.3g}")
+    rows = sorted(result.rows, key=lambda r: r["alpha"])
+    # Smaller alpha quits more configurations and spends less wall-clock.
+    assert rows[0]["tuning_wall_s"] <= rows[-1]["tuning_wall_s"]
+    assert rows[0]["configs_quit"] >= rows[-1]["configs_quit"]
+    # ... while the chosen schedule stays within 10% of the exhaustive one
+    # (the paper's rationale for alpha=0.25).
+    best = min(r["best_time_us"] for r in rows)
+    for row in rows:
+        assert row["best_time_us"] <= 1.10 * best
+
+
+def test_ablation_uta_vs_split(report):
+    result = report(lambda: ablation_uta_vs_split())
+    for row in result.rows:
+        assert row["benefit"] >= 0.95
+    # Once the spatial-only fusion stops fitting, the UTA advantage jumps.
+    assert result.rows[-1]["no_uta_kernels"] > 1
+    assert result.rows[-1]["benefit"] > 1.2

@@ -1,0 +1,21 @@
+"""Extension experiment: autoregressive decode attention (seq_q = 1).
+
+Not a paper figure — the deployment regime the paper's introduction
+motivates.  SpaceFusion must stay ahead of the eager baseline, and its
+partitioning alternative gives it flash-decoding-like behaviour at batch 1
+with long KV caches, where the single fused kernel runs out of
+parallelism.
+"""
+
+from repro.bench.decode import decode_attention
+
+
+def test_decode_attention(report):
+    result = report(lambda: decode_attention())
+    for row in result.rows:
+        assert row["su_spacefusion"] >= 1.0
+    # Batch-1 long-KV: the compiler splits for parallelism and must not
+    # lose to the fixed single-kernel FlashAttention-2 schedule.
+    long_kv = result.filtered(batch=1, kv_len=8192)[0]
+    if long_kv["su_fa2"] is not None:
+        assert long_kv["su_spacefusion"] >= long_kv["su_fa2"]

@@ -1,0 +1,18 @@
+"""Extension study: conclusion stability under cost-model perturbation.
+
+Every experiment in this reproduction reads timings off an analytical
+device model; this bench scales each modelling constant by 0.5-2x and
+asserts the paper-shape conclusions (fusion wins, FA-2 parity, LayerNorm
+fusion wins) hold at every point.
+"""
+
+from repro.bench.robustness import model_robustness
+
+
+def test_model_robustness(report):
+    result = report(lambda: model_robustness(),
+                    float_fmt="{:.2f}")
+    for row in result.rows:
+        assert row["mha_fused_beats_eager"], row
+        assert row["mha_within_fa2_band"], row
+        assert row["ln_fused_beats_unfused"], row

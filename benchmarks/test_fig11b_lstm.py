@@ -1,0 +1,14 @@
+"""Figure 11(b): fused LSTM cell speedup over cuBLAS.
+
+Paper: up to 2.87x, average 2.29x over the five-kernel cuBLAS baseline.
+"""
+
+from repro.bench import fig11b_lstm, geomean
+
+
+def test_fig11b_lstm(report):
+    result = report(lambda: fig11b_lstm())
+    speedups = result.column("speedup_vs_cublas")
+    assert all(s > 1.0 for s in speedups)
+    print(f"\naverage speedup: {geomean(speedups):.2f}x "
+          f"(paper: 2.29x avg, 2.87x max)")

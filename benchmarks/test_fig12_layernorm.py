@@ -1,0 +1,18 @@
+"""Figure 12: fused LayerNorm speedups.
+
+Paper: 7.25x average over unfused PyTorch; up to 1.59x / 2.46x / 4.03x
+over PyTorch Op / NVIDIA Apex / LN Triton.
+"""
+
+from repro.bench import fig12_layernorm, geomean
+
+
+def test_fig12_layernorm(report):
+    result = report(lambda: fig12_layernorm())
+    su_pt = result.column("su_pytorch")
+    assert all(s > 2.0 for s in su_pt)
+    # SpaceFusion at least matches every fused baseline on every size.
+    for col in ("su_vs_pytorch_op", "su_vs_apex", "su_vs_ln_triton"):
+        assert all(s > 0.9 for s in result.column(col))
+    print(f"\naverage speedup over PyTorch: {geomean(su_pt):.2f}x "
+          f"(paper: 7.25x)")

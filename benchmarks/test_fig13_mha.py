@@ -1,0 +1,22 @@
+"""Figure 13: fused MHA speedups across sequence lengths.
+
+Paper: up to 10.35x / average 5.40x over PyTorch; comparable to
+FlashAttention-2; FlashAttention CUDA absent on Volta.
+"""
+
+from repro.bench import fig13_mha, geomean
+
+
+def test_fig13_mha(report):
+    result = report(lambda: fig13_mha())
+    sus = result.column("su_spacefusion")
+    assert all(s > 1.0 for s in sus)
+    # FA CUDA has no Volta build (absent bars in the paper's figure).
+    for row in result.filtered(arch="volta"):
+        assert row["su_fa2"] is None
+    # Comparable to FlashAttention-2 wherever FA2 exists.
+    for row in result.rows:
+        if row["su_fa2"] is not None:
+            assert row["su_spacefusion"] / row["su_fa2"] > 0.55
+    print(f"\naverage speedup: {geomean(sus):.2f}x, max {max(sus):.2f}x "
+          f"(paper: 5.40x avg, 10.35x max)")

@@ -1,0 +1,17 @@
+"""Figure 16(a): ablation of the slicers and the auto-scheduler.
+
+Paper: Base(SS) reaches at least 51% of full SpaceFusion, Base+AS up to
+79%, Base+TS between 72% and 89%.
+"""
+
+from repro.bench import fig16a_ablation
+
+
+def test_fig16a_ablation(report):
+    result = report(lambda: fig16a_ablation())
+    for row in result.rows:
+        assert row["spacefusion"] == 1.0
+        for variant in ("base_ss", "base_as", "base_ts"):
+            assert 0.15 < row[variant] <= 1.01
+        # Auto-scheduling never hurts the spatial-only variant.
+        assert row["base_as"] >= row["base_ss"] - 1e-9

@@ -1,0 +1,14 @@
+"""Figure 16(b): sensitivity to input sizes.
+
+Paper: at batch 1 the gains generally diminish as inputs grow (parallelism
+saturates the baseline); at batch 32 gains are pronounced for most models.
+"""
+
+from repro.bench import fig16b_input_sensitivity
+
+
+def test_fig16b_input_sensitivity(report):
+    result = report(lambda: fig16b_input_sensitivity())
+    for row in result.rows:
+        assert max(row["small"], row["medium"], row["large"]) == 1.0
+        assert min(row["small"], row["medium"], row["large"]) > 0.1

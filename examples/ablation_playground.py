@@ -1,0 +1,66 @@
+"""Ablation playground: what each SpaceFusion ingredient buys (Figure 16a).
+
+Compile the same workloads under the ablation variants:
+
+* Base(SS)   — spatial slicing only, expert-fixed block sizes;
+* Base+AS    — spatial slicing with auto-scheduling;
+* Base+TS    — spatial + temporal slicing, fixed configs;
+* SpaceFusion — everything;
+
+plus the capability-restricted comparators (AStitch-like, Welder-like),
+then show where each one loses — the footprint-vs-locality trade-off the
+paper's introduction frames.
+
+Run:  python examples/ablation_playground.py
+"""
+
+from repro.core.compiler import FusionOptions
+from repro.hw import AMPERE
+from repro.models import layernorm_graph, mha_graph, mlp_graph
+from repro.pipeline import compile_for, simulate
+
+VARIANTS = {
+    "base_ss": FusionOptions(enable_temporal=False, auto_tune=False),
+    "base_as": FusionOptions(enable_temporal=False, auto_tune=True),
+    "base_ts": FusionOptions(enable_temporal=True, auto_tune=False),
+    "spacefusion": FusionOptions(),
+    "astitch-like": FusionOptions(fuse_compute_intensive=False),
+    "welder-like": FusionOptions(enable_uta=False),
+}
+
+WORKLOADS = {
+    "MHA(8,16,1024)": lambda: mha_graph(8, 16, 1024, 1024, 64),
+    "MHA(1,8,4096)": lambda: mha_graph(1, 8, 4096, 4096, 64),
+    "LN(8192)": lambda: layernorm_graph(8192, 8192),
+    "MLP(12,256)": lambda: mlp_graph(12, 8192, 256, 256),
+}
+
+
+def main() -> None:
+    print(f"{'workload':>16} " + "".join(f"{v:>14}" for v in VARIANTS)
+          + f" {'(kernels)':>12}")
+    for label, make in WORKLOADS.items():
+        graph = make()
+        times = {}
+        kernels = {}
+        for variant, options in VARIANTS.items():
+            schedule, _ = compile_for(graph, AMPERE, options)
+            times[variant] = simulate(schedule, AMPERE).time_s
+            kernels[variant] = schedule.num_kernels
+        full = times["spacefusion"]
+        cells = "".join(f"{full / times[v]:>13.2f}x" for v in VARIANTS)
+        kcells = "/".join(str(kernels[v]) for v in VARIANTS)
+        print(f"{label:>16} {cells}  [{kcells}]")
+    print("\n(values are performance normalised to full SpaceFusion; the "
+          "bracket shows kernels per variant)")
+    print("Things to notice:")
+    print(" - Base(SS) collapses on long-sequence MHA: without temporal "
+          "slicing the full rows must fit on chip;")
+    print(" - the Welder-like compiler splits exactly where Update-then-"
+          "Aggregate would have been needed;")
+    print(" - the AStitch-like compiler never joins GEMMs with the "
+          "memory-intensive softmax, paying global-memory round trips.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Regenerate the paper's figures as terminal charts.
+
+Runs a compact version of every evaluation figure and renders it as ASCII
+bars — the quickest way to *see* the reproduction's shapes next to the
+paper's.
+
+Run:  python examples/paper_figures.py [fig13|fig12|fig14|fig16c|all]
+"""
+
+import sys
+
+from repro.bench import (
+    fig12_layernorm,
+    fig13_mha,
+    fig14_end_to_end,
+    fig16c_arch_sensitivity,
+)
+from repro.bench.plotting import bar_chart, series_chart
+
+
+def show_fig13() -> None:
+    result = fig13_mha(archs=("ampere",), batches=(32,),
+                       seqs=(128, 256, 512, 1024, 2048))
+    print(series_chart(result, x="seq", y="su_spacefusion",
+                       title="Fig 13 (ampere, batch 32): SpaceFusion "
+                             "speedup over PyTorch"))
+    print()
+    row = result.filtered(seq=1024)[0]
+    print(bar_chart(
+        ["spacefusion", "fa1", "fa2", "fa_triton"],
+        [row["su_spacefusion"], row["su_fa1"], row["su_fa2"],
+         row["su_fa_triton"]],
+        title="Fig 13 @ seq 1024: all systems (speedup over PyTorch)"))
+
+
+def show_fig12() -> None:
+    result = fig12_layernorm(archs=("ampere",),
+                             sizes=(1024, 4096, 16384, 32768))
+    print(series_chart(result, x="m", y="su_pytorch",
+                       title="Fig 12 (ampere): fused LayerNorm speedup "
+                             "over PyTorch"))
+
+
+def show_fig14() -> None:
+    result = fig14_end_to_end(archs=("ampere",), models=("bert", "vit"),
+                              batches=(1,))
+    for row in result.rows:
+        print(bar_chart(
+            ["spacefusion", "tensorrt", "kernl", "bladedisc"],
+            [row["su_spacefusion"], row["su_tensorrt"], row["su_kernl"],
+             row["su_bladedisc"]],
+            title=f"Fig 14: {row['model']} batch {row['batch']} on ampere "
+                  "(speedup over PyTorch)"))
+        print()
+
+
+def show_fig16c() -> None:
+    result = fig16c_arch_sensitivity(models=("bert", "llama2"))
+    for row in result.rows:
+        print(bar_chart(
+            ["volta", "ampere", "hopper"],
+            [row["perf_volta"], row["perf_ampere"], row["perf_hopper"]],
+            title=f"Fig 16c: {row['model']} performance across "
+                  "architectures (Volta = 1)"))
+        print()
+    print("paper's ratio: 1 : 2.26 : 4.34 (peak 1 : 2.79 : 6.75)")
+
+
+SHOWS = {"fig13": show_fig13, "fig12": show_fig12, "fig14": show_fig14,
+         "fig16c": show_fig16c}
+
+if __name__ == "__main__":
+    which = sys.argv[1] if len(sys.argv) > 1 else "all"
+    if which == "all":
+        for fn in SHOWS.values():
+            fn()
+            print("\n" + "=" * 64 + "\n")
+    else:
+        SHOWS[which]()

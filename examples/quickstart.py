@@ -1,0 +1,77 @@
+"""Quickstart: fuse a Softmax-GEMM pair with SpaceFusion.
+
+This walks the paper's running example (Figure 2): a softmax feeding a
+GEMM — the fusion that defeats shape-alignment compilers when the reduced
+dimension grows.  We:
+
+1. build the operator graph,
+2. lift it to a Space-Mapping Graph and print it,
+3. auto-schedule it for a simulated A100,
+4. execute the fused schedule numerically and check it against the
+   unfused reference,
+5. compare modelled cost against a cuBLASLt-style baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.baselines import schedule_cublaslt
+from repro.core.builder import build_smg
+from repro.hw import AMPERE
+from repro.ir import GraphBuilder
+from repro.pipeline import compile_for, simulate
+from repro.runtime.executor import execute_schedule
+from repro.runtime.kernels import execute_graph_reference, random_feeds
+
+
+def build_softmax_gemm(m: int = 512, k: int = 1024, n: int = 64):
+    """The Figure-2 workload: Out = softmax(X, dim=k) @ W."""
+    b = GraphBuilder("softmax_gemm")
+    x = b.input("X", [("m", m), ("k", k)])
+    w = b.input("W", [("n", n), ("k", k)], is_weight=True)
+    p = b.softmax(x, dim="k")
+    b.matmul(p, w, reduce_dim="k", out_name="Out")
+    return b.build()
+
+
+def main() -> None:
+    graph = build_softmax_gemm()
+    print(f"Graph: {len(graph.ops)} operators, "
+          f"{graph.total_flops() / 1e6:.1f} MFLOPs\n")
+
+    # --- 1. The Space-Mapping Graph -----------------------------------
+    smg = build_smg(graph)
+    print(smg.render())
+    chains = smg.a2o_dependency_chains("k")
+    print(f"\nAll-to-One chains along k: "
+          f"{[[m.reduce_kind for m in c] for c in chains]}")
+
+    # --- 2. Auto-scheduling -------------------------------------------
+    schedule, stats = compile_for(graph, AMPERE)
+    print(f"\n{schedule.describe()}")
+    kernel = schedule.kernels[0]
+    if kernel.plan is not None:
+        print(kernel.plan.describe())
+    print(f"analysis phases: "
+          f"{ {k: f'{v*1e3:.2f}ms' for k, v in stats.phase_times.items()} }")
+
+    # --- 3. Numerical validation --------------------------------------
+    feeds = random_feeds(graph, seed=0)
+    reference = execute_graph_reference(graph, feeds)
+    fused_env = execute_schedule(schedule, feeds)
+    err = np.max(np.abs(fused_env["Out"] - reference["Out"]))
+    print(f"\nfused vs unfused max abs error: {err:.2e}")
+    assert err < 1e-9, "fused schedule diverged from the reference!"
+
+    # --- 4. Modelled performance --------------------------------------
+    fused_cost = simulate(schedule, AMPERE)
+    baseline = schedule_cublaslt(graph, AMPERE)
+    base_cost = simulate(baseline, AMPERE)
+    print(f"\nSpaceFusion : {fused_cost.summary()}")
+    print(f"cuBLASLt    : {base_cost.summary()}")
+    print(f"speedup     : {base_cost.time_s / fused_cost.time_s:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

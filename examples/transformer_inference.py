@@ -1,0 +1,75 @@
+"""End-to-end Transformer inference across engines and architectures.
+
+Reproduces a slice of the paper's Figure 14: compile the model zoo with
+every inference engine (PyTorch eager, TensorRT-style, Kernl-style,
+BladeDISC/AStitch, NNFusion/Welder, SpaceFusion) and compare the modelled
+latency on the three GPU generations.
+
+Run:  python examples/transformer_inference.py [model] [batch]
+      e.g.  python examples/transformer_inference.py bert 1
+"""
+
+import sys
+
+from repro.baselines import (
+    ENGINES,
+    EngineUnsupported,
+    compile_model_with_engine,
+    engine_supported,
+)
+from repro.hw import ARCHITECTURES
+from repro.models import MODEL_CONFIGS, build_model
+from repro.pipeline import simulate_model
+
+
+def profile_model(name: str, batch: int, seq: int = 512) -> None:
+    print(f"\n=== {name} (batch={batch}, seq={seq}) ===")
+    header = f"{'engine':>12} " + "".join(f"{a:>12}" for a in ARCHITECTURES)
+    print(header)
+    baselines = {}
+    for engine in ENGINES:
+        cells = []
+        for arch, gpu in ARCHITECTURES.items():
+            if not engine_supported(engine, gpu):
+                cells.append(f"{'-':>12}")
+                continue
+            program = build_model(name, batch=batch, seq=seq)
+            try:
+                model = compile_model_with_engine(program, gpu, engine)
+            except EngineUnsupported:
+                cells.append(f"{'-':>12}")
+                continue
+            t = simulate_model(model, gpu,
+                               cuda_graphs=engine != "pytorch").time_s
+            if engine == "pytorch":
+                baselines[arch] = t
+                cells.append(f"{t*1e3:>10.2f}ms")
+            else:
+                su = baselines[arch] / t
+                cells.append(f"{t*1e3:>6.2f}ms/{su:>4.1f}x")
+        print(f"{engine:>12} " + "".join(cells))
+    print("(cells show latency, and speedup over PyTorch where applicable)")
+
+
+def show_kernel_budget(name: str, batch: int) -> None:
+    """How many kernels per layer each engine launches — the fusion story
+    in one number."""
+    gpu = ARCHITECTURES["ampere"]
+    program = build_model(name, batch=batch, seq=512)
+    print(f"\nkernels per layer on {gpu.name}:")
+    for engine in ENGINES:
+        if not engine_supported(engine, gpu):
+            continue
+        model = compile_model_with_engine(program, gpu, engine)
+        kernels = sum(s.schedule.num_kernels for s in model.subprograms)
+        print(f"  {engine:>12}: {kernels}")
+
+
+if __name__ == "__main__":
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "bert"
+    batch_size = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    if model_name not in MODEL_CONFIGS:
+        raise SystemExit(f"unknown model {model_name!r}; "
+                         f"choices: {sorted(MODEL_CONFIGS)}")
+    profile_model(model_name, batch_size)
+    show_kernel_budget(model_name, batch_size)

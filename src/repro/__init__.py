@@ -1,0 +1,3 @@
+"""repro: a reproduction of SpaceFusion (EuroSys '25) in pure Python."""
+
+__version__ = "1.0.0"

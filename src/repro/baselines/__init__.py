@@ -1,0 +1,27 @@
+"""Baselines: every comparison system of the paper's evaluation."""
+
+from .cublaslt import schedule_cublaslt
+from .engines import (
+    ENGINES,
+    EngineUnsupported,
+    compile_model_with_engine,
+    engine_supported,
+    modeled_compile_seconds,
+)
+from .flash_attention import FlashAttentionUnavailable, schedule_flash_attention
+from .fused_ln import schedule_fused_layernorm
+from .unfused import schedule_pytorch, schedule_unfused_primitive
+
+__all__ = [
+    "ENGINES",
+    "EngineUnsupported",
+    "FlashAttentionUnavailable",
+    "compile_model_with_engine",
+    "engine_supported",
+    "modeled_compile_seconds",
+    "schedule_cublaslt",
+    "schedule_flash_attention",
+    "schedule_fused_layernorm",
+    "schedule_pytorch",
+    "schedule_unfused_primitive",
+]

@@ -1,0 +1,96 @@
+"""FlashAttention baselines (section 6.1's MHA comparators).
+
+FlashAttention-1, FlashAttention-2 and the Triton FlashAttention are all
+*manual* schedules of the same online-softmax tiling SpaceFusion derives
+automatically.  Each variant is reproduced as a fixed-configuration kernel
+over the same aggregation plan, differing exactly where the real systems
+differ:
+
+* **FA-1** iterates K/V in the outer loop, so the output block (and the
+  running statistics) are spilled to and re-read from device memory once
+  per K/V tile — the extra HBM traffic FlashAttention-2 famously removed.
+  Its CUDA kernels also predate tensor-core-friendly layouts (factor 1.0).
+* **FA-2** keeps O resident, parallelises over the query blocks, and ships
+  highly tuned CUDA (factor 1.15).  Its CUDA build requires SM80+, so it is
+  unavailable on Volta — the gap visible in the paper's Figure 13.
+* **FA-Triton** is the FA-2 loop structure at generated-code efficiency
+  with hand-picked block sizes.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import build_smg
+from ..core.memory_planner import apply_memory_plan
+from ..core.schedule import KernelSchedule, ProgramSchedule, ScheduleConfig
+from ..core.spatial_slicer import spatial_sliceable_dims
+from ..core.temporal_slicer import plan_temporal_slice
+from ..hw.specs import GPUSpec
+from ..ir.graph import DataflowGraph
+from ..ir.ops import ceil_div
+
+
+class FlashAttentionUnavailable(Exception):
+    """The requested FA variant does not support the target architecture."""
+
+
+_VARIANTS = {
+    # name: (block_m, tile_kv, efficiency, spills_output, min_arch)
+    "fa1": (64, 64, 1.00, True, {"volta", "ampere", "hopper"}),
+    "fa2": (128, 64, 1.15, False, {"ampere", "hopper"}),
+    "fa_triton": (128, 64, 1.00, False, {"volta", "ampere", "hopper"}),
+}
+
+
+def schedule_flash_attention(graph: DataflowGraph, gpu: GPUSpec,
+                             variant: str = "fa2") -> ProgramSchedule:
+    """Schedule an MHA-shaped graph with a FlashAttention manual kernel.
+
+    The graph must contain a dependent All-to-One chain along the key
+    dimension (built by :func:`repro.models.layers.mha_graph`); the kernel
+    reuses the UTA plan but pins the paper-published block sizes instead of
+    auto-tuning.
+    """
+    if variant not in _VARIANTS:
+        raise ValueError(f"unknown FlashAttention variant {variant!r}")
+    block_m, tile_kv, efficiency, spills, archs = _VARIANTS[variant]
+    if gpu.arch not in archs:
+        raise FlashAttentionUnavailable(
+            f"{variant} has no {gpu.arch} build (paper: FlashAttention CUDA "
+            "lacks Volta compatibility)")
+
+    smg = build_smg(graph)
+    spatial = tuple(spatial_sliceable_dims(smg))
+    if "l" not in smg.dims or "m" not in spatial:
+        raise ValueError("graph is not MHA-shaped (needs m spatial, l chain)")
+    plan = plan_temporal_slice(smg, "l")
+    if not plan.uses_uta:
+        raise ValueError("expected a dependent All-to-One chain along 'l'")
+
+    blocks = []
+    for dim in spatial:
+        if dim == "m":
+            blocks.append(("m", min(block_m, smg.dim_size("m"))))
+        else:
+            blocks.append((dim, 1))
+    config = ScheduleConfig(block=tuple(blocks),
+                            tile=min(tile_kv, smg.dim_size("l")))
+
+    kernel = KernelSchedule(
+        name=f"{graph.name}@{variant}", smg=smg, spatial_dims=spatial,
+        plan=plan, config=config, search_space=[config],
+        meta={
+            "baseline": variant,
+            "efficiency": efficiency,
+            "slicing": "manual",
+        },
+    )
+    if spills:
+        # FA-1's outer K/V loop rewrites the O block once per K/V tile;
+        # bounded by the compiler-visible tile count.
+        n_tiles = ceil_div(smg.dim_size("l"), config.tile or smg.dim_size("l"))
+        kernel.meta["output_spill_factor"] = float(min(n_tiles, 16))
+    apply_memory_plan(kernel)
+    sched = ProgramSchedule(f"{graph.name}@{variant}",
+                            meta={"baseline": variant})
+    sched.add(kernel)
+    return sched

@@ -1,0 +1,98 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's Figure 16(a) variants, three design decisions deserve
+their own measurements:
+
+* **candidate-schedule exploration depth** (section 5.3): comparing the
+  fused schedule against the contraction-granular alternative — on vs off;
+* **early-quit alpha** (section 6.5): how the abandonment threshold trades
+  tuning wall-clock against schedule quality;
+* **UTA vs kernel split** (section 4.3): what Update-then-Aggregate buys
+  over cutting the kernel at the dependent All-to-One chain.
+"""
+
+from __future__ import annotations
+
+from ..core.compiler import FusionOptions
+from ..hw import ARCHITECTURES
+from ..models import build_model, layernorm_graph, mha_graph, mlp_graph
+from ..pipeline import compile_for, make_compiler, simulate
+from .reporting import ExperimentResult
+
+
+def ablation_candidate_depth(arch: str = "ampere") -> ExperimentResult:
+    """Section 5.3: does exploring partition candidates pay?
+
+    On workloads where whole-graph fusion is optimal (attention), the
+    exploration costs only compile time; on wide GEMM chains (Llama-class
+    FFN) it is the difference between a pathological fused kernel and the
+    right split.
+    """
+    gpu = ARCHITECTURES[arch]
+    cases = {
+        "MHA(8,16,1024)": mha_graph(8, 16, 1024, 1024, 64),
+        "MLP(4,256)": mlp_graph(4, 8192, 256, 256),
+        "FFN(2,11008)": mlp_graph(2, 512, 4096, 11008),
+    }
+    result = ExperimentResult(
+        "ablation_candidates", "Partition-candidate exploration (5.3)",
+        ["case", "time_with_us", "time_without_us", "benefit",
+         "kernels_with", "kernels_without"])
+    for label, graph in cases.items():
+        with_sched, _ = compile_for(graph, gpu, FusionOptions(
+            explore_partition_candidates=True))
+        without_sched, _ = compile_for(graph, gpu, FusionOptions(
+            explore_partition_candidates=False))
+        t_with = simulate(with_sched, gpu).time_s
+        t_without = simulate(without_sched, gpu).time_s
+        result.add_row(
+            case=label,
+            time_with_us=t_with * 1e6,
+            time_without_us=t_without * 1e6,
+            benefit=t_without / t_with,
+            kernels_with=with_sched.num_kernels,
+            kernels_without=without_sched.num_kernels)
+    return result
+
+
+def ablation_early_quit(arch: str = "ampere",
+                        alphas=(0.05, 0.25, 1.0, 1e9)) -> ExperimentResult:
+    """Section 6.5: tuning wall-clock vs schedule quality across alpha.
+
+    alpha=0.25 is the paper's setting; alpha→infinity disables early quit
+    (full 120-run campaigns for every configuration).
+    """
+    gpu = ARCHITECTURES[arch]
+    graph = mha_graph(32, 16, 1024, 1024, 64)
+    result = ExperimentResult(
+        "ablation_alpha", "Early-quit threshold sensitivity (6.5)",
+        ["alpha", "tuning_wall_s", "configs_quit", "best_time_us"])
+    for alpha in alphas:
+        compiler = make_compiler(gpu, FusionOptions(alpha=alpha))
+        schedule, stats = compiler.compile_graph(graph)
+        result.add_row(
+            alpha=alpha,
+            tuning_wall_s=stats.tuning_wall_time,
+            configs_quit=stats.configs_quit_early,
+            best_time_us=simulate(schedule, gpu).time_s * 1e6)
+    return result
+
+
+def ablation_uta_vs_split(arch: str = "ampere",
+                          seqs=(512, 1024, 2048, 4096)) -> ExperimentResult:
+    """Section 4.3: Update-then-Aggregate against the kernel split a
+    UTA-less compiler must take once rows stop fitting on chip."""
+    gpu = ARCHITECTURES[arch]
+    result = ExperimentResult(
+        "ablation_uta", "UTA vs kernel split at the attention chain",
+        ["seq", "uta_us", "no_uta_us", "benefit", "no_uta_kernels"])
+    for seq in seqs:
+        graph = mha_graph(2, 16, seq, seq, 64)
+        uta, _ = compile_for(graph, gpu)
+        no_uta, _ = compile_for(graph, gpu, FusionOptions(enable_uta=False))
+        t_uta = simulate(uta, gpu).time_s
+        t_split = simulate(no_uta, gpu).time_s
+        result.add_row(seq=seq, uta_us=t_uta * 1e6,
+                       no_uta_us=t_split * 1e6, benefit=t_split / t_uta,
+                       no_uta_kernels=no_uta.num_kernels)
+    return result

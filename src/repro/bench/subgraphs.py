@@ -1,0 +1,212 @@
+"""Subgraph experiments: Figures 11, 12, 13 and 15 (sections 6.1 and 6.3).
+
+Every function regenerates one figure's data series: the same x-axis
+points, the same comparison systems, the same reported metric (speedup over
+the figure's baseline, or normalised counter values for Figure 15).
+"""
+
+from __future__ import annotations
+
+from ..baselines import (
+    FlashAttentionUnavailable,
+    schedule_cublaslt,
+    schedule_flash_attention,
+    schedule_fused_layernorm,
+    schedule_pytorch,
+    schedule_unfused_primitive,
+)
+from ..hw import ARCHITECTURES, DeviceSimulator, GPUSpec
+from ..models import layernorm_graph, lstm_cell_graph, mha_graph, mlp_graph
+from ..pipeline import compile_for, simulate
+from .reporting import ExperimentResult
+
+DEFAULT_ARCHS = ("volta", "ampere", "hopper")
+
+
+def _sim(schedule, gpu: GPUSpec):
+    return simulate(schedule, gpu)
+
+
+def fig11a_mlp(archs=DEFAULT_ARCHS, layer_counts=range(2, 21, 2),
+               m: int = 8192, hidden: int = 256) -> ExperimentResult:
+    """Figure 11(a): fused multi-layer MLP speedup over cuBLASLt.
+
+    The paper reports a 3.15x max / 2.35x average speedup; cuBLASLt fuses
+    one GEMM+epilogue per layer while SpaceFusion fuses the whole stack
+    (feasible at N,K <= 256).
+    """
+    result = ExperimentResult(
+        "fig11a", "Fused MLP layers vs cuBLASLt",
+        ["arch", "layers", "spacefusion_us", "cublaslt_us", "speedup"])
+    for arch in archs:
+        gpu = ARCHITECTURES[arch]
+        for layers in layer_counts:
+            graph = mlp_graph(layers, m, hidden, hidden)
+            fused, _ = compile_for(graph, gpu)
+            sf = _sim(fused, gpu)
+            base = _sim(schedule_cublaslt(graph, gpu), gpu)
+            result.add_row(
+                arch=arch, layers=int(layers),
+                spacefusion_us=sf.time_s * 1e6,
+                cublaslt_us=base.time_s * 1e6,
+                speedup=base.time_s / sf.time_s)
+    return result
+
+
+def fig11b_lstm(archs=DEFAULT_ARCHS, hidden_sizes=(128, 256, 512, 1024),
+                batch: int = 1024) -> ExperimentResult:
+    """Figure 11(b): fused LSTM-cell speedup over cuBLAS.
+
+    Paper: 2.87x max / 2.29x average; cuBLAS runs one kernel per operator,
+    cuBLASLt saves one by folding the second GEMM's add.
+    """
+    result = ExperimentResult(
+        "fig11b", "Fused LSTM cell vs cuBLAS",
+        ["arch", "hidden", "spacefusion_us", "cublas_us", "cublaslt_us",
+         "speedup_vs_cublas"])
+    for arch in archs:
+        gpu = ARCHITECTURES[arch]
+        for hidden in hidden_sizes:
+            graph = lstm_cell_graph(batch, hidden)
+            fused, _ = compile_for(graph, gpu)
+            sf = _sim(fused, gpu)
+            # The paper's cuBLAS baseline maps each Figure-10(b) operator to
+            # one kernel (five kernels): two cuBLAS GEMMs plus three
+            # hand-grouped element-wise kernels — the library granularity,
+            # driven from a bare harness (no framework dispatch overhead).
+            cublas = _sim(schedule_pytorch(graph, gpu,
+                                           framework_overhead=False,
+                                           fuse_groups="all"), gpu)
+            cublaslt = _sim(schedule_cublaslt(graph, gpu), gpu)
+            result.add_row(
+                arch=arch, hidden=hidden,
+                spacefusion_us=sf.time_s * 1e6,
+                cublas_us=cublas.time_s * 1e6,
+                cublaslt_us=cublaslt.time_s * 1e6,
+                speedup_vs_cublas=cublas.time_s / sf.time_s)
+    return result
+
+
+_LN_SIZES = {
+    "volta": (1024, 2048, 4096, 8192, 16384),
+    "ampere": (1024, 2048, 4096, 8192, 16384, 32768),
+    "hopper": (1024, 2048, 4096, 8192, 16384, 32768),
+}
+
+
+def fig12_layernorm(archs=DEFAULT_ARCHS, sizes=None) -> ExperimentResult:
+    """Figure 12: fused LayerNorm speedups (M = N square inputs).
+
+    Paper: 7.25x average over unfused PyTorch, up to 1.59x / 2.46x / 4.03x
+    over PyTorch Op / NVIDIA Apex / LN Triton respectively.
+    """
+    result = ExperimentResult(
+        "fig12", "Fused LayerNorm vs PyTorch and fused baselines",
+        ["arch", "m", "su_pytorch", "su_vs_pytorch_op", "su_vs_apex",
+         "su_vs_ln_triton"])
+    for arch in archs:
+        gpu = ARCHITECTURES[arch]
+        for m in (sizes or _LN_SIZES[arch]):
+            graph = layernorm_graph(m, m)
+            fused, _ = compile_for(graph, gpu)
+            sf = _sim(fused, gpu).time_s
+            times = {
+                "pytorch": _sim(schedule_unfused_primitive(
+                    graph, gpu, efficiency=1.0), gpu).time_s,
+            }
+            for variant in ("pytorch_op", "apex", "ln_triton"):
+                times[variant] = _sim(schedule_fused_layernorm(
+                    graph, gpu, variant), gpu).time_s
+            result.add_row(
+                arch=arch, m=m,
+                su_pytorch=times["pytorch"] / sf,
+                su_vs_pytorch_op=times["pytorch_op"] / sf,
+                su_vs_apex=times["apex"] / sf,
+                su_vs_ln_triton=times["ln_triton"] / sf)
+    return result
+
+
+_MHA_SEQS = {
+    "volta": (64, 128, 256, 512, 1024),
+    "ampere": (64, 128, 256, 512, 1024, 2048, 8192),
+    "hopper": (64, 128, 256, 512, 1024, 2048, 8192),
+}
+
+
+def fig13_mha(archs=DEFAULT_ARCHS, batches=(1, 32), seqs=None,
+              heads: int = 16, head_dim: int = 64) -> ExperimentResult:
+    """Figure 13: fused MHA speedups over the PyTorch baseline.
+
+    Paper: 10.35x max / 5.40x average over PyTorch, comparable to
+    FlashAttention-2; FlashAttention CUDA is absent on Volta.
+    """
+    result = ExperimentResult(
+        "fig13", "Fused MHA vs PyTorch / FlashAttention variants",
+        ["arch", "batch", "seq", "su_spacefusion", "su_fa1", "su_fa2",
+         "su_fa_triton"])
+    for arch in archs:
+        gpu = ARCHITECTURES[arch]
+        for batch in batches:
+            for seq in (seqs or _MHA_SEQS[arch]):
+                graph = mha_graph(batch, heads, seq, seq, head_dim)
+                fused, _ = compile_for(graph, gpu)
+                base = _sim(schedule_pytorch(graph, gpu), gpu).time_s
+                sf = _sim(fused, gpu).time_s
+                sus = {"su_spacefusion": base / sf}
+                for variant, col in (("fa1", "su_fa1"), ("fa2", "su_fa2"),
+                                     ("fa_triton", "su_fa_triton")):
+                    try:
+                        t = _sim(schedule_flash_attention(
+                            graph, gpu, variant), gpu).time_s
+                        sus[col] = base / t
+                    except FlashAttentionUnavailable:
+                        sus[col] = None
+                result.add_row(arch=arch, batch=batch, seq=seq, **sus)
+    return result
+
+
+def fig15_memory_cache(arch: str = "ampere") -> ExperimentResult:
+    """Figure 15: normalised L1/L2 miss counts and data movement.
+
+    Paper: SpaceFusion reaches up to 83.0% fewer L1 misses, 94.1% fewer L2
+    misses and 96.45% less device-memory movement; LN cuts traffic 5.25x on
+    average for an 8.08x speedup, MHA cuts 18.98x for 6.64x.
+    """
+    gpu = ARCHITECTURES[arch]
+    cases = [
+        ("MLP(20,64)", mlp_graph(20, 64, 256, 256), "cublaslt"),
+        ("MLP(20,1K)", mlp_graph(20, 1024, 256, 256), "cublaslt"),
+        ("LN(4K)", layernorm_graph(4096, 4096), "pytorch_op"),
+        ("LN(32K)", layernorm_graph(32768, 32768), "pytorch_op"),
+        ("MHA(2,4K)", mha_graph(2, 16, 4096, 4096, 64), "fa"),
+        ("MHA(32,1K)", mha_graph(32, 16, 1024, 1024, 64), "fa"),
+    ]
+    result = ExperimentResult(
+        "fig15", "Memory and cache analysis (normalised to SpaceFusion)",
+        ["case", "variant", "l1_miss_norm", "l2_miss_norm", "dram_norm",
+         "speedup_vs_unfused"])
+    for label, graph, fused_kind in cases:
+        fused, _ = compile_for(graph, gpu)
+        sf = _sim(fused, gpu)
+        if fused_kind == "cublaslt":
+            fused_base = _sim(schedule_cublaslt(graph, gpu), gpu)
+        elif fused_kind == "pytorch_op":
+            fused_base = _sim(schedule_fused_layernorm(
+                graph, gpu, "pytorch_op"), gpu)
+        else:
+            fused_base = _sim(schedule_flash_attention(graph, gpu, "fa2"),
+                              gpu)
+        unfused = _sim(schedule_unfused_primitive(graph, gpu), gpu)
+        for variant, c in (("fused_baseline", fused_base),
+                           ("unfused_baseline", unfused)):
+            result.add_row(
+                case=label, variant=variant,
+                l1_miss_norm=c.l1_miss_count / max(sf.l1_miss_count, 1),
+                l2_miss_norm=c.l2_miss_count / max(sf.l2_miss_count, 1),
+                dram_norm=c.dram_bytes / max(sf.dram_bytes, 1),
+                speedup_vs_unfused=unfused.time_s / c.time_s)
+        result.add_row(
+            case=label, variant="spacefusion",
+            l1_miss_norm=1.0, l2_miss_norm=1.0, dram_norm=1.0,
+            speedup_vs_unfused=unfused.time_s / sf.time_s)
+    return result

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``inspect``  — build a named workload, print its SMG (text or DOT) and
+  the temporal-slicing plan;
+* ``compile``  — auto-schedule a workload for a GPU and print the schedule
+  report plus generated kernel pseudocode;
+* ``bench``    — regenerate one paper experiment (``fig11a`` ... ``table6``);
+* ``validate`` — execute a compiled schedule numerically against the
+  unfused reference and report the max error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import bench as bench_mod
+from .codegen import generate_program_pseudocode
+from .core.builder import build_smg
+from .core.temporal_slicer import TemporalSliceError, plan_temporal_slice
+from .core.viz import schedule_to_text, smg_to_dot
+from .hw import ARCHITECTURES, get_gpu
+from .models import layernorm_graph, lstm_cell_graph, mha_graph, mlp_graph, softmax_gemm_graph
+from .pipeline import compile_for, simulate
+from .runtime.executor import execute_schedule
+from .runtime.kernels import execute_graph_reference, random_feeds
+
+WORKLOADS = {
+    "mha": lambda: mha_graph(2, 8, 512, 512, 64),
+    "mha-long": lambda: mha_graph(1, 8, 4096, 4096, 64),
+    "layernorm": lambda: layernorm_graph(4096, 4096),
+    "mlp": lambda: mlp_graph(8, 4096, 256, 256),
+    "lstm": lambda: lstm_cell_graph(1024, 512),
+    "softmax-gemm": lambda: softmax_gemm_graph(512, 1024, 64),
+}
+
+EXPERIMENTS = {
+    "fig2": bench_mod.fig2_motivation,
+    "decode": bench_mod.decode_attention,
+    "robustness": bench_mod.model_robustness,
+    "fig11a": bench_mod.fig11a_mlp,
+    "fig11b": bench_mod.fig11b_lstm,
+    "fig12": bench_mod.fig12_layernorm,
+    "fig13": bench_mod.fig13_mha,
+    "fig14": bench_mod.fig14_end_to_end,
+    "fig15": bench_mod.fig15_memory_cache,
+    "fig16a": bench_mod.fig16a_ablation,
+    "fig16b": bench_mod.fig16b_input_sensitivity,
+    "fig16c": bench_mod.fig16c_arch_sensitivity,
+    "table4": bench_mod.table4_mha_breakdown,
+    "table5": bench_mod.table5_model_compile_times,
+    "table6": bench_mod.table6_fusion_patterns,
+}
+
+
+def _add_workload_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", choices=sorted(WORKLOADS),
+                        help="named evaluation workload")
+    parser.add_argument("--gpu", default="ampere",
+                        choices=sorted(ARCHITECTURES),
+                        help="target architecture (default: ampere)")
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    graph = WORKLOADS[args.workload]()
+    smg = build_smg(graph)
+    if args.dot:
+        print(smg_to_dot(smg))
+        return 0
+    print(smg.render())
+    print(f"\naligned dim groups: {smg.aligned_dim_groups()}")
+    for dim in smg.dims:
+        chains = smg.a2o_dependency_chains(dim)
+        if chains:
+            rendered = [[m.reduce_kind for m in c] for c in chains]
+            print(f"A2O chains along {dim}: {rendered}")
+    for dim in smg.dims:
+        try:
+            plan = plan_temporal_slice(smg, dim)
+        except TemporalSliceError:
+            continue
+        if plan.stages:
+            print(f"\ntemporal plan along {dim}:")
+            print(plan.describe())
+            break
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    gpu = get_gpu(args.gpu)
+    graph = WORKLOADS[args.workload]()
+    schedule, stats = compile_for(graph, gpu)
+    print(schedule_to_text(schedule))
+    counters = simulate(schedule, gpu)
+    print(f"\nmodelled cost on {gpu.name}: {counters.summary()}")
+    print(f"compile analysis: "
+          f"{ {k: f'{v*1e3:.2f}ms' for k, v in stats.phase_times.items()} }")
+    if args.pseudocode:
+        print("\n" + generate_program_pseudocode(schedule))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    gpu = get_gpu(args.gpu)
+    graph = WORKLOADS[args.workload]()
+    schedule, _ = compile_for(graph, gpu)
+    feeds = random_feeds(graph, seed=args.seed)
+    ref = execute_graph_reference(graph, feeds)
+    env = execute_schedule(schedule, feeds)
+    worst = 0.0
+    for name, expected in ref.items():
+        worst = max(worst, float(np.max(np.abs(env[name] - expected))))
+    print(f"{args.workload} on {gpu.name}: "
+          f"{schedule.num_kernels} kernel(s), max abs error {worst:.3e}")
+    if worst > 1e-8:
+        print("FAILED: fused schedule diverged from the reference")
+        return 1
+    print("OK: fused execution matches the unfused reference")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    fn = EXPERIMENTS[args.experiment]
+    result = fn()
+    print(result.render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .bench.summary import generate_report
+
+    text = generate_report(path=args.output, quick=args.quick)
+    if args.output:
+        print(f"report written to {args.output} "
+              f"({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpaceFusion reproduction (EuroSys '25)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("inspect", help="print a workload's SMG and plans")
+    _add_workload_arg(p)
+    p.add_argument("--dot", action="store_true",
+                   help="emit Graphviz DOT instead of text")
+    p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser("compile", help="auto-schedule a workload")
+    _add_workload_arg(p)
+    p.add_argument("--pseudocode", action="store_true",
+                   help="also print generated kernel pseudocode")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("validate",
+                       help="check fused execution against the reference")
+    _add_workload_arg(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("bench", help="regenerate a paper experiment")
+    p.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("report",
+                       help="run every experiment into one markdown report")
+    p.add_argument("--output", "-o", default=None,
+                   help="write to a file instead of stdout")
+    p.add_argument("--quick", action="store_true",
+                   help="trim the slowest sweeps")
+    p.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Code generation: render schedules as backend-ready kernel pseudocode."""
+
+from .triton_like import generate_kernel_pseudocode, generate_program_pseudocode
+
+__all__ = ["generate_kernel_pseudocode", "generate_program_pseudocode"]

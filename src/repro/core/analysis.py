@@ -1,0 +1,149 @@
+"""Dependency analysis: quantify the complexity SpaceFusion tames (§2).
+
+The paper motivates the SMG by counting what a *single output element* of
+MHA depends on: ``(2LK + 4K + 2)`` elements drawn from 8 tensors, through
+6 layers of nested dependencies built from 6 One-to-Alls and 4 All-to-Ones.
+This module computes those numbers for any graph, by propagating exact
+element-requirement masks backwards through the operators' access forms —
+the machine-checkable version of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ir.graph import DataflowGraph
+from ..ir.ops import Op
+
+
+@dataclass(frozen=True)
+class DependencyStats:
+    """What one output element transitively depends on."""
+
+    output: str
+    #: Elements required per tensor (inputs and intermediates).
+    elements_by_tensor: dict[str, int]
+    #: Total elements across all *other* tensors (the paper's 2LK+4K+2).
+    total_elements: int
+    #: Number of distinct tensors touched (the paper's "8 tensors").
+    tensors_touched: int
+    #: Longest operator chain from any input to the output element (the
+    #: paper's "6 layers nested dependencies").
+    nesting_depth: int
+
+    def describe(self) -> str:
+        return (f"one element of {self.output!r} depends on "
+                f"{self.total_elements} elements from "
+                f"{self.tensors_touched} tensors "
+                f"({self.nesting_depth} layers of nesting)")
+
+
+def _required_inputs(op: Op, out_mask: np.ndarray,
+                     shapes: dict[str, tuple[int, ...]],
+                     ) -> dict[str, np.ndarray]:
+    """Input element masks needed to produce ``out_mask`` of ``op.output``.
+
+    Derived from the access form: the needed iteration points are the
+    output mask extended along the reduced dims (All-to-One pulls the whole
+    range); each input's mask is the projection of those points onto its
+    axes (collapsing broadcast dims: One-to-All means one element serves
+    all points along the dim).
+    """
+    iter_shape = []
+    out_pos = {d: i for i, d in enumerate(op.output_axes)}
+    for d in op.iter_dims:
+        if d in out_pos:
+            iter_shape.append(out_mask.shape[out_pos[d]])
+        else:
+            # reduced dim: full extent, recovered from an input that has it
+            size = None
+            for tensor, axes in zip(op.inputs, op.input_axes):
+                if d in axes:
+                    size = shapes[tensor][axes.index(d)]
+                    break
+            iter_shape.append(size if size is not None else 1)
+
+    # Broadcast the output mask over the iteration space.
+    idx = []
+    for d in op.iter_dims:
+        idx.append(slice(None) if d in out_pos else np.newaxis)
+    aligned = np.transpose(
+        out_mask, [out_pos[d] for d in op.iter_dims if d in out_pos])
+    iter_mask = np.broadcast_to(aligned[tuple(
+        slice(None) if d in out_pos else np.newaxis
+        for d in op.iter_dims)], iter_shape)
+
+    needed: dict[str, np.ndarray] = {}
+    iter_pos = {d: i for i, d in enumerate(op.iter_dims)}
+    for tensor, axes in zip(op.inputs, op.input_axes):
+        if not axes:  # opaque barrier access: everything
+            needed[tensor] = np.ones(shapes[tensor], dtype=bool)
+            continue
+        drop = tuple(i for i, d in enumerate(op.iter_dims) if d not in axes)
+        mask = iter_mask.any(axis=drop) if drop else iter_mask
+        order = [d for d in op.iter_dims if d in axes]
+        if tuple(order) != tuple(axes):
+            mask = np.transpose(mask, [order.index(d) for d in axes])
+        prev = needed.get(tensor)
+        needed[tensor] = mask if prev is None else (prev | mask)
+    return needed
+
+
+def single_output_dependency_stats(graph: DataflowGraph,
+                                   output: str | None = None,
+                                   element: tuple[int, ...] | None = None,
+                                   ) -> DependencyStats:
+    """Exact dependency census for one element of ``output``.
+
+    Masks are propagated backwards op by op; the result counts, per tensor,
+    how many of its elements the chosen output element transitively
+    requires — reproducing the paper's section-2 arithmetic for MHA
+    (asserted in the tests symbolically: ``2*L*K + 4*K + 2``).
+    """
+    graph.validate()
+    output = output or graph.output_tensors[0]
+    shapes = {t: spec.shape(graph.dims) for t, spec in graph.tensors.items()}
+    element = element or tuple(0 for _ in shapes[output])
+
+    masks: dict[str, np.ndarray] = {
+        output: np.zeros(shapes[output], dtype=bool)
+    }
+    masks[output][element] = True
+
+    depth: dict[str, int] = {output: 0}
+    for op in reversed(graph.topological_ops()):
+        if op.output not in masks or not masks[op.output].any():
+            continue
+        for tensor, mask in _required_inputs(op, masks[op.output],
+                                             shapes).items():
+            prev = masks.get(tensor)
+            masks[tensor] = mask if prev is None else (prev | mask)
+            depth[tensor] = max(depth.get(tensor, 0),
+                                depth[op.output] + 1)
+
+    elements = {
+        t: int(m.sum()) for t, m in masks.items()
+        if t != output and m.any()
+    }
+    return DependencyStats(
+        output=output,
+        elements_by_tensor=elements,
+        total_elements=sum(elements.values()),
+        tensors_touched=len(elements) + 1,
+        nesting_depth=max(depth.values()) if depth else 0,
+    )
+
+
+def mapping_census(graph: DataflowGraph) -> dict[str, int]:
+    """Counts of each mapping kind in the graph's SMG (the paper's
+    "6 One-to-Alls and 4 All-to-Ones" for MHA)."""
+    from .builder import build_smg
+    from .mappings import A2O, O2A, O2O
+
+    smg = build_smg(graph)
+    counts = {"O2O": 0, "O2A": 0, "A2O": 0}
+    for m in smg.mappings:
+        counts[m.kind.value] += 1
+    return counts

@@ -1,0 +1,92 @@
+"""Auto-tuner: configuration search with the early-quit rule (section 6.5).
+
+SpaceFusion evaluates every configuration in the (deliberately small)
+search space by timing test runs — the median of 100 runs after 20 warm-up
+runs — and abandons a configuration once its accumulated test time exceeds
+a proportion alpha (0.25 in the paper) of the current best configuration's
+total test time.
+
+Here the per-run time comes from the device cost model instead of silicon,
+and the tuner *accounts* the wall-clock the paper's procedure would have
+spent (warm-up plus measured runs, with early quits shortening bad
+configurations).  That accounting is what regenerates the compilation-time
+tables (Tables 4 and 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .schedule import KernelSchedule, ScheduleConfig
+
+#: Paper's tuning procedure constants.
+WARMUP_RUNS = 20
+MEASURE_RUNS = 100
+DEFAULT_ALPHA = 0.25
+
+
+@dataclass
+class TuneResult:
+    """Outcome of tuning one kernel."""
+
+    kernel: KernelSchedule
+    best_config: ScheduleConfig | None
+    best_time: float
+    configs_evaluated: int
+    configs_quit_early: int
+    #: Simulated wall-clock the measurement campaign would take (seconds).
+    tuning_wall_time: float
+    timings: list[tuple[ScheduleConfig, float]] = field(default_factory=list)
+
+
+def tune_kernel(kernel: KernelSchedule,
+                timing_fn: Callable[[KernelSchedule, ScheduleConfig], float],
+                alpha: float = DEFAULT_ALPHA,
+                warmup_runs: int = WARMUP_RUNS,
+                measure_runs: int = MEASURE_RUNS) -> TuneResult:
+    """Search the kernel's config space and fix its best configuration."""
+    best_cfg: ScheduleConfig | None = None
+    best_time = float("inf")
+    wall = 0.0
+    quit_early = 0
+    timings: list[tuple[ScheduleConfig, float]] = []
+
+    for cfg in kernel.search_space:
+        t = timing_fn(kernel, cfg)
+        timings.append((cfg, t))
+        if best_cfg is None:
+            runs = warmup_runs + measure_runs
+        else:
+            # Early quit: stop measuring once accumulated test time passes
+            # alpha times the best config's total test time.
+            budget = alpha * (warmup_runs + measure_runs) * best_time
+            if t * measure_runs > budget:
+                allowed = max(1, int(budget / t))
+                runs = min(warmup_runs + measure_runs, allowed)
+                if runs < warmup_runs + measure_runs:
+                    quit_early += 1
+            else:
+                runs = warmup_runs + measure_runs
+        wall += runs * t
+        if t < best_time:
+            best_time = t
+            best_cfg = cfg
+
+    kernel.config = best_cfg
+    return TuneResult(
+        kernel=kernel,
+        best_config=best_cfg,
+        best_time=best_time,
+        configs_evaluated=len(kernel.search_space),
+        configs_quit_early=quit_early,
+        tuning_wall_time=wall,
+        timings=timings,
+    )
+
+
+def pick_best(results: list[TuneResult]) -> TuneResult:
+    """Choose the fastest tuned candidate among scheduled variants."""
+    if not results:
+        raise ValueError("no tuning results to choose from")
+    return min(results, key=lambda r: r.best_time)

@@ -1,0 +1,67 @@
+"""Memory-hierarchy scheduling (section 5.4).
+
+SpaceFusion assigns memory levels directly from SMG structure:
+
+* data spaces connected with One-to-One mappings inside a block, and
+  iteration-space accumulators, map to **registers**;
+* the source of a One-to-All and the sink of an All-to-One map to **shared
+  memory** (repeated read/write access, potential inter-thread exchange);
+* SMG input/output data spaces, and intermediates between two SMGs, map to
+  **global memory**.
+
+Temporal-stage aggregates (the running max/sum/output of UTA) are the one
+refinement: they are per-row accumulators carried across intra-blocks, so
+they live in registers like FlashAttention's running statistics.
+"""
+
+from __future__ import annotations
+
+from .builder import build_smg
+from .mappings import A2O, O2A
+from .schedule import KernelSchedule
+from .smg import SMG
+
+REGISTER = "register"
+SHARED = "shared"
+GLOBAL = "global"
+
+
+def plan_memory_levels(kernel: KernelSchedule) -> dict[str, str]:
+    """Assign a memory level to every tensor of a kernel's execution graph."""
+    graph = kernel.exec_graph
+    smg = build_smg(graph, name=f"{kernel.name}@memplan")
+    plan = kernel.plan
+    stage_outputs = set(plan.stage_outputs) if plan is not None else set()
+
+    levels: dict[str, str] = {}
+    inputs = set(graph.input_tensors)
+    outputs = set(graph.output_tensors)
+
+    for tensor in graph.tensors:
+        if tensor in inputs or tensor in outputs:
+            levels[tensor] = GLOBAL
+            continue
+        if tensor in stage_outputs:
+            levels[tensor] = REGISTER
+            continue
+        is_o2a_source = any(
+            m.kind is O2A for m in smg.out_edges(tensor)
+        )
+        is_a2o_sink = any(
+            m.kind is A2O for m in smg.in_edges(tensor)
+        )
+        levels[tensor] = SHARED if (is_o2a_source or is_a2o_sink) else REGISTER
+    return levels
+
+
+def apply_memory_plan(kernel: KernelSchedule) -> KernelSchedule:
+    kernel.memory_levels = plan_memory_levels(kernel)
+    return kernel
+
+
+def shared_tensors(kernel: KernelSchedule) -> list[str]:
+    return [t for t, lvl in kernel.memory_levels.items() if lvl == SHARED]
+
+
+def register_tensors(kernel: KernelSchedule) -> list[str]:
+    return [t for t, lvl in kernel.memory_levels.items() if lvl == REGISTER]

@@ -1,0 +1,180 @@
+"""Dataflow rewrites supporting temporal slicing (section 4.3).
+
+The paper's *Broadcast Postposition* moves broadcasts below reductions so
+that dependent All-to-One chains expose their true dependency structure
+(Figure 8 a→c).  Two of those algebraic transformations change the graph
+itself and are implemented here:
+
+* ``lower_mean_reductions`` — a mean over the sliced dimension becomes a sum
+  plus a final ``1/N`` scale, so tile-wise accumulation is a plain sum.
+* ``variance_decomposition`` — ``mean((x - mean(x))^2)`` becomes
+  ``mean(x^2) - mean(x)^2``, turning LayerNorm's dependent reduction pair
+  into independent reductions amenable to Simple Aggregate.
+
+Per the paper, "the modified dataflow is solely employed for UTA. The
+original dataflow for the SMG block remains mostly unchanged" — callers
+rewrite a *copy* of the graph used only for schedule execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.graph import DataflowGraph
+from ..ir.ops import Op, make_binary, make_reduce, make_scalar, make_unary
+
+
+def copy_graph(graph: DataflowGraph, name: str | None = None) -> DataflowGraph:
+    clone = DataflowGraph(name or graph.name, dims=graph.dims)
+    clone.tensors = dict(graph.tensors)
+    clone.ops = list(graph.ops)
+    clone.declared_outputs = list(graph.output_tensors)
+    return clone
+
+
+def prune_dead_ops(graph: DataflowGraph) -> DataflowGraph:
+    """Drop ops whose results cannot reach any graph output.
+
+    A reverse sweep over the topological order marks the transitive
+    producers of the output set; everything else is removed.
+    """
+    ops = graph.topological_ops()
+    needed = set(graph.output_tensors)
+    live_names: set[str] = set()
+    for op in reversed(ops):
+        if op.output in needed:
+            live_names.add(op.name)
+            needed.update(op.inputs)
+    graph.ops = [op for op in ops if op.name in live_names]
+    used: set[str] = set(graph.output_tensors)
+    for op in graph.ops:
+        used.update(op.inputs)
+        used.add(op.output)
+    graph.tensors = {k: v for k, v in graph.tensors.items() if k in used}
+    return graph
+
+
+def lower_mean_reductions(graph: DataflowGraph, dim: str) -> DataflowGraph:
+    """Replace ``reduce_mean`` over ``dim`` with ``reduce_sum`` + scale.
+
+    The inserted scale op keeps the original output tensor name, so all
+    consumers are untouched; the sum writes a fresh ``<name>__rawsum``
+    tensor.
+    """
+    new_ops: list[Op] = []
+    for op in graph.ops:
+        if op.kind == "reduce_mean" and dim in op.reduce_dims:
+            n = graph.dims.size(dim)
+            raw_name = f"{op.output}__rawsum"
+            out_spec = graph.tensors[op.output]
+            from ..ir.tensor import TensorSpec
+            graph.tensors[raw_name] = TensorSpec(raw_name, out_spec.dims, out_spec.dtype)
+            new_ops.append(make_reduce(
+                f"{op.name}__sum", "sum", op.inputs[0], op.input_axes[0],
+                raw_name, dim))
+            new_ops.append(make_scalar(
+                f"{op.name}__scale", "mul", raw_name, out_spec.dims,
+                op.output, 1.0 / n))
+        else:
+            new_ops.append(op)
+    graph.ops = new_ops
+    graph.validate()
+    return graph
+
+
+@dataclass
+class VariancePattern:
+    """A matched ``mean((x - mean(x))^2)`` pattern over one dimension."""
+
+    mean_op: Op       # mu = reduce_mean(x, dim)
+    sub_op: Op        # c = x - mu
+    square_op: Op     # s = c^2  (square or mul(c, c))
+    var_op: Op        # var = reduce_mean(s, dim)
+
+
+def find_variance_patterns(graph: DataflowGraph, dim: str) -> list[VariancePattern]:
+    patterns = []
+    for var_op in graph.ops:
+        if var_op.kind != "reduce_mean" or dim not in var_op.reduce_dims:
+            continue
+        square_op = graph.producer_of(var_op.inputs[0])
+        if square_op is None:
+            continue
+        if square_op.kind == "square":
+            centered = square_op.inputs[0]
+        elif square_op.kind == "mul" and square_op.inputs[0] == square_op.inputs[1]:
+            centered = square_op.inputs[0]
+        else:
+            continue
+        sub_op = graph.producer_of(centered)
+        if sub_op is None or sub_op.kind != "sub":
+            continue
+        mean_op = graph.producer_of(sub_op.inputs[1])
+        if (mean_op is None or mean_op.kind != "reduce_mean"
+                or dim not in mean_op.reduce_dims
+                or mean_op.inputs[0] != sub_op.inputs[0]):
+            continue
+        patterns.append(VariancePattern(mean_op, sub_op, square_op, var_op))
+    return patterns
+
+
+def variance_decomposition(graph: DataflowGraph, dim: str) -> bool:
+    """Apply ``var = E[x^2] - E[x]^2`` wherever the pattern matches.
+
+    Returns True when at least one rewrite fired.  The variance tensor keeps
+    its name; the centering ``sub`` stays in place for downstream consumers
+    (it is no longer an ancestor of any reduction, so it migrates to the
+    epilogue pass).
+    """
+    from ..ir.tensor import TensorSpec
+
+    patterns = find_variance_patterns(graph, dim)
+    if not patterns:
+        return False
+    for pat in patterns:
+        x = pat.mean_op.inputs[0]
+        x_axes = pat.mean_op.input_axes[0]
+        base = pat.var_op.name
+        sq_name = f"{base}__xsq"
+        m2_name = f"{base}__ex2"
+        musq_name = f"{base}__musq"
+        x_spec = graph.tensors[x]
+        mu_spec = graph.tensors[pat.mean_op.output]
+        graph.tensors[sq_name] = TensorSpec(sq_name, x_spec.dims, x_spec.dtype)
+        graph.tensors[m2_name] = TensorSpec(m2_name, mu_spec.dims, mu_spec.dtype)
+        graph.tensors[musq_name] = TensorSpec(musq_name, mu_spec.dims, mu_spec.dtype)
+
+        replacement = [
+            make_unary(f"{base}__sq", "square", x, x_axes, sq_name),
+            make_reduce(f"{base}__mean2", "mean", sq_name, x_axes, m2_name, dim),
+            make_unary(f"{base}__musq", "square", pat.mean_op.output,
+                       mu_spec.dims, musq_name),
+            make_binary(f"{base}__var", "sub", m2_name, mu_spec.dims,
+                        musq_name, mu_spec.dims, pat.var_op.output,
+                        mu_spec.dims),
+        ]
+        new_ops: list[Op] = []
+        for op in graph.ops:
+            if op.name == pat.var_op.name:
+                new_ops.extend(replacement)
+            else:
+                new_ops.append(op)
+        graph.ops = new_ops
+        # The old square op may now be dead (if only the variance used it).
+        prune_dead_ops(graph)
+    graph.validate()
+    return True
+
+
+def prepare_for_temporal_slicing(graph: DataflowGraph, dim: str,
+                                 ) -> tuple[DataflowGraph, bool]:
+    """Produce the rewritten execution graph for slicing along ``dim``.
+
+    Applies variance decomposition then mean lowering; returns the rewritten
+    copy and whether any structural rewrite fired.
+    """
+    clone = copy_graph(graph)
+    rewrote = variance_decomposition(clone, dim)
+    lower_mean_reductions(clone, dim)
+    clone.validate()
+    return clone, rewrote

@@ -1,0 +1,132 @@
+"""Resource-aware slicing: Algorithm 1 of the paper (section 5.1).
+
+Given an SMG and a hardware resource configuration, the algorithm:
+
+1. finds all spatially sliceable dimensions and slices them (lines 3-4);
+   no feasible dimension means the fused space cannot be parallelised and
+   the SMG must be partitioned;
+2. checks resources and enumerates schedule configurations for the
+   spatial-only schedule (lines 5-8);
+3. attempts temporal slicing on the highest-priority remaining dimension
+   (lines 9-14) — tried even when the spatial schedule already fits,
+   because serialisation both fixes over-budget schedules and exposes
+   extra locality;
+4. returns every scheduled variant with its search space, or failure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .memory_planner import apply_memory_plan
+from .resources import ResourceConfig, enumerate_configs
+from .schedule import KernelSchedule, ScheduleConfig
+from .smg import SMG
+from .spatial_slicer import slice_spatial
+from .temporal_slicer import (
+    AggregationPlan,
+    TemporalSliceError,
+    plan_temporal_slice,
+    temporal_dim_candidates,
+)
+
+
+@dataclass
+class SlicingOptions:
+    """Feature switches for ablations and capability-limited baselines.
+
+    * ``enable_temporal`` — turn the temporal slicer off entirely
+      (the Base(SS) ablation variant of Figure 16a);
+    * ``enable_uta`` — allow Update-then-Aggregate; when off, dependent
+      All-to-One chains are unschedulable (what a tile-graph system like
+      Welder faces, section 6.6);
+    * ``max_configs`` — cap on the enumerated search space.
+    """
+
+    enable_temporal: bool = True
+    enable_uta: bool = True
+    max_configs: int = 24
+
+
+@dataclass
+class SlicingResult:
+    """Outcome of Algorithm 1: scheduled SMGs plus their search spaces.
+
+    ``phase_times`` records the wall-clock of each analysis phase; the
+    compilation-time breakdown of Table 4 is assembled from these.
+    """
+
+    candidates: list[KernelSchedule] = field(default_factory=list)
+    phase_times: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def scheduled(self) -> bool:
+        return bool(self.candidates)
+
+    def add_time(self, phase: str, seconds: float) -> None:
+        self.phase_times[phase] = self.phase_times.get(phase, 0.0) + seconds
+
+
+def resource_aware_slicing(smg: SMG, rc: ResourceConfig,
+                           options: SlicingOptions | None = None,
+                           name: str | None = None) -> SlicingResult:
+    """Run Algorithm 1 on one SMG.
+
+    Returns a :class:`SlicingResult`; ``scheduled`` is False exactly when
+    the paper's algorithm returns False (line 16) and the caller must
+    switch to the partitioning state (section 5.2).
+    """
+    options = options or SlicingOptions()
+    result = SlicingResult()
+    kernel_name = name or smg.name
+
+    t0 = time.perf_counter()
+    spatial = slice_spatial(smg)
+    result.add_time("spatial_slice", time.perf_counter() - t0)
+    if spatial.empty:
+        return result  # not parallelisable -> partition state
+
+    # Spatial-only schedule (lines 4-8).
+    ss_kernel = KernelSchedule(
+        name=f"{kernel_name}", smg=smg, spatial_dims=spatial.dims,
+        meta={"slicing": "spatial"},
+    )
+    t0 = time.perf_counter()
+    ss_cfgs = enumerate_configs(ss_kernel, rc, options.max_configs)
+    result.add_time("enum_cfg", time.perf_counter() - t0)
+    if ss_cfgs:
+        ss_kernel.search_space = ss_cfgs
+        apply_memory_plan(ss_kernel)
+        result.candidates.append(ss_kernel)
+
+    # Temporal slicing on the highest-priority remaining dimension
+    # (lines 9-14) — attempted whether or not spatial slicing fit.
+    if options.enable_temporal:
+        excluded = set(spatial.dims)
+        t0 = time.perf_counter()
+        plan: AggregationPlan | None = None
+        for dim in temporal_dim_candidates(smg, excluded):
+            try:
+                plan = plan_temporal_slice(smg, dim)
+            except TemporalSliceError:
+                continue
+            if plan.uses_uta and not options.enable_uta:
+                plan = None
+                continue
+            break  # only the highest-priority feasible dimension is sliced
+        result.add_time("temporal_slice", time.perf_counter() - t0)
+        if plan is not None:
+            ts_kernel = KernelSchedule(
+                name=f"{kernel_name}", smg=smg, spatial_dims=spatial.dims,
+                plan=plan, meta={"slicing": "spatial+temporal"},
+            )
+            t0 = time.perf_counter()
+            ts_cfgs = enumerate_configs(ts_kernel, rc, options.max_configs)
+            result.add_time("enum_cfg", time.perf_counter() - t0)
+            if ts_cfgs:
+                ts_kernel.search_space = ts_cfgs
+                apply_memory_plan(ts_kernel)
+                result.candidates.append(ts_kernel)
+
+    return result

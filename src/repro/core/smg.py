@@ -1,0 +1,276 @@
+"""The Space-Mapping Graph (SMG): the paper's core abstraction (section 4.1).
+
+An SMG is a directed graph whose nodes are computational spaces
+(:class:`~repro.core.spaces.DataSpace`, :class:`~repro.core.spaces.IterationSpace`)
+and whose edges are :class:`~repro.core.mappings.Mapping` objects carrying
+geometric direction dimensions.  Compared to a dataflow graph it adds
+exactly the three ingredients the paper names: dimensional node geometry,
+explicit iteration spaces, and categorised dependency mappings.
+
+The queries on this class are what the slicers (sections 4.2/4.3) and the
+auto-scheduler (section 5) consume: which mappings reside within a given
+dimension, which All-to-One mappings form dependency chains, and how much
+data-space volume extends along each dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.graph import DataflowGraph
+from ..ir.tensor import DimRegistry
+from .mappings import A2O, O2A, O2O, Mapping, MappingKind
+from .spaces import DataSpace, IterationSpace, Space
+
+
+class SMGError(Exception):
+    """Raised for structurally invalid Space-Mapping Graphs."""
+
+
+@dataclass
+class SMG:
+    """A Space-Mapping Graph over a barrier-free dataflow subgraph."""
+
+    name: str
+    dims: tuple[str, ...]
+    registry: DimRegistry
+    spaces: dict[str, Space] = field(default_factory=dict)
+    mappings: list[Mapping] = field(default_factory=list)
+    #: The dataflow graph this SMG abstracts; the executor and the UTA
+    #: machinery consult it for operator semantics.
+    graph: DataflowGraph | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def add_space(self, space: Space) -> Space:
+        if space.name in self.spaces:
+            raise SMGError(f"space {space.name!r} already present")
+        unknown = [d for d in space.dims if d not in self.dims]
+        if unknown:
+            raise SMGError(f"space {space.name!r} uses unknown dims {unknown}")
+        self.spaces[space.name] = space
+        return space
+
+    def add_mapping(self, mapping: Mapping) -> Mapping:
+        for end in (mapping.src, mapping.dst):
+            if end not in self.spaces:
+                raise SMGError(f"mapping endpoint {end!r} is not a space")
+        self.mappings.append(mapping)
+        return mapping
+
+    # ------------------------------------------------------------------
+    # Node queries
+    # ------------------------------------------------------------------
+
+    def data_spaces(self) -> list[DataSpace]:
+        return [s for s in self.spaces.values() if isinstance(s, DataSpace)]
+
+    def iteration_spaces(self) -> list[IterationSpace]:
+        return [s for s in self.spaces.values() if isinstance(s, IterationSpace)]
+
+    def input_spaces(self) -> list[DataSpace]:
+        return [s for s in self.data_spaces() if s.is_graph_input]
+
+    def output_spaces(self) -> list[DataSpace]:
+        return [s for s in self.data_spaces() if s.is_graph_output]
+
+    def intermediate_spaces(self) -> list[DataSpace]:
+        return [s for s in self.data_spaces() if s.role == "intermediate"]
+
+    def space(self, name: str) -> Space:
+        try:
+            return self.spaces[name]
+        except KeyError:
+            raise SMGError(f"no space named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Edge queries
+    # ------------------------------------------------------------------
+
+    def out_edges(self, space: str) -> list[Mapping]:
+        return [m for m in self.mappings if m.src == space]
+
+    def in_edges(self, space: str) -> list[Mapping]:
+        return [m for m in self.mappings if m.dst == space]
+
+    def mappings_along(self, dim: str) -> list[Mapping]:
+        """All mappings whose geometric direction includes ``dim`` — the
+        mappings "residing within the dimension" of Table 3."""
+        return [m for m in self.mappings if m.along(dim)]
+
+    def input_o2a_along(self, dim: str) -> list[Mapping]:
+        """O2A mappings along ``dim`` sourced from kernel-input data spaces.
+
+        These are the only mappings the spatial slicer may cut (section 4.2):
+        their source lives in global memory, visible to every thread block,
+        so slicing them creates no inter-block dataflow.
+        """
+        out = []
+        for m in self.mappings_along(dim):
+            if m.kind is O2A:
+                src = self.spaces[m.src]
+                if isinstance(src, DataSpace) and src.is_graph_input:
+                    out.append(m)
+        return out
+
+    def blocking_mappings_for_spatial(self, dim: str) -> list[Mapping]:
+        """Mappings along ``dim`` that forbid spatial slicing (Table 3)."""
+        blocked = []
+        for m in self.mappings_along(dim):
+            if m.kind is A2O:
+                blocked.append(m)
+            elif m.kind is O2A:
+                src = self.spaces[m.src]
+                if not (isinstance(src, DataSpace) and src.is_graph_input):
+                    blocked.append(m)
+        return blocked
+
+    def a2o_along(self, dim: str) -> list[Mapping]:
+        return [m for m in self.mappings_along(dim) if m.kind is A2O]
+
+    # ------------------------------------------------------------------
+    # Reachability and A2O dependency structure (for the temporal slicer)
+    # ------------------------------------------------------------------
+
+    def _successors(self, space: str) -> list[str]:
+        return [m.dst for m in self.out_edges(space)]
+
+    def reaches(self, src: str, dst: str) -> bool:
+        """Directed reachability between spaces."""
+        seen = {src}
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            for nxt in self._successors(node):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def a2o_dependency_chains(self, dim: str) -> list[list[Mapping]]:
+        """Group the A2O mappings along ``dim`` into dependency chains.
+
+        Two A2Os are dependent when the result (destination data space) of
+        one reaches the iteration space of the other.  Returns a list of
+        groups, each topologically ordered; singleton groups are the
+        *independent All-to-One(s)* of Table 3, longer groups are
+        *dependent All-to-Ones* requiring Update-then-Aggregate.
+        """
+        a2os = self.a2o_along(dim)
+        n = len(a2os)
+        depends = [[False] * n for _ in range(n)]
+        for i, mi in enumerate(a2os):
+            for j, mj in enumerate(a2os):
+                if i != j and self.reaches(mi.dst, mj.src):
+                    depends[j][i] = True  # j depends on i
+
+        # Union-find over the dependency relation to form groups.
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for i in range(n):
+            for j in range(n):
+                if depends[i][j]:
+                    parent[find(i)] = find(j)
+
+        groups: dict[int, list[int]] = {}
+        for i in range(n):
+            groups.setdefault(find(i), []).append(i)
+
+        ordered_groups: list[list[Mapping]] = []
+        for members in groups.values():
+            # topological order inside the group: fewer dependencies first
+            members.sort(key=lambda i: sum(depends[i]))
+            ordered_groups.append([a2os[i] for i in members])
+        ordered_groups.sort(key=lambda g: self.mappings.index(g[0]))
+        return ordered_groups
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    def volume_along(self, dim: str) -> int:
+        """Total data-space volume extending along ``dim``.
+
+        The temporal slicer prefers the dimension with the largest volume:
+        slicing it yields the biggest on-chip footprint reduction
+        (Algorithm 1, line 9).
+        """
+        return sum(
+            s.volume(self.registry) for s in self.data_spaces() if s.has_dim(dim)
+        )
+
+    def dim_size(self, dim: str) -> int:
+        return self.registry.size(dim)
+
+    def render(self) -> str:
+        """Paper-style multi-line rendering of the SMG (Figures 3(c)/5(c))."""
+        lines = [f"SMG {self.name} dims=({','.join(self.dims)})"]
+        for s in self.spaces.values():
+            tag = "iter" if isinstance(s, IterationSpace) else getattr(s, "role", "?")
+            lines.append(f"  [{tag}] {s.render(self.dims)}")
+        for m in self.mappings:
+            lines.append(f"  {m.describe()}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Aligned view (dimension alignment of section 4.1)
+    # ------------------------------------------------------------------
+
+    def aligned_dim_groups(self) -> list[tuple[str, ...]]:
+        """Greedy dimension alignment: merge equal-extent dimensions that
+        never co-occur in any space into shared slots.
+
+        This reproduces the paper's compact fused spaces (e.g. MHA's Query
+        feature dim and Value feature dim sharing Dim0 in Figure 5) without
+        changing scheduling semantics — alignment is a geometric view.
+        """
+        conflict: dict[str, set[str]] = {d: set() for d in self.dims}
+        for s in self.spaces.values():
+            for a in s.dims:
+                for b in s.dims:
+                    if a != b:
+                        conflict[a].add(b)
+        groups: list[list[str]] = []
+        for d in self.dims:
+            placed = False
+            for g in groups:
+                if (self.registry.size(g[0]) == self.registry.size(d)
+                        and all(d not in conflict[other] for other in g)):
+                    g.append(d)
+                    placed = True
+                    break
+            if not placed:
+                groups.append([d])
+        return [tuple(g) for g in groups]
+
+    def validate(self) -> None:
+        """Structural checks: every iteration space has exactly one outgoing
+        mapping (to its output data space), every mapping's direction dims
+        are dims its source or destination lacks appropriately."""
+        for it in self.iteration_spaces():
+            outs = self.out_edges(it.name)
+            if len(outs) != 1:
+                raise SMGError(
+                    f"iteration space {it.name!r} must have exactly one output "
+                    f"mapping, found {len(outs)}"
+                )
+        for m in self.mappings:
+            src, dst = self.spaces[m.src], self.spaces[m.dst]
+            if m.kind is O2A:
+                bad = [d for d in m.dims if src.has_dim(d) or not dst.has_dim(d)]
+                if bad:
+                    raise SMGError(f"O2A {m.describe()}: bad direction dims {bad}")
+            elif m.kind is A2O:
+                bad = [d for d in m.dims if not src.has_dim(d) or dst.has_dim(d)]
+                if bad:
+                    raise SMGError(f"A2O {m.describe()}: bad direction dims {bad}")

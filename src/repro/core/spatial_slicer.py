@@ -1,0 +1,67 @@
+"""Spatial slicer: parallelising an SMG into independent blocks (section 4.2).
+
+A spatial slicer cuts an SMG along chosen dimensions into SMG blocks, each
+destined for one GPU thread block.  Table 3's legality rule: a dimension is
+spatially sliceable iff every mapping residing within it is either absent or
+an *input* One-to-All — slicing an input O2A creates no inter-block
+dataflow because the source lives in global memory, visible to all blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .mappings import Mapping
+from .smg import SMG
+
+
+@dataclass(frozen=True)
+class SpatialSlicing:
+    """The result of spatial slicing: which dims were cut.
+
+    ``dims`` is ordered; block sizes are chosen later by the resource-aware
+    scheduler (section 5.1), so this object carries legality, not sizes.
+    """
+
+    dims: tuple[str, ...]
+    #: For reporting: the input O2A mappings that were (legally) sliced.
+    sliced_input_o2a: tuple[Mapping, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not self.dims
+
+
+def spatial_sliceable_dims(smg: SMG) -> list[str]:
+    """Dimensions eligible for spatial slicing, in SMG dim order.
+
+    A dimension qualifies when (a) it has no blocking mappings (Table 3:
+    no All-to-One and no intermediate-sourced One-to-All resides in it),
+    and (b) every iteration space extends along it — a block owning one
+    slice of the dimension must have a slice of *every* operator's work,
+    otherwise operators lacking the dimension would be redundantly
+    re-executed by each block.
+    """
+    eligible = []
+    iter_spaces = smg.iteration_spaces()
+    for dim in smg.dims:
+        if smg.blocking_mappings_for_spatial(dim):
+            continue
+        if not all(it.has_dim(dim) for it in iter_spaces):
+            continue
+        eligible.append(dim)
+    return eligible
+
+
+def slice_spatial(smg: SMG) -> SpatialSlicing:
+    """Apply the spatial slicer (Algorithm 1, lines 3-4).
+
+    Returns the slicing along *all* feasible dimensions; an empty slicing
+    means the fused space cannot be scheduled for parallelisation and the
+    caller must partition the SMG (section 5.2).
+    """
+    dims = spatial_sliceable_dims(smg)
+    sliced = tuple(
+        m for d in dims for m in smg.input_o2a_along(d)
+    )
+    return SpatialSlicing(dims=tuple(dims), sliced_input_o2a=sliced)

@@ -1,0 +1,471 @@
+"""Update-function generation for Update-then-Aggregate (section 4.3, Fig. 8).
+
+Temporal slicing of *dependent* All-to-One chains needs every stored partial
+reduction to be re-normalisable when an earlier aggregate in the chain
+changes.  The paper derives the re-normalisation ("Update Functions") by
+Broadcast Postposition followed by back-tracing Update Paths.  We realise
+the same derivation as a symbolic *factor analysis* over the dataflow graph:
+
+Every tile-extending tensor ``x`` is represented as::
+
+    value(x) = base(x) * prod_i f_i(agg_i)^{p_i}   +   sum_j q_j * agg_j
+
+where ``base`` is a pure function of tile-local data, the multiplicative
+factors ``(agg, f, p)`` have ``f in {exp, id}``, and the additive offsets
+``(agg, q)`` arise from broadcast add/sub of earlier aggregates.  The
+postposition rules of the paper are exactly the propagation rules of this
+representation (e.g. ``exp(x - m) = exp(x) / exp(m)`` turns an additive
+offset of ``m`` into a multiplicative ``exp(m)^-1`` factor).
+
+A reduction stage whose input carries representation ``base * F`` stores
+``raw * F`` tile-by-tile; when the referenced aggregates advance from
+``old`` to ``new`` values the stored partial is updated by
+``old_value * prod f(new)/f(old)^{p}`` — the generated update function.
+For the attention chain this reproduces the paper's
+``updateSum = Sum_old * exp(Max_old)/exp(Max)`` and
+``updateOut = Out_old * Sum_old/Sum * exp(Max_old)/exp(Max)`` verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ir.graph import DataflowGraph
+from ..ir.ops import Op
+
+
+class UTAError(Exception):
+    """Raised when no update function can be derived for a dependent chain.
+
+    This mirrors the paper's observation that "not all the All-to-One chains
+    end up with simplification results": the caller (the auto-scheduler)
+    falls back to SMG partitioning.
+    """
+
+
+@dataclass(frozen=True)
+class NormFactor:
+    """One multiplicative normaliser of a stored partial reduction.
+
+    ``stored = raw * f(agg)^power`` with ``f`` being ``exp`` or the
+    identity.  Powers are rational in general: ``exp(0.5 * (x - m))``
+    carries an ``exp(m)^-0.5`` factor.
+    """
+
+    agg: str
+    func: str  # "exp" | "id"
+    power: float
+
+    def describe(self) -> str:
+        body = f"exp({self.agg})" if self.func == "exp" else self.agg
+        return body if self.power == 1 else f"{body}^{self.power:g}"
+
+
+@dataclass(frozen=True)
+class AddOffset:
+    """One additive normaliser: ``stored = raw + coeff * agg``."""
+
+    agg: str
+    coeff: float
+
+
+@dataclass
+class Representation:
+    """Symbolic value representation during factor analysis."""
+
+    mult: dict[tuple[str, str], float] = field(default_factory=dict)  # (agg,f)->power
+    add: dict[str, float] = field(default_factory=dict)               # agg -> coeff
+    opaque: bool = False
+
+    @classmethod
+    def pure(cls) -> "Representation":
+        return cls()
+
+    @classmethod
+    def opaque_value(cls) -> "Representation":
+        return cls(opaque=True)
+
+    def is_pure(self) -> bool:
+        return not self.opaque and not self.mult and not self.add
+
+    def copy(self) -> "Representation":
+        return Representation(dict(self.mult), dict(self.add), self.opaque)
+
+    def with_mult(self, agg: str, func: str, power: float) -> "Representation":
+        rep = self.copy()
+        key = (agg, func)
+        rep.mult[key] = rep.mult.get(key, 0) + power
+        if rep.mult[key] == 0:
+            del rep.mult[key]
+        return rep
+
+    def with_add(self, agg: str, coeff: float) -> "Representation":
+        rep = self.copy()
+        rep.add[agg] = rep.add.get(agg, 0) + coeff
+        if rep.add[agg] == 0:
+            del rep.add[agg]
+        return rep
+
+    def referenced_aggs(self) -> set[str]:
+        return {a for a, _f in self.mult} | set(self.add)
+
+
+@dataclass(frozen=True)
+class UpdateFunction:
+    """The executable re-normalisation for one reduction stage.
+
+    ``apply`` maps the stored old partial plus the old/new values of the
+    referenced aggregates to the re-normalised partial, evaluated in the
+    numerically stable form (``exp`` ratios computed as ``exp(a - b)``).
+    An empty function (no factors/offsets) is the identity — the stage only
+    needs Simple Aggregate.
+    """
+
+    stage_output: str
+    factors: tuple[NormFactor, ...]
+    offsets: tuple[AddOffset, ...]
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.factors and not self.offsets
+
+    def referenced_aggs(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for f in self.factors:
+            if f.agg not in seen:
+                seen.append(f.agg)
+        for o in self.offsets:
+            if o.agg not in seen:
+                seen.append(o.agg)
+        return tuple(seen)
+
+    def apply(self, old_value: np.ndarray,
+              old_aggs: dict[str, np.ndarray],
+              new_aggs: dict[str, np.ndarray]) -> np.ndarray:
+        result = np.asarray(old_value, dtype=np.float64).copy()
+        for f in self.factors:
+            old_a = np.asarray(old_aggs[f.agg], dtype=np.float64)
+            new_a = np.asarray(new_aggs[f.agg], dtype=np.float64)
+            if f.func == "exp":
+                # stored = raw*exp(agg)^p  =>  scale by exp(new-old)^p,
+                # computed in the log domain for stability.
+                result = result * np.exp(f.power * (new_a - old_a))
+            else:
+                ratio = np.divide(new_a, old_a,
+                                  out=np.ones_like(new_a),
+                                  where=old_a != 0)
+                result = result * ratio ** f.power
+        for o in self.offsets:
+            result = result + o.coeff * (
+                np.asarray(new_aggs[o.agg], dtype=np.float64)
+                - np.asarray(old_aggs[o.agg], dtype=np.float64))
+        return result
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. the paper's updateOut:
+        ``Out_old * id(Sum)^-1... `` rendered as ratios of old/new."""
+        if self.is_identity:
+            return f"update{self.stage_output}(old) = old"
+        parts = ["old"]
+        for f in self.factors:
+            num, den = ("old", "new") if f.power < 0 else ("new", "old")
+            body = f"exp({f.agg}_{{{num}}})/exp({f.agg}_{{{den}}})" if f.func == "exp" \
+                else f"{f.agg}_{{{num}}}/{f.agg}_{{{den}}}"
+            mag = abs(f.power)
+            if mag == int(mag):
+                parts.extend([body] * int(mag))
+            else:
+                parts.append(f"({body})^{mag:g}")
+        expr = " * ".join(parts)
+        for o in self.offsets:
+            sign = "+" if o.coeff > 0 else "-"
+            expr += f" {sign} {abs(o.coeff)}*({o.agg}_new - {o.agg}_old)"
+        return f"update{self.stage_output}(old) = {expr}"
+
+
+# ----------------------------------------------------------------------
+# Factor analysis (Broadcast Postposition as representation propagation)
+# ----------------------------------------------------------------------
+
+_LINEAR_UNARIES = {"identity", "cast", "neg"}
+
+
+class FactorAnalysis:
+    """Propagate value representations through the tile subgraph.
+
+    Args:
+        graph: the (possibly rewritten) dataflow graph.
+        dim: the temporal slicing dimension.
+        stage_outputs: outputs of the chain's reduction stages, in stage
+            order.  References to these tensors inside tile ops are the
+            aggregates the representations may depend on.
+    """
+
+    def __init__(self, graph: DataflowGraph, dim: str,
+                 stage_outputs: list[str]) -> None:
+        self.graph = graph
+        self.dim = dim
+        self.stage_outputs = list(stage_outputs)
+        self.reprs: dict[str, Representation] = {}
+
+    def _extends(self, tensor: str) -> bool:
+        return self.dim in self.graph.tensors[tensor].dims
+
+    def _depends_on_stage(self, tensor: str) -> bool:
+        """Whether ``tensor`` transitively derives from a chain aggregate."""
+        cache = getattr(self, "_dep_cache", None)
+        if cache is None:
+            cache = self._dep_cache = {}
+        if tensor in cache:
+            return cache[tensor]
+        cache[tensor] = False  # break cycles defensively
+        if tensor in self.stage_outputs:
+            cache[tensor] = True
+            return True
+        producer = self.graph.producer_of(tensor)
+        result = producer is not None and any(
+            self._depends_on_stage(t) for t in producer.inputs)
+        cache[tensor] = result
+        return result
+
+    def repr_of(self, tensor: str) -> Representation:
+        if tensor in self.reprs:
+            return self.reprs[tensor]
+        if not self._extends(tensor):
+            # Constant with respect to the tile loop — unless it derives
+            # from a chain aggregate, in which case only the direct
+            # broadcast forms handled by ``_operand_repr`` are analysable.
+            rep = (Representation.opaque_value()
+                   if self._depends_on_stage(tensor) else Representation.pure())
+            self.reprs[tensor] = rep
+            return rep
+        producer = self.graph.producer_of(tensor)
+        if producer is None:
+            rep = Representation.pure()  # kernel input: tile-local data
+        else:
+            rep = self._derive(producer)
+        self.reprs[tensor] = rep
+        return rep
+
+    # -- per-op propagation rules (the postposition rules of Fig. 8) -----
+
+    def _derive(self, op: Op) -> Representation:
+        kind = op.kind
+        if kind.startswith("reduce_") and self.dim in op.reduce_dims:
+            # A chain stage; its *stored* value representation equals its
+            # input's multiplicative factors (handled by stage synthesis).
+            return Representation.pure()  # referencing an agg is intercepted below
+
+        if kind in _LINEAR_UNARIES or kind.startswith("scalar_"):
+            base = self.repr_of(op.inputs[0])
+            if base.opaque:
+                return Representation.opaque_value()
+            if kind in ("identity", "cast"):
+                return base.copy()
+            if kind == "neg":
+                # -(base + q·agg) = (-base) + (-q)·agg; factors untouched.
+                rep = base.copy()
+                rep.add = {agg: -q for agg, q in rep.add.items()}
+                return rep
+            if kind in ("scalar_mul", "scalar_div"):
+                # c·(base + q·agg) = (c·base) + (c·q)·agg.
+                c = float(op.attrs["scalar"])
+                if kind == "scalar_div":
+                    if c == 0.0:
+                        return Representation.opaque_value()
+                    c = 1.0 / c
+                rep = base.copy()
+                rep.add = {agg: c * q for agg, q in rep.add.items()}
+                return rep
+            if kind in ("scalar_add", "scalar_sub"):
+                if base.mult:
+                    # (x*F) + c is not factorable.
+                    return Representation.opaque_value()
+                return base.copy()
+            if kind == "scalar_rsub":
+                if base.mult:
+                    return Representation.opaque_value()
+                rep = base.copy()
+                rep.add = {agg: -q for agg, q in rep.add.items()}
+                return rep
+            if kind == "scalar_rdiv":
+                if base.add:
+                    return Representation.opaque_value()
+                rep = base.copy()
+                rep.mult = {k: -p for k, p in rep.mult.items()}
+                return rep
+            return base.copy() if base.is_pure() else Representation.opaque_value()
+
+        if kind == "exp":
+            base = self.repr_of(op.inputs[0])
+            if base.opaque or base.mult:
+                # exp of a multiplicatively-normalised value does not factor.
+                return (Representation.pure() if base.is_pure()
+                        else Representation.opaque_value())
+            rep = Representation.pure()
+            for agg, coeff in base.add.items():
+                rep = rep.with_mult(agg, "exp", coeff)
+            return rep
+
+        if kind in {"sqrt", "rsqrt", "square", "abs", "log", "relu", "gelu",
+                    "tanh", "sigmoid", "silu", "erf", "reciprocal"}:
+            base = self.repr_of(op.inputs[0])
+            if base.is_pure():
+                return Representation.pure()
+            if kind == "square" and not base.add and not base.opaque:
+                rep = Representation.pure()
+                for (agg, f), p in base.mult.items():
+                    rep = rep.with_mult(agg, f, 2 * p)
+                return rep
+            if kind == "reciprocal" and not base.add and not base.opaque:
+                rep = Representation.pure()
+                for (agg, f), p in base.mult.items():
+                    rep = rep.with_mult(agg, f, -p)
+                return rep
+            return Representation.opaque_value()
+
+        if kind in {"add", "sub", "mul", "div", "maximum", "minimum",
+                    "where_mask", "pow"}:
+            return self._derive_binary(op)
+
+        if kind == "matmul":
+            return self._derive_matmul(op)
+
+        if kind.startswith("reduce_"):
+            # Reduction over a non-temporal dim: linear reductions pass
+            # factors through; max/min pass them through under positivity.
+            base = self.repr_of(op.inputs[0])
+            if base.opaque or base.add:
+                return (Representation.pure() if base.is_pure()
+                        else Representation.opaque_value())
+            return base.copy()
+
+        return Representation.opaque_value()
+
+    def _operand_repr(self, op: Op, idx: int) -> tuple[Representation, bool]:
+        """Representation of operand ``idx`` plus whether it is an aggregate
+        (a stage output, or any tensor not extending along the temporal dim)
+        broadcast into the tile."""
+        tensor = op.inputs[idx]
+        if tensor in self.stage_outputs:
+            return Representation.pure(), True
+        return self.repr_of(tensor), False
+
+    def _derive_binary(self, op: Op) -> Representation:
+        lhs_rep, lhs_is_agg = self._operand_repr(op, 0)
+        rhs_rep, rhs_is_agg = self._operand_repr(op, 1)
+        kind = op.kind
+
+        # Broadcast of a chain aggregate into the tile: the postposition
+        # rules turn it into a factor / offset on the tile-extending side.
+        if rhs_is_agg and not lhs_is_agg:
+            agg = op.inputs[1]
+            if lhs_rep.opaque:
+                return Representation.opaque_value()
+            if kind == "sub":
+                return lhs_rep.with_add(agg, -1) if not lhs_rep.mult \
+                    else Representation.opaque_value()
+            if kind == "add":
+                return lhs_rep.with_add(agg, +1) if not lhs_rep.mult \
+                    else Representation.opaque_value()
+            if kind == "mul":
+                return lhs_rep.with_mult(agg, "id", +1) if not lhs_rep.add \
+                    else Representation.opaque_value()
+            if kind == "div":
+                return lhs_rep.with_mult(agg, "id", -1) if not lhs_rep.add \
+                    else Representation.opaque_value()
+            return Representation.opaque_value()
+        if lhs_is_agg and not rhs_is_agg:
+            agg = op.inputs[0]
+            if rhs_rep.opaque:
+                return Representation.opaque_value()
+            if kind == "add":
+                return rhs_rep.with_add(agg, +1) if not rhs_rep.mult \
+                    else Representation.opaque_value()
+            if kind == "mul":
+                return rhs_rep.with_mult(agg, "id", +1) if not rhs_rep.add \
+                    else Representation.opaque_value()
+            return Representation.opaque_value()
+
+        # Two tile-side operands.
+        if lhs_rep.opaque or rhs_rep.opaque:
+            return Representation.opaque_value()
+        if kind in ("mul", "div"):
+            if lhs_rep.add or rhs_rep.add:
+                return Representation.opaque_value()
+            rep = lhs_rep.copy()
+            sign = 1 if kind == "mul" else -1
+            for (agg, f), p in rhs_rep.mult.items():
+                rep = rep.with_mult(agg, f, sign * p)
+            return rep
+        if kind in ("add", "sub", "maximum", "minimum", "where_mask"):
+            if lhs_rep.mult == rhs_rep.mult and lhs_rep.add == rhs_rep.add:
+                return lhs_rep.copy()
+            if lhs_rep.is_pure() and rhs_rep.is_pure():
+                return Representation.pure()
+            return Representation.opaque_value()
+        return Representation.opaque_value()
+
+    def _derive_matmul(self, op: Op) -> Representation:
+        lhs, lhs_is_agg = self._operand_repr(op, 0)
+        rhs, rhs_is_agg = self._operand_repr(op, 1)
+        if lhs_is_agg or rhs_is_agg:
+            return Representation.opaque_value()
+        if lhs.opaque or rhs.opaque or lhs.add or rhs.add:
+            return Representation.opaque_value()
+        rep = lhs.copy()
+        for (agg, f), p in rhs.mult.items():
+            rep = rep.with_mult(agg, f, p)
+        return rep
+
+
+def synthesize_update_functions(graph: DataflowGraph, dim: str,
+                                stage_ops: list[Op]) -> list[UpdateFunction]:
+    """Derive the update function of every chain stage (Figure 8 (d)/(e)).
+
+    Args:
+        graph: the rewritten execution graph.
+        dim: temporal slicing dimension.
+        stage_ops: the chain's reduction ops, in dependency order.
+
+    Raises:
+        UTAError: when a stage's input representation is opaque, references
+            a *later* stage's aggregate, or carries normalisers a combiner of
+            that type cannot aggregate under.
+    """
+    stage_outputs = [op.output for op in stage_ops]
+    analysis = FactorAnalysis(graph, dim, stage_outputs)
+    updates: list[UpdateFunction] = []
+    for i, op in enumerate(stage_ops):
+        rep = analysis.repr_of(op.inputs[0])
+        if rep.opaque:
+            raise UTAError(
+                f"stage {op.name!r}: broadcast postposition failed — input "
+                "value is not representable as base*factors"
+            )
+        earlier = set(stage_outputs[:i])
+        illegal = rep.referenced_aggs() - earlier
+        if illegal:
+            raise UTAError(
+                f"stage {op.name!r} depends on aggregates {sorted(illegal)} "
+                "that are not earlier in the chain"
+            )
+        combiner = op.reduce_kind
+        factors = tuple(NormFactor(agg, f, p)
+                        for (agg, f), p in sorted(rep.mult.items()))
+        offsets = tuple(AddOffset(agg, c) for agg, c in sorted(rep.add.items()))
+        if combiner in ("sum", "mean") and offsets:
+            raise UTAError(
+                f"stage {op.name!r}: additive offsets do not aggregate "
+                "through a sum without element counts"
+            )
+        if combiner in ("max", "min") and factors:
+            # max(x * c) == max(x) * c only for c > 0; exp-factors and sums
+            # of exponentials are positive, so allow exp/id factors whose
+            # source combiner is positive.  We accept them (the attention
+            # family keeps max first, so this path is rare).
+            pass
+        updates.append(UpdateFunction(op.output, factors, offsets))
+    return updates

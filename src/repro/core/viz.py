@@ -1,0 +1,78 @@
+"""Visualisation exports for Space-Mapping Graphs and schedules.
+
+The paper communicates SMGs as geometric drawings (Figures 3(b)/5(b));
+this module renders the same structure as Graphviz DOT — data spaces as
+boxes, iteration spaces as ellipses, the three mapping kinds in the
+paper's colours (One-to-One grey, One-to-All green, All-to-One red) — plus
+a compact text rendering of whole program schedules.
+"""
+
+from __future__ import annotations
+
+from .mappings import A2O, O2A, O2O
+from .schedule import ProgramSchedule
+from .smg import SMG
+from .spaces import DataSpace, IterationSpace
+
+_KIND_STYLE = {
+    O2O: 'color="gray40"',
+    O2A: 'color="forestgreen"',
+    A2O: 'color="red3", penwidth=2',
+}
+
+_ROLE_FILL = {
+    "input": "lightgoldenrod1",
+    "output": "mediumpurple1",
+    "intermediate": "lightsteelblue1",
+}
+
+
+def smg_to_dot(smg: SMG, title: str | None = None) -> str:
+    """Render an SMG as a Graphviz DOT digraph string."""
+    lines = [f'digraph "{title or smg.name}" {{',
+             "  rankdir=TB;",
+             '  node [fontname="Helvetica", fontsize=11];']
+    for space in smg.spaces.values():
+        label = space.render(smg.dims)
+        if isinstance(space, IterationSpace):
+            lines.append(
+                f'  "{space.name}" [shape=ellipse, style=filled, '
+                f'fillcolor=gray90, label="{label}\\n<{space.op_kind}>"];')
+        elif isinstance(space, DataSpace):
+            fill = _ROLE_FILL.get(space.role, "white")
+            lines.append(
+                f'  "{space.name}" [shape=box, style=filled, '
+                f'fillcolor={fill}, label="{label}"];')
+    for m in smg.mappings:
+        style = _KIND_STYLE[m.kind]
+        if m.kind is O2O:
+            label = ""
+        else:
+            dims = ",".join(sorted(m.dims))
+            tag = m.kind.value
+            extra = f":{m.reduce_kind}" if m.reduce_kind else ""
+            label = f', label="{tag}({dims}){extra}"'
+        lines.append(f'  "{m.src}" -> "{m.dst}" [{style}{label}];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_to_text(schedule: ProgramSchedule, registry_hint: bool = True,
+                     ) -> str:
+    """Multi-line report of a program schedule: kernels, slicing modes,
+    chosen configurations, memory-level assignments."""
+    lines = [f"program {schedule.name}: {schedule.num_kernels} kernel(s)"]
+    for i, kernel in enumerate(schedule.kernels):
+        lines.append(f"[{i}] {kernel.describe()}")
+        if kernel.plan is not None:
+            for s in kernel.plan.stages:
+                lines.append(f"      {s.update.describe()}")
+        if kernel.memory_levels:
+            by_level: dict[str, list[str]] = {}
+            for tensor, level in sorted(kernel.memory_levels.items()):
+                by_level.setdefault(level, []).append(tensor)
+            for level in ("global", "shared", "register"):
+                if level in by_level:
+                    lines.append(
+                        f"      {level:>8}: {', '.join(by_level[level])}")
+    return "\n".join(lines)

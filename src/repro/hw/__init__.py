@@ -1,0 +1,19 @@
+"""Hardware substrate: GPU specs, memory model, and the cost simulator."""
+
+from .counters import PerfCounters
+from .memory import L2State
+from .simulator import DeviceSimulator, KernelCostBreakdown
+from .specs import AMPERE, ARCHITECTURES, HOPPER, VOLTA, GPUSpec, get_gpu
+
+__all__ = [
+    "AMPERE",
+    "ARCHITECTURES",
+    "DeviceSimulator",
+    "GPUSpec",
+    "HOPPER",
+    "KernelCostBreakdown",
+    "L2State",
+    "PerfCounters",
+    "VOLTA",
+    "get_gpu",
+]

@@ -1,0 +1,61 @@
+"""Performance counters accumulated by the simulator (section 6.3's metrics).
+
+The memory/cache analysis of Figure 15 reports L1 miss counts, L2 miss
+counts, and device-memory data movement; these counters carry exactly those
+quantities plus the timing totals the speedup figures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PerfCounters:
+    """Aggregate performance counters for one simulated execution."""
+
+    time_s: float = 0.0
+    kernel_launches: int = 0
+    #: Bytes moved between device memory and L2 (the "data movement" of
+    #: Figure 15's right panel).
+    dram_bytes: int = 0
+    #: Bytes the SMs pulled past the L1/shared level (global loads+stores).
+    l1_fill_bytes: int = 0
+    flops_tensor: float = 0.0
+    flops_simt: float = 0.0
+
+    line_bytes: int = 128
+
+    @property
+    def l1_miss_count(self) -> int:
+        return self.l1_fill_bytes // self.line_bytes
+
+    @property
+    def l2_miss_count(self) -> int:
+        return self.dram_bytes // self.line_bytes
+
+    def add(self, other: "PerfCounters") -> "PerfCounters":
+        self.time_s += other.time_s
+        self.kernel_launches += other.kernel_launches
+        self.dram_bytes += other.dram_bytes
+        self.l1_fill_bytes += other.l1_fill_bytes
+        self.flops_tensor += other.flops_tensor
+        self.flops_simt += other.flops_simt
+        return self
+
+    def scaled(self, factor: int) -> "PerfCounters":
+        """Counters for ``factor`` repetitions (repeated subprograms)."""
+        return PerfCounters(
+            time_s=self.time_s * factor,
+            kernel_launches=self.kernel_launches * factor,
+            dram_bytes=self.dram_bytes * factor,
+            l1_fill_bytes=self.l1_fill_bytes * factor,
+            flops_tensor=self.flops_tensor * factor,
+            flops_simt=self.flops_simt * factor,
+            line_bytes=self.line_bytes,
+        )
+
+    def summary(self) -> str:
+        return (f"time={self.time_s*1e3:.3f}ms launches={self.kernel_launches} "
+                f"dram={self.dram_bytes/1e6:.2f}MB "
+                f"l1_miss={self.l1_miss_count} l2_miss={self.l2_miss_count}")

@@ -1,0 +1,51 @@
+"""Inter-kernel L2 residency model.
+
+Between kernels of one program, tensors written by a producer kernel may
+still be resident in L2 when a consumer kernel reads them.  This is the
+effect that keeps unfused pipelines from paying full DRAM cost for every
+intermediate — and quantifying it is what makes the fused-vs-unfused data
+movement ratios of Figure 15 realistic rather than flattering.
+
+The model is a byte-accounted LRU over whole tensors: a tensor becomes
+resident after being written if it is at most half the L2 capacity; reads
+refresh recency; insertion evicts least-recently-used tensors.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class L2State:
+    """Approximate L2 content tracking across kernel launches."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.capacity = capacity_bytes
+        self._resident: OrderedDict[str, int] = OrderedDict()
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._resident.values())
+
+    def is_resident(self, tensor: str) -> bool:
+        return tensor in self._resident
+
+    def touch(self, tensor: str) -> None:
+        if tensor in self._resident:
+            self._resident.move_to_end(tensor)
+
+    def insert(self, tensor: str, nbytes: int) -> None:
+        """Record a write of ``tensor``; oversized tensors bypass the cache."""
+        if nbytes > self.capacity // 2:
+            self._resident.pop(tensor, None)
+            return
+        self._resident[tensor] = nbytes
+        self._resident.move_to_end(tensor)
+        while self.used_bytes > self.capacity and self._resident:
+            self._resident.popitem(last=False)
+
+    def invalidate(self, tensor: str) -> None:
+        self._resident.pop(tensor, None)
+
+    def clear(self) -> None:
+        self._resident.clear()

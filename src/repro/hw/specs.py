@@ -1,0 +1,117 @@
+"""GPU hardware specifications: the paper's three evaluation platforms.
+
+The presets carry the public spec-sheet numbers for the V100 (Volta/SM70),
+A100 (Ampere/SM80) and H100 PCIe (Hopper/SM90) — the machines of section 6.
+The FP16 tensor-core peak ratio across the three presets is 1 : 2.79 : 6.75,
+the exact ratio the paper quotes in its architecture sensitivity study
+(Figure 16c).
+
+Only quantities the scheduling and cost models consume are included:
+SM count, on-chip capacities (the RCfg of Algorithm 1), bandwidths, peak
+throughputs, and kernel-launch overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.resources import ResourceConfig
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """An abstract GPU for scheduling and performance simulation."""
+
+    name: str
+    arch: str                 # "volta" | "ampere" | "hopper"
+    sm_count: int
+    #: Shared memory usable by one thread block (bytes).
+    smem_per_block: int
+    #: Shared memory per SM (bytes) — bounds occupancy.
+    smem_per_sm: int
+    #: Register file per SM (bytes).
+    regfile_per_sm: int
+    #: Peak FP16 tensor-core throughput (FLOP/s).
+    tensor_flops: float
+    #: Peak SIMT throughput for non-contraction math on FP16 (FLOP/s).
+    simt_flops: float
+    #: Device-memory bandwidth (bytes/s).
+    dram_bandwidth: float
+    #: L2 cache capacity (bytes) and bandwidth (bytes/s).
+    l2_capacity: int
+    l2_bandwidth: float
+    #: CPU-side launch overhead per kernel (seconds); CUDA Graphs replace it
+    #: with the much smaller graph-replay cost.
+    kernel_launch_overhead: float = 4.0e-6
+    graph_launch_overhead: float = 0.5e-6
+    #: Cache line / sector size used to convert bytes to miss counts.
+    line_bytes: int = 128
+    max_blocks_per_sm: int = 16
+
+    def resource_config(self) -> ResourceConfig:
+        """The RCfg handed to Algorithm 1 (section 5.1)."""
+        return ResourceConfig(
+            smem_per_block=self.smem_per_block,
+            regs_per_block=self.regfile_per_sm // 2,
+        )
+
+
+VOLTA = GPUSpec(
+    name="V100-SXM2-32GB",
+    arch="volta",
+    sm_count=80,
+    smem_per_block=96 * 1024,
+    smem_per_sm=96 * 1024,
+    regfile_per_sm=256 * 1024,
+    tensor_flops=112e12,
+    simt_flops=31.4e12,     # 2x FP32 rate for packed half2 math
+    dram_bandwidth=900e9,
+    l2_capacity=6 * 1024 * 1024,
+    l2_bandwidth=2.2e12,
+)
+
+AMPERE = GPUSpec(
+    name="A100-SXM4-80GB",
+    arch="ampere",
+    sm_count=108,
+    smem_per_block=163 * 1024,
+    smem_per_sm=164 * 1024,
+    regfile_per_sm=256 * 1024,
+    tensor_flops=312e12,
+    simt_flops=39e12,
+    dram_bandwidth=2039e9,
+    l2_capacity=40 * 1024 * 1024,
+    l2_bandwidth=4.8e12,
+)
+
+HOPPER = GPUSpec(
+    name="H100-PCIe-80GB",
+    arch="hopper",
+    sm_count=114,
+    smem_per_block=227 * 1024,
+    smem_per_sm=228 * 1024,
+    regfile_per_sm=256 * 1024,
+    tensor_flops=756e12,
+    simt_flops=102e12,
+    dram_bandwidth=2000e9,
+    l2_capacity=50 * 1024 * 1024,
+    l2_bandwidth=5.5e12,
+)
+
+#: The paper's three platforms, keyed by architecture label.
+ARCHITECTURES: dict[str, GPUSpec] = {
+    "volta": VOLTA,
+    "ampere": AMPERE,
+    "hopper": HOPPER,
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a preset by architecture label or product name."""
+    key = name.lower()
+    if key in ARCHITECTURES:
+        return ARCHITECTURES[key]
+    for spec in ARCHITECTURES.values():
+        if spec.name.lower().startswith(key):
+            return spec
+    raise KeyError(f"unknown GPU {name!r}; choices: {sorted(ARCHITECTURES)}")

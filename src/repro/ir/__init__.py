@@ -1,0 +1,64 @@
+"""Tensor-program intermediate representation (the compiler's input layer)."""
+
+from .graph import DataflowGraph, GraphBuilder, GraphError, TensorRef
+from .ops import (
+    BARRIER_KINDS,
+    BINARY_KINDS,
+    REDUCE_KINDS,
+    UNARY_KINDS,
+    Op,
+    make_barrier,
+    make_binary,
+    make_matmul,
+    make_reduce,
+    make_scalar,
+    make_unary,
+)
+from .program import (
+    Subprogram,
+    TensorProgram,
+    partition_at_barriers,
+    program_from_graph,
+)
+from .tensor import DTYPE_BYTES, DimRegistry, TensorSpec
+from .traits import (
+    DependencyProfile,
+    classify_graph,
+    count_all_to_ones,
+    dependency_profile,
+    graph_intensity,
+    is_compute_intensive,
+    table1_rows,
+)
+
+__all__ = [
+    "BARRIER_KINDS",
+    "BINARY_KINDS",
+    "DTYPE_BYTES",
+    "DataflowGraph",
+    "DependencyProfile",
+    "DimRegistry",
+    "GraphBuilder",
+    "GraphError",
+    "Op",
+    "REDUCE_KINDS",
+    "Subprogram",
+    "TensorProgram",
+    "TensorRef",
+    "TensorSpec",
+    "UNARY_KINDS",
+    "classify_graph",
+    "count_all_to_ones",
+    "dependency_profile",
+    "graph_intensity",
+    "is_compute_intensive",
+    "make_barrier",
+    "make_binary",
+    "make_matmul",
+    "make_reduce",
+    "make_scalar",
+    "make_unary",
+    "partition_at_barriers",
+    "program_from_graph",
+    "table1_rows",
+]

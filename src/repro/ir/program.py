@@ -1,0 +1,126 @@
+"""Tensor programs: model-level op sequences partitioned into subprograms.
+
+Implements the paper's program-preprocessing phase (section 5, Figure 9):
+a deep-learning model is segmented into subprograms at layer boundaries and
+at unavoidable shape/layout transformations, and repetitive subprograms are
+deduplicated so each unique one is compiled once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from .graph import DataflowGraph, GraphError
+from .ops import Op
+
+
+@dataclass
+class Subprogram:
+    """A fusable region of a tensor program: one DFG with no barrier ops."""
+
+    graph: DataflowGraph
+    #: How many times this subprogram occurs in the full program (repeated
+    #: layers share one compilation, as in section 5's preprocessing).
+    occurrences: int = 1
+
+    def signature(self) -> str:
+        """Structural hash used to deduplicate repeated subprograms."""
+        h = hashlib.sha256()
+        h.update(self.graph.name.split("#")[0].encode())
+        for op in self.graph.ops:
+            h.update(op.kind.encode())
+            for d in op.iter_dims:
+                h.update(str(self.graph.dims.size(d)).encode())
+            h.update(str(sorted(op.attrs.items())).encode())
+        return h.hexdigest()[:16]
+
+
+@dataclass
+class TensorProgram:
+    """An ordered sequence of subprograms forming one model's forward pass."""
+
+    name: str
+    subprograms: list[Subprogram] = field(default_factory=list)
+    #: Optional metadata (e.g. batch size, sequence length) for reporting.
+    meta: dict = field(default_factory=dict)
+
+    def add(self, graph: DataflowGraph, occurrences: int = 1) -> Subprogram:
+        sub = Subprogram(graph, occurrences)
+        self.subprograms.append(sub)
+        return sub
+
+    def unique_subprograms(self) -> list[Subprogram]:
+        """Deduplicated subprograms, occurrence counts folded together."""
+        by_sig: dict[str, Subprogram] = {}
+        order: list[str] = []
+        for sub in self.subprograms:
+            sig = sub.signature()
+            if sig in by_sig:
+                by_sig[sig].occurrences += sub.occurrences
+            else:
+                clone = Subprogram(sub.graph, sub.occurrences)
+                by_sig[sig] = clone
+                order.append(sig)
+        return [by_sig[s] for s in order]
+
+    def total_flops(self) -> int:
+        return sum(s.graph.total_flops() * s.occurrences for s in self.subprograms)
+
+
+def partition_at_barriers(graph: DataflowGraph, name: str | None = None,
+                          ) -> list[DataflowGraph]:
+    """Split a DFG into barrier-free regions.
+
+    Barrier ops (reshape/transpose/layout casts) disrupt the spatial
+    relationship between producer and consumer, so the paper cuts
+    subprograms there.  Each barrier op becomes its own single-op region so
+    that the runtime still executes it (as a standalone data-movement
+    kernel).
+    """
+    graph.validate()
+    name = name or graph.name
+    regions: list[list[Op]] = []
+    current: list[Op] = []
+    for op in graph.topological_ops():
+        if op.is_barrier:
+            if current:
+                regions.append(current)
+                current = []
+            regions.append([op])
+        else:
+            current.append(op)
+    if current:
+        regions.append(current)
+
+    result: list[DataflowGraph] = []
+    for i, region in enumerate(regions):
+        sub = DataflowGraph(f"{name}#part{i}", dims=graph.dims)
+        needed = set()
+        for op in region:
+            needed.update(op.inputs)
+            needed.add(op.output)
+        for t in needed:
+            sub.tensors[t] = graph.tensors[t]
+        for op in region:
+            sub.ops.append(op)
+        sub.validate()
+        result.append(sub)
+    return result
+
+
+def program_from_graph(graph: DataflowGraph, occurrences: int = 1,
+                       meta: dict | None = None) -> TensorProgram:
+    """Lower one model DFG into a :class:`TensorProgram` by barrier cuts."""
+    prog = TensorProgram(graph.name, meta=dict(meta or {}))
+    for sub in partition_at_barriers(graph):
+        prog.add(sub, occurrences)
+    return prog
+
+
+def validate_program(prog: TensorProgram) -> None:
+    for sub in prog.subprograms:
+        try:
+            sub.graph.validate()
+        except GraphError as exc:
+            raise GraphError(f"subprogram {sub.graph.name!r}: {exc}") from exc

@@ -1,0 +1,158 @@
+"""Operator trait analysis: decoupled dependency classes and MI/CI labels.
+
+Implements the paper's Table 1 (decoupled dependencies in representative
+operators) as derived properties of the access form, plus the
+memory-intensive / compute-intensive classification used by the baselines
+(AStitch fuses MI-only; Chimera CI-only; SpaceFusion both — section 6.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import DataflowGraph
+from .ops import Op
+from .tensor import DimRegistry
+
+
+@dataclass(frozen=True)
+class DependencyProfile:
+    """Which decoupled dependency patterns an operator exhibits (Table 1)."""
+
+    one_to_one: bool
+    one_to_all: bool
+    all_to_one: bool
+
+    def as_row(self) -> tuple[str, str, str]:
+        mark = lambda b: "yes" if b else "no"
+        return (mark(self.one_to_one), mark(self.one_to_all), mark(self.all_to_one))
+
+
+def dependency_profile(op: Op) -> DependencyProfile:
+    """Derive the Table-1 dependency classes from an op's access form.
+
+    The classes describe input-element to output-element relations:
+
+    * an input reused along an output dimension (broadcast) contributes a
+      **One-to-All**;
+    * an input extending along a reduced dimension contributes an
+      **All-to-One** (its elements collapse into one output element);
+    * an input with neither relates **One-to-One**.
+
+    This reproduces the paper's rows: GEMM (x, yes, yes) — both operands
+    broadcast along one output dim and collapse along the contraction;
+    ReduceMax (x, x, yes); element-wise-with-broadcast (yes, yes, x);
+    Softmax, as a composite, exhibits all three.
+    """
+    reduce_set = set(op.reduce_dims)
+    o2o = o2a = a2o = False
+    for i, axes in enumerate(op.input_axes):
+        has_o2a = bool(op.broadcast_dims_of_input(i))
+        has_a2o = bool(reduce_set & set(axes))
+        o2a |= has_o2a
+        a2o |= has_a2o
+        o2o |= not has_o2a and not has_a2o
+    return DependencyProfile(one_to_one=o2o, one_to_all=o2a, all_to_one=a2o)
+
+
+#: Arithmetic-intensity threshold (flops per byte of tensor traffic) above
+#: which an op is considered compute-intensive.  GEMMs with non-trivial
+#: reduction depth exceed it; reductions and elementwise ops do not.
+_CI_FLOPS_PER_BYTE = 8.0
+
+
+def is_compute_intensive(op: Op, registry: DimRegistry,
+                         elem_bytes: int = 2) -> bool:
+    """Classify an op as compute-intensive (CI) vs memory-intensive (MI)."""
+    if op.is_barrier:
+        return False
+    flops = op.flops(registry)
+    touched = 0
+    counted: set[tuple[str, ...]] = set()
+    for axes in op.input_axes:
+        if axes in counted:
+            continue
+        counted.add(axes)
+        n = 1
+        for d in axes:
+            n *= registry.size(d)
+        touched += n
+    n = 1
+    for d in op.output_axes:
+        n *= registry.size(d)
+    touched += n
+    if touched == 0:
+        return False
+    return flops / (touched * elem_bytes) > _CI_FLOPS_PER_BYTE
+
+
+def classify_graph(graph: DataflowGraph) -> dict[str, str]:
+    """Map each op name to ``"CI"`` or ``"MI"``."""
+    return {
+        op.name: "CI" if is_compute_intensive(op, graph.dims) else "MI"
+        for op in graph.ops
+    }
+
+
+def graph_intensity(graph: DataflowGraph) -> str:
+    """Whole-graph label: ``"CI"``, ``"MI"``, or ``"mixed"`` (Table 6 rows)."""
+    labels = set(classify_graph(graph).values())
+    if labels == {"CI"}:
+        return "CI"
+    if labels == {"MI"} or not labels:
+        return "MI"
+    return "mixed"
+
+
+def count_all_to_ones(graph: DataflowGraph) -> int:
+    """Number of All-to-One mappings in the graph (one per reduced dim).
+
+    The paper's Table 6 counts fusion patterns "containing at least two
+    All-to-One mappings"; this helper supports that census.
+    """
+    return sum(len(op.reduce_dims) for op in graph.ops)
+
+
+def table1_rows() -> dict[str, DependencyProfile]:
+    """The paper's Table 1, reconstructed from representative op instances.
+
+    Returns a mapping from the row label to the derived profile; the unit
+    tests assert these match the published table.
+    """
+    from .graph import GraphBuilder
+
+    rows: dict[str, DependencyProfile] = {}
+
+    b = GraphBuilder("t1_gemm")
+    a = b.input("A", [("m", 8), ("k", 8)])
+    w = b.input("B", [("n", 8), ("k", 8)])
+    b.matmul(a, w, reduce_dim="k")
+    g = b.build()
+    rows["GEMM"] = dependency_profile(g.ops[0])
+
+    b = GraphBuilder("t1_softmax")
+    x = b.input("X", [("m", 8), ("n", 8)])
+    b.softmax(x, dim="n")
+    g = b.build()
+    # Softmax as a whole exhibits the union of its primitive profiles.
+    profs = [dependency_profile(op) for op in g.ops]
+    rows["Softmax"] = DependencyProfile(
+        any(p.one_to_one for p in profs),
+        any(p.one_to_all for p in profs),
+        any(p.all_to_one for p in profs),
+    )
+
+    b = GraphBuilder("t1_reduce")
+    x = b.input("X", [("m", 8), ("n", 8)])
+    b.reduce("max", x, dim="n")
+    g = b.build()
+    rows["ReduceMax"] = dependency_profile(g.ops[0])
+
+    b = GraphBuilder("t1_bcast")
+    x = b.input("X", [("m", 8), ("n", 8)])
+    v = b.input("V", [("m", 8)])
+    b.binary("add", x, v)
+    g = b.build()
+    rows["ElementwiseBroadcast"] = dependency_profile(g.ops[0])
+
+    return rows

@@ -1,0 +1,32 @@
+"""Model zoo: evaluation subgraphs and Transformer models."""
+
+from .layers import (
+    causal_mask,
+    gqa_graph,
+    layernorm_graph,
+    lstm_cell_graph,
+    mha_graph,
+    mlp_graph,
+    rmsnorm_graph,
+    softmax_gemm_graph,
+    softmax_graph,
+)
+from .transformer import TransformerConfig, build_transformer_program
+from .zoo import MODEL_CONFIGS, build_model, vit_sequence_length
+
+__all__ = [
+    "MODEL_CONFIGS",
+    "TransformerConfig",
+    "build_model",
+    "build_transformer_program",
+    "causal_mask",
+    "gqa_graph",
+    "layernorm_graph",
+    "lstm_cell_graph",
+    "mha_graph",
+    "mlp_graph",
+    "rmsnorm_graph",
+    "softmax_gemm_graph",
+    "softmax_graph",
+    "vit_sequence_length",
+]

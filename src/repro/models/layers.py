@@ -1,0 +1,221 @@
+"""Evaluation subgraphs: the four workloads of the paper's Figure 10.
+
+* (a) stacked MLP layers (GEMM + bias + ReLU chains);
+* (b) a simplified LSTM cell (two GEMMs feeding gate nonlinearities);
+* (c) LayerNorm decomposed into primitives;
+* (d) masked/scaled Multi-Head Attention.
+
+Each builder returns a barrier-free :class:`DataflowGraph` ready for SMG
+construction.  Composite emitters tag their primitive ops with a
+``fusion_group`` attribute so library-granularity baselines (PyTorch's
+fused softmax/LayerNorm kernels) can re-group them.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import DataflowGraph, GraphBuilder, TensorRef
+
+
+def _tag_group(graph: DataflowGraph, op_names: list[str], group: str) -> None:
+    for op in graph.ops:
+        if op.name in op_names:
+            op.attrs["fusion_group"] = group
+
+
+def mlp_graph(num_layers: int, m: int, in_features: int, hidden: int,
+              activation: str = "relu", name: str | None = None,
+              ) -> DataflowGraph:
+    """Figure 10(a): ``num_layers`` fused-candidate MLP layers.
+
+    Layer i computes ``relu(X_i @ W_i^T + b_i)`` with ``W_i`` of shape
+    ``(hidden, prev)``; the paper fuses up to 20 layers when the GEMM
+    N/K extents stay at or below 256.
+    """
+    b = GraphBuilder(name or f"mlp{num_layers}")
+    x = b.input("In", [("m", m), ("k0", in_features)])
+    prev_dim = "k0"
+    out: TensorRef = x
+    for i in range(1, num_layers + 1):
+        hdim = b.dim(f"h{i}", hidden)
+        w = b.input(f"W{i}", [(f"h{i}", hidden), prev_dim], is_weight=True)
+        bias = b.input(f"B{i}", [hdim], is_weight=True)
+        mm = b.matmul(out, w, reduce_dim=prev_dim, out_name=f"mm{i}")
+        biased = b.binary("add", mm, TensorRef(bias.name, (hdim,)),
+                          out_name=f"pre{i}")
+        out = b.unary(activation, biased,
+                      out_name=f"act{i}" if i < num_layers else "Out")
+        prev_dim = hdim
+    return b.build()
+
+
+def lstm_cell_graph(batch: int, hidden: int, input_size: int | None = None,
+                    name: str | None = None) -> DataflowGraph:
+    """Figure 10(b): a simplified LSTM cell.
+
+    Two GEMMs project the input and the previous hidden state; their sum
+    (plus bias) drives sigmoid/tanh gates combined with the carried cell
+    state.  The unfused cuBLAS schedule of section 6.1 maps this to five
+    kernels; cuBLASLt folds the second GEMM's add into four.
+    """
+    input_size = input_size or hidden
+    b = GraphBuilder(name or "lstm_cell")
+    x = b.input("In1", [("m", batch), ("k", input_size)])
+    h = b.input("In2", [("m", batch), ("u", hidden)])
+    c = b.input("Cell", [("m", batch), ("n", hidden)])
+    wx = b.input("W1", [("n", hidden), ("k", input_size)], is_weight=True)
+    wh = b.input("W2", [("n", hidden), ("u", hidden)], is_weight=True)
+    bias = b.input("B", [("n", hidden)], is_weight=True)
+
+    xw = b.matmul(x, wx, reduce_dim="k", out_name="xW")
+    hw = b.matmul(h, wh, reduce_dim="u", out_name="hW")
+    before = len(b.graph.ops)
+    s = b.binary("add", xw, hw, out_name="gates")
+    s = b.binary("add", s, bias, out_name="gates_b")
+    gate_i = b.unary("sigmoid", s, out_name="gate_i")
+    gate_g = b.unary("tanh", s, out_name="gate_g")
+    gate_f = b.unary("sigmoid", s, out_name="gate_f")
+    _tag_group(b.graph, [op.name for op in b.graph.ops[before:]], "lstm_gates")
+    before = len(b.graph.ops)
+    forgotten = b.binary("mul", c, gate_f, out_name="c_keep")
+    written = b.binary("mul", gate_i, gate_g, out_name="c_new")
+    c_next = b.binary("add", forgotten, written, out_name="CellOut")
+    _tag_group(b.graph, [op.name for op in b.graph.ops[before:]], "lstm_cellup")
+    before = len(b.graph.ops)
+    squashed = b.unary("tanh", c_next, out_name="c_sq")
+    gate_o = b.unary("sigmoid", s, out_name="gate_o")
+    b.binary("mul", squashed, gate_o, out_name="Out")
+    _tag_group(b.graph, [op.name for op in b.graph.ops[before:]], "lstm_out")
+    graph = b.build()
+    # The carried cell state is a kernel output alongside the hidden state.
+    graph.declared_outputs = ["CellOut", "Out"]
+    return graph
+
+
+def layernorm_graph(m: int, n: int, affine: bool = True, eps: float = 1e-5,
+                    name: str | None = None) -> DataflowGraph:
+    """Figure 10(c): LayerNorm over 2-D input (normalised along ``n``)."""
+    b = GraphBuilder(name or "layernorm")
+    x = b.input("X", [("m", m), ("n", n)])
+    gamma = beta = None
+    if affine:
+        gamma = b.input("G", [("n", n)], is_weight=True)
+        beta = b.input("B", [("n", n)], is_weight=True)
+    before = len(b.graph.ops)
+    b.layernorm(x, dim="n", eps=eps, gamma=gamma, beta=beta, out_name="Y")
+    graph = b.build()
+    _tag_group(graph, [op.name for op in graph.ops[before:]], "layernorm")
+    return graph
+
+
+def softmax_graph(m: int, n: int, name: str | None = None) -> DataflowGraph:
+    """Standalone numerically-stable softmax (Figure 1's middle stack)."""
+    b = GraphBuilder(name or "softmax")
+    x = b.input("X", [("m", m), ("n", n)])
+    before = len(b.graph.ops)
+    b.softmax(x, dim="n", out_name="P")
+    graph = b.build()
+    _tag_group(graph, [op.name for op in graph.ops[before:]], "softmax")
+    return graph
+
+
+def softmax_gemm_graph(m: int, k: int, n: int, name: str | None = None,
+                       ) -> DataflowGraph:
+    """The Softmax-GEMM fusion example of the paper's Figure 2."""
+    b = GraphBuilder(name or "softmax_gemm")
+    x = b.input("X", [("m", m), ("k", k)])
+    w = b.input("W", [("n", n), ("k", k)], is_weight=True)
+    before = len(b.graph.ops)
+    p = b.softmax(x, dim="k")
+    _tag_group(b.graph, [op.name for op in b.graph.ops[before:]], "softmax")
+    b.matmul(p, w, reduce_dim="k", out_name="Out")
+    return b.build()
+
+
+def mha_graph(batch: int, heads: int, seq_q: int, seq_kv: int, head_dim: int,
+              masked: bool = False, scaled: bool = True,
+              name: str | None = None) -> DataflowGraph:
+    """Figure 10(d): Multi-Head Attention with optional scale and mask.
+
+    Batch and head become leading dependency-free dimensions of the fused
+    space (the paper's BatchDim/HeadDim in Figure 5), leaving the familiar
+    three-dimensional (Dim2, Dim1, Dim0) core.
+    """
+    b = GraphBuilder(name or "mha")
+    lead = [("b", batch), ("h", heads)]
+    q = b.input("Q", lead + [("m", seq_q), ("dk", head_dim)])
+    k = b.input("K", lead + [("l", seq_kv), ("dk", head_dim)])
+    v = b.input("V", lead + [("l", seq_kv), ("dv", head_dim)])
+    qk = b.matmul(q, k, reduce_dim="dk", out_name="QK")
+    scores: TensorRef = qk
+    if scaled:
+        scores = b.scalar("mul", scores, head_dim ** -0.5, out_name="QKs")
+    if masked:
+        mask = b.input("Mask", [("m", seq_q), ("l", seq_kv)])
+        scores = b.binary("where_mask", scores, mask, out_name="QKm")
+    before = len(b.graph.ops)
+    p = b.softmax(scores, dim="l")
+    _tag_group(b.graph, [op.name for op in b.graph.ops[before:]], "softmax")
+    b.matmul(p, v, reduce_dim="l", out_name="Out")
+    return b.build()
+
+
+def causal_mask(seq_q: int, seq_kv: int, offset: int = 0):
+    """Lower-triangular attention mask (1 = attend, 0 = blocked).
+
+    ``offset`` shifts the diagonal: during autoregressive decode with a
+    KV cache of length ``seq_kv`` and one new query token, use
+    ``offset = seq_kv - seq_q`` so the query may attend to the whole cache.
+    """
+    import numpy as np
+
+    rows = np.arange(seq_q)[:, None]
+    cols = np.arange(seq_kv)[None, :]
+    return (cols <= rows + offset).astype(np.float64)
+
+
+def gqa_graph(batch: int, q_heads: int, kv_heads: int, seq_q: int,
+              seq_kv: int, head_dim: int, name: str | None = None,
+              ) -> DataflowGraph:
+    """Grouped-query attention (Llama-2-70B / Mistral style).
+
+    ``q_heads`` query heads share ``kv_heads`` key/value heads
+    (``q_heads = kv_heads * group``).  In SMG terms the K/V data spaces are
+    reused along the group dimension — an *input* One-to-All, so the group
+    dimension stays spatially sliceable (Table 3) and the whole graph fuses
+    exactly like plain MHA.  A nice stress of the abstraction beyond the
+    paper's evaluation set.
+    """
+    if q_heads % kv_heads != 0:
+        raise ValueError("q_heads must be a multiple of kv_heads")
+    group = q_heads // kv_heads
+    b = GraphBuilder(name or "gqa")
+    q = b.input("Q", [("b", batch), ("g", kv_heads), ("r", group),
+                      ("m", seq_q), ("dk", head_dim)])
+    k = b.input("K", [("b", batch), ("g", kv_heads), ("l", seq_kv),
+                      ("dk", head_dim)])
+    v = b.input("V", [("b", batch), ("g", kv_heads), ("l", seq_kv),
+                      ("dv", head_dim)])
+    qk = b.matmul(q, k, reduce_dim="dk", out_name="QK")
+    scores = b.scalar("mul", qk, head_dim ** -0.5)
+    before = len(b.graph.ops)
+    p = b.softmax(scores, dim="l")
+    _tag_group(b.graph, [op.name for op in b.graph.ops[before:]], "softmax")
+    b.matmul(p, v, reduce_dim="l", out_name="Out")
+    return b.build()
+
+
+def rmsnorm_graph(m: int, n: int, eps: float = 1e-6,
+                  name: str | None = None) -> DataflowGraph:
+    """RMSNorm (Llama-family): ``x * rsqrt(mean(x^2) + eps) * g``."""
+    b = GraphBuilder(name or "rmsnorm")
+    x = b.input("X", [("m", m), ("n", n)])
+    g = b.input("G", [("n", n)], is_weight=True)
+    sq = b.unary("square", x)
+    ms = b.reduce("mean", sq, dim="n")
+    ms_eps = b.scalar("add", ms, eps)
+    inv = b.unary("rsqrt", ms_eps)
+    normed = b.binary("mul", x, inv)
+    b.binary("mul", normed, g, out_name="Y")
+    graph = b.build()
+    _tag_group(graph, [op.name for op in graph.ops], "rmsnorm")
+    return graph

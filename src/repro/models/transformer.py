@@ -1,0 +1,217 @@
+"""Transformer building blocks lowered to tensor programs.
+
+A transformer layer becomes a sequence of barrier-free subprograms cut at
+the layout transformations around attention (the head split/merge), exactly
+where the paper's program preprocessing cuts (section 5, Figure 9):
+
+1. fused QKV projection (three GEMMs + biases over the token dimension);
+2. ``reshape`` barrier into per-head layout;
+3. the attention core (scale, mask, softmax, two GEMMs);
+4. ``reshape`` barrier back to the token layout;
+5. output projection + residual + norm;
+6. the feed-forward block (+ residual + norm).
+
+Repeated layers share one compilation: the program records the layer
+subprograms once with an occurrence count (ALBERT's weight sharing makes
+this literal in the model itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.graph import DataflowGraph, GraphBuilder, TensorRef
+from ..ir.program import TensorProgram
+from .layers import _tag_group
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Structural hyperparameters of one transformer stack."""
+
+    name: str
+    num_layers: int
+    hidden: int
+    heads: int
+    intermediate: int
+    norm: str = "layernorm"        # "layernorm" | "rmsnorm"
+    activation: str = "gelu"       # "gelu" | "relu" | "silu_gated"
+    is_decoder: bool = False
+    cross_attention: bool = False  # decoder attending to an encoder
+    #: Pre-norm stacks (GPT/Llama) normalise *before* each sublayer; the
+    #: norm then fuses with the following projections — an extra CI+MI
+    #: fusion site SpaceFusion exploits.
+    pre_norm: bool = False
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.heads
+
+
+def _norm(b: GraphBuilder, x: TensorRef, cfg: TransformerConfig, dim: str,
+          prefix: str, out_name: str | None = None) -> TensorRef:
+    before = len(b.graph.ops)
+    if cfg.norm == "rmsnorm":
+        g = b.input(f"{prefix}_g", [dim], is_weight=True)
+        sq = b.unary("square", x)
+        ms = b.reduce("mean", sq, dim=dim)
+        inv = b.unary("rsqrt", b.scalar("add", ms, 1e-6))
+        y = b.binary("mul", b.binary("mul", x, inv), g, out_name=out_name)
+        group = "rmsnorm"
+    else:
+        g = b.input(f"{prefix}_g", [dim], is_weight=True)
+        beta = b.input(f"{prefix}_b", [dim], is_weight=True)
+        y = b.layernorm(x, dim=dim, gamma=g, beta=beta, out_name=out_name)
+        group = "layernorm"
+    _tag_group(b.graph, [op.name for op in b.graph.ops[before:]],
+               f"{group}:{prefix}")
+    return y
+
+
+def qkv_projection_graph(cfg: TransformerConfig, tokens: int,
+                         name: str) -> DataflowGraph:
+    """Subprogram 1: X -> Q, K, V (three biased GEMMs).
+
+    Pre-norm stacks normalise X first; the norm stays in the same
+    barrier-free subprogram, so SpaceFusion may fuse it into the
+    projections (or split, if the cost model prefers)."""
+    b = GraphBuilder(name)
+    x = b.input("X", [("t", tokens), ("e", cfg.hidden)])
+    src = _norm(b, x, cfg, dim="e", prefix="preln") if cfg.pre_norm else x
+    for which in ("q", "k", "v"):
+        w = b.input(f"W{which}", [(f"e{which}", cfg.hidden), "e"],
+                    is_weight=True)
+        bias = b.input(f"B{which}", [f"e{which}"], is_weight=True)
+        mm = b.matmul(src, w, reduce_dim="e", out_name=f"{which}_mm")
+        b.binary("add", mm, bias, out_name=f"{which.upper()}flat")
+    graph = b.build()
+    graph.declared_outputs = ["Qflat", "Kflat", "Vflat"]
+    return graph
+
+
+def attention_core_graph(cfg: TransformerConfig, batch: int, seq_q: int,
+                         seq_kv: int, name: str, masked: bool = False,
+                         ) -> DataflowGraph:
+    """Subprogram 3: per-head scaled-dot-product attention."""
+    b = GraphBuilder(name)
+    lead = [("bb", batch), ("hh", cfg.heads)]
+    q = b.input("Qh", lead + [("m", seq_q), ("dk", cfg.head_dim)])
+    k = b.input("Kh", lead + [("l", seq_kv), ("dk", cfg.head_dim)])
+    v = b.input("Vh", lead + [("l", seq_kv), ("dv", cfg.head_dim)])
+    qk = b.matmul(q, k, reduce_dim="dk", out_name="QK")
+    scores: TensorRef = b.scalar("mul", qk, cfg.head_dim ** -0.5)
+    if masked:
+        mask = b.input("Mask", [("m", seq_q), ("l", seq_kv)])
+        scores = b.binary("where_mask", scores, mask)
+    before = len(b.graph.ops)
+    p = b.softmax(scores, dim="l")
+    _tag_group(b.graph, [op.name for op in b.graph.ops[before:]], "softmax")
+    b.matmul(p, v, reduce_dim="l", out_name="AttnOut")
+    return b.build()
+
+
+def proj_residual_norm_graph(cfg: TransformerConfig, tokens: int,
+                             name: str) -> DataflowGraph:
+    """Subprogram 5: output projection + residual add + norm."""
+    b = GraphBuilder(name)
+    a = b.input("A", [("t", tokens), ("e", cfg.hidden)])
+    w = b.input("Wo", [("eo", cfg.hidden), "e"], is_weight=True)
+    # The residual stream is consumed in the projection's output dimension
+    # space ("eo" — same extent as "e"); declaring it there keeps the IR
+    # alias-free (the paper's dimension alignment merges such axes).
+    resid = b.input("Resid", [("t", tokens), "eo"])
+    bias = b.input("Bo", ["eo"], is_weight=True)
+    mm = b.matmul(a, w, reduce_dim="e", out_name="proj")
+    mm = b.binary("add", mm, bias)
+    resid2 = b.binary("add", mm, resid, out_name="resid2")
+    if cfg.pre_norm:
+        # Pre-norm stacks leave the residual stream un-normalised here.
+        b.unary("identity", resid2, out_name="Y")
+    else:
+        _norm(b, resid2, cfg, dim="eo", prefix="ln1", out_name="Y")
+    return b.build()
+
+
+def ffn_graph(cfg: TransformerConfig, tokens: int, name: str,
+              ) -> DataflowGraph:
+    """Subprogram 6: feed-forward block + residual + norm.
+
+    GELU/ReLU MLPs use two GEMMs; the SiLU-gated variant (Llama) uses the
+    gate/up/down triple with an elementwise product.
+    """
+    b = GraphBuilder(name)
+    x_raw = b.input("X", [("t", tokens), ("e", cfg.hidden)])
+    x = _norm(b, x_raw, cfg, dim="e", prefix="preln2") if cfg.pre_norm \
+        else x_raw
+    if cfg.activation == "silu_gated":
+        wg = b.input("Wgate", [("f", cfg.intermediate), "e"], is_weight=True)
+        wu = b.input("Wup", [("f", cfg.intermediate), "e"], is_weight=True)
+        wd = b.input("Wdown", [("eo", cfg.hidden), "f"], is_weight=True)
+        gate = b.unary("silu", b.matmul(x, wg, reduce_dim="e"))
+        up = b.matmul(x, wu, reduce_dim="e")
+        inner = b.binary("mul", gate, up, out_name="ffn_inner")
+        down = b.matmul(inner, wd, reduce_dim="f", out_name="ffn_down")
+    else:
+        w1 = b.input("W1", [("f", cfg.intermediate), "e"], is_weight=True)
+        b1 = b.input("B1", [("f", cfg.intermediate)], is_weight=True)
+        w2 = b.input("W2", [("eo", cfg.hidden), "f"], is_weight=True)
+        b2 = b.input("B2", [("eo", cfg.hidden)], is_weight=True)
+        h = b.matmul(x, w1, reduce_dim="e")
+        h = b.binary("add", h, b1)
+        h = b.unary(cfg.activation, h, out_name="ffn_act")
+        down = b.matmul(h, w2, reduce_dim="f")
+        down = b.binary("add", down, b2, out_name="ffn_down")
+    # Residual stream consumed in the down-projection's output dim space
+    # (a second read of the block input, as on real hardware).
+    xresid = b.input("XResid", [("t", tokens), ("eo", cfg.hidden)])
+    resid = b.binary("add", down, xresid, out_name="ffn_resid")
+    if cfg.pre_norm:
+        b.unary("identity", resid, out_name="Y")
+    else:
+        _norm(b, resid, cfg, dim="eo", prefix="ln2", out_name="Y")
+    return b.build()
+
+
+def head_split_graph(cfg: TransformerConfig, batch: int, seq: int,
+                     tensors: list[str], name: str) -> DataflowGraph:
+    """Subprogram 2/4: the layout barriers around the attention core."""
+    b = GraphBuilder(name)
+    b.dim("t", batch * seq)
+    b.dim("e", cfg.hidden)
+    b.dim("bb", batch)
+    b.dim("hh", cfg.heads)
+    b.dim("s", seq)
+    b.dim("hd", cfg.head_dim)
+    for tensor in tensors:
+        x = b.input(tensor, ["t", "e"])
+        b.barrier("reshape", x, ("bb", "hh", "s", "hd"),
+                  out_name=f"{tensor}_heads")
+    return b.build()
+
+
+def build_transformer_program(cfg: TransformerConfig, batch: int, seq: int,
+                              masked: bool | None = None) -> TensorProgram:
+    """Lower a transformer stack into its per-layer subprogram sequence."""
+    if masked is None:
+        masked = cfg.is_decoder
+    tokens = batch * seq
+    prog = TensorProgram(cfg.name, meta={
+        "batch": batch, "seq": seq, "hidden": cfg.hidden,
+        "heads": cfg.heads, "layers": cfg.num_layers,
+    })
+    n = cfg.num_layers
+    prog.add(qkv_projection_graph(cfg, tokens, f"{cfg.name}.qkv"), n)
+    prog.add(head_split_graph(cfg, batch, seq, ["Qflat", "Kflat", "Vflat"],
+                              f"{cfg.name}.split"), n)
+    prog.add(attention_core_graph(cfg, batch, seq, seq, f"{cfg.name}.attn",
+                                  masked=masked), n)
+    prog.add(head_split_graph(cfg, batch, seq, ["AttnOut2d"],
+                              f"{cfg.name}.merge"), n)
+    prog.add(proj_residual_norm_graph(cfg, tokens, f"{cfg.name}.proj"), n)
+    prog.add(ffn_graph(cfg, tokens, f"{cfg.name}.ffn"), n)
+    if cfg.cross_attention:
+        prog.add(attention_core_graph(cfg, batch, seq, seq,
+                                      f"{cfg.name}.xattn", masked=False), n)
+        prog.add(proj_residual_norm_graph(cfg, tokens,
+                                          f"{cfg.name}.xproj"), n)
+    return prog

@@ -1,0 +1,94 @@
+"""The model zoo of the end-to-end evaluation (section 6.2).
+
+Structural configurations of the five Transformer models the paper runs —
+Bert, Albert, T5, ViT and Llama2-7B — lowered to tensor programs.  Only the
+properties the schedules and cost model consume matter: layer counts,
+hidden/intermediate widths, head counts, normalisation and activation
+flavours, and (for ALBERT) cross-layer weight sharing, which turns the
+whole stack into literally one compiled layer.
+"""
+
+from __future__ import annotations
+
+from ..ir.program import TensorProgram
+from .transformer import TransformerConfig, build_transformer_program
+
+BERT_BASE = TransformerConfig(
+    name="bert", num_layers=12, hidden=768, heads=12, intermediate=3072,
+    norm="layernorm", activation="gelu",
+)
+
+#: ALBERT shares one layer's weights across the stack; structurally the
+#: program is identical to BERT's, and the dedup pass collapses it.
+ALBERT_BASE = TransformerConfig(
+    name="albert", num_layers=12, hidden=768, heads=12, intermediate=3072,
+    norm="layernorm", activation="gelu",
+)
+
+T5_BASE = TransformerConfig(
+    name="t5", num_layers=12, hidden=768, heads=12, intermediate=3072,
+    norm="rmsnorm", activation="relu", is_decoder=True, cross_attention=True,
+)
+
+VIT_BASE = TransformerConfig(
+    name="vit", num_layers=12, hidden=768, heads=12, intermediate=3072,
+    norm="layernorm", activation="gelu",
+)
+
+LLAMA2_7B = TransformerConfig(
+    name="llama2", num_layers=32, hidden=4096, heads=32, intermediate=11008,
+    norm="rmsnorm", activation="silu_gated", is_decoder=True, pre_norm=True,
+)
+
+#: GPT-2 (124M): a pre-norm LayerNorm decoder — not in the paper's zoo but
+#: a natural extension exercising the norm-into-projection fusion site.
+GPT2_SMALL = TransformerConfig(
+    name="gpt2", num_layers=12, hidden=768, heads=12, intermediate=3072,
+    norm="layernorm", activation="gelu", is_decoder=True, pre_norm=True,
+)
+
+MODEL_CONFIGS: dict[str, TransformerConfig] = {
+    "bert": BERT_BASE,
+    "albert": ALBERT_BASE,
+    "t5": T5_BASE,
+    "vit": VIT_BASE,
+    "llama2": LLAMA2_7B,
+    "gpt2": GPT2_SMALL,
+}
+
+
+def vit_sequence_length(image_size: int, patch: int = 16) -> int:
+    """Token count of a ViT input: patches plus the class token."""
+    return (image_size // patch) ** 2 + 1
+
+
+def build_model(name: str, batch: int, seq: int | None = None,
+                image_size: int | None = None) -> TensorProgram:
+    """Instantiate a zoo model as a tensor program.
+
+    Args:
+        name: one of ``bert``/``albert``/``t5``/``vit``/``llama2``.
+        batch: batch size.
+        seq: sequence length (language models; default 512).
+        image_size: input resolution for ViT (default 224).
+    """
+    cfg = MODEL_CONFIGS[name]
+    if name == "vit":
+        seq = vit_sequence_length(image_size or 224)
+    elif seq is None:
+        seq = 512
+    prog = build_transformer_program(cfg, batch=batch, seq=seq)
+    # T5 runs an encoder stack plus a decoder stack of equal depth: the
+    # decoder program above already carries cross attention; the encoder
+    # adds a same-shape non-causal stack, which dedup folds into extra
+    # occurrences of the structurally identical subprograms.
+    if name == "t5":
+        encoder_cfg = TransformerConfig(
+            name="t5enc", num_layers=cfg.num_layers, hidden=cfg.hidden,
+            heads=cfg.heads, intermediate=cfg.intermediate, norm="rmsnorm",
+            activation="relu",
+        )
+        enc = build_transformer_program(encoder_cfg, batch=batch, seq=seq)
+        prog.subprograms.extend(enc.subprograms)
+    prog.meta["model"] = name
+    return prog

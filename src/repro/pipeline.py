@@ -1,0 +1,67 @@
+"""Pre-wired entry points: compiler + device simulator in one call.
+
+This is the public "just compile my graph for this GPU" API used by the
+examples and benchmarks::
+
+    from repro.pipeline import compile_for, simulate
+    from repro.hw import AMPERE
+
+    schedule, stats = compile_for(graph, AMPERE)
+    counters = simulate(schedule, AMPERE)
+"""
+
+from __future__ import annotations
+
+from .core.compiler import (
+    CompiledModel,
+    CompileStats,
+    FusionOptions,
+    SpaceFusionCompiler,
+)
+from .core.schedule import ProgramSchedule
+from .hw.counters import PerfCounters
+from .hw.simulator import DeviceSimulator
+from .hw.specs import GPUSpec
+from .ir.graph import DataflowGraph
+from .ir.program import TensorProgram
+
+
+def make_compiler(gpu: GPUSpec,
+                  options: FusionOptions | None = None) -> SpaceFusionCompiler:
+    """A SpaceFusion compiler targeting ``gpu``, timed by its cost model."""
+    sim = DeviceSimulator(gpu)
+    return SpaceFusionCompiler(
+        rc=gpu.resource_config(),
+        timing_fn=lambda kernel, cfg: sim.kernel_time(kernel, cfg),
+        options=options,
+    )
+
+
+def compile_for(graph: DataflowGraph, gpu: GPUSpec,
+                options: FusionOptions | None = None,
+                ) -> tuple[ProgramSchedule, CompileStats]:
+    """Compile one barrier-free graph for ``gpu``."""
+    return make_compiler(gpu, options).compile_graph(graph)
+
+
+def compile_model_for(program: TensorProgram, gpu: GPUSpec,
+                      options: FusionOptions | None = None) -> CompiledModel:
+    """Compile a whole model program (repeated subprograms compile once)."""
+    return make_compiler(gpu, options).compile_model(program)
+
+
+def simulate(schedule: ProgramSchedule, gpu: GPUSpec,
+             cuda_graphs: bool | None = None) -> PerfCounters:
+    """Model the execution cost of a compiled schedule on ``gpu``."""
+    return DeviceSimulator(gpu).program_cost(schedule, cuda_graphs=cuda_graphs)
+
+
+def simulate_model(model: CompiledModel, gpu: GPUSpec,
+                   cuda_graphs: bool | None = None) -> PerfCounters:
+    """Model a compiled model end to end (subprograms scaled by occurrence)."""
+    sim = DeviceSimulator(gpu)
+    total = PerfCounters(line_bytes=gpu.line_bytes)
+    for sub in model.subprograms:
+        counters = sim.program_cost(sub.schedule, cuda_graphs=cuda_graphs)
+        total.add(counters.scaled(sub.occurrences))
+    return total

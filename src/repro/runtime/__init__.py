@@ -1,0 +1,19 @@
+"""Runtime: numpy reference kernels and the schedule interpreter."""
+
+from .executor import ExecutionError, ScheduleExecutor, execute_schedule
+from .kernels import (
+    KernelError,
+    evaluate_op,
+    execute_graph_reference,
+    random_feeds,
+)
+
+__all__ = [
+    "ExecutionError",
+    "KernelError",
+    "ScheduleExecutor",
+    "evaluate_op",
+    "execute_graph_reference",
+    "execute_schedule",
+    "random_feeds",
+]

@@ -1,0 +1,257 @@
+"""Schedule interpreter: executes fused kernel schedules numerically.
+
+This is the reproduction's stand-in for the paper's Triton backend.  It
+interprets a :class:`~repro.core.schedule.KernelSchedule` exactly as the
+generated GPU kernel would run:
+
+* the **spatial block loop** walks the grid of independent SMG blocks;
+* inside each block, the **temporal intra-block loop** processes one tile
+  of the sliced dimension at a time, maintaining running aggregates with
+  Simple Aggregate or Update-then-Aggregate re-normalisation (section 4.3);
+* a **pass-2 epilogue** re-walks the tiles to produce outputs that depend
+  on the final aggregates (e.g. LayerNorm's normalisation).
+
+Because it follows the schedule rather than the original graph, executing
+it against the unfused reference is an end-to-end correctness check of the
+whole scheduling pipeline — in particular of the generated update
+functions.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..core.schedule import KernelSchedule, ProgramSchedule
+from ..ir.graph import DataflowGraph
+from .kernels import REDUCE_INIT, KernelError, _align, evaluate_op
+
+
+class ExecutionError(Exception):
+    """Raised when a schedule cannot be executed."""
+
+
+def _slice_array(arr: np.ndarray, dims: tuple[str, ...],
+                 ctx: dict[str, tuple[int, int]]) -> np.ndarray:
+    index = tuple(
+        slice(*ctx[d]) if d in ctx else slice(None)
+        for d in dims
+    )
+    return arr[index]
+
+
+class ScheduleExecutor:
+    """Interprets kernel and program schedules over numpy arrays."""
+
+    def __init__(self, dtype=np.float64) -> None:
+        self.dtype = dtype
+
+    # ------------------------------------------------------------------
+    # Program level
+    # ------------------------------------------------------------------
+
+    def execute_program(self, program: ProgramSchedule,
+                        feeds: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Run every kernel in order; returns the global tensor environment."""
+        env = {k: np.asarray(v, dtype=self.dtype) for k, v in feeds.items()}
+        for kernel in program.kernels:
+            self.execute_kernel(kernel, env)
+        return env
+
+    # ------------------------------------------------------------------
+    # Kernel level
+    # ------------------------------------------------------------------
+
+    def execute_kernel(self, kernel: KernelSchedule,
+                       env: dict[str, np.ndarray]) -> None:
+        graph = kernel.exec_graph
+        sizes = {d: graph.dims.size(d) for d in graph.dims.names()}
+        for name in graph.input_tensors:
+            if name not in env:
+                raise ExecutionError(
+                    f"kernel {kernel.name!r}: missing global tensor {name!r}")
+
+        outputs = {
+            t: np.zeros(graph.tensors[t].shape(graph.dims), dtype=self.dtype)
+            for t in graph.output_tensors
+        }
+
+        cfg = kernel.effective_config()
+        grid_axes: list[list[tuple[int, int]]] = []
+        for dim in kernel.spatial_dims:
+            size = sizes[dim]
+            block = cfg.block_of(dim)
+            if block is None:
+                raise ExecutionError(
+                    f"kernel {kernel.name!r}: config lacks block for {dim!r}")
+            bounds = [(lo, min(lo + block, size)) for lo in range(0, size, block)]
+            grid_axes.append(bounds)
+
+        for combo in itertools.product(*grid_axes) if grid_axes else [()]:
+            ctx = dict(zip(kernel.spatial_dims, combo))
+            if kernel.plan is not None:
+                self._run_temporal_block(kernel, ctx, env, outputs, sizes)
+            else:
+                self._run_plain_block(kernel, ctx, env, outputs, sizes)
+
+        env.update(outputs)
+
+    # ------------------------------------------------------------------
+    # Block execution
+    # ------------------------------------------------------------------
+
+    def _fetch(self, name: str, graph: DataflowGraph,
+               local: dict[str, np.ndarray], env: dict[str, np.ndarray],
+               ctx: dict[str, tuple[int, int]]) -> np.ndarray:
+        if name in local:
+            return local[name]
+        if name in env:
+            spec = graph.tensors[name]
+            arr = _slice_array(np.asarray(env[name], dtype=self.dtype),
+                               spec.dims, ctx)
+            local[name] = arr
+            return arr
+        raise ExecutionError(f"tensor {name!r} unavailable during execution")
+
+    def _eval(self, op, graph: DataflowGraph, local: dict[str, np.ndarray],
+              env: dict[str, np.ndarray], ctx: dict[str, tuple[int, int]],
+              sizes: dict[str, int]) -> np.ndarray:
+        operand_env = {
+            t: self._fetch(t, graph, local, env, ctx) for t in op.inputs
+        }
+        # Sliced sizes for shape-sensitive ops.
+        eff_sizes = dict(sizes)
+        for d, (lo, hi) in ctx.items():
+            eff_sizes[d] = hi - lo
+        try:
+            return np.asarray(evaluate_op(op, operand_env, eff_sizes),
+                              dtype=self.dtype)
+        except KernelError as exc:
+            raise ExecutionError(f"op {op.name!r}: {exc}") from exc
+
+    def _run_plain_block(self, kernel: KernelSchedule,
+                         ctx: dict[str, tuple[int, int]],
+                         env: dict[str, np.ndarray],
+                         outputs: dict[str, np.ndarray],
+                         sizes: dict[str, int]) -> None:
+        graph = kernel.exec_graph
+        local: dict[str, np.ndarray] = {}
+        for op in graph.topological_ops():
+            local[op.output] = self._eval(op, graph, local, env, ctx, sizes)
+        for t, arr in outputs.items():
+            if t in local:
+                spec = graph.tensors[t]
+                _slice_array(arr, spec.dims, ctx)[...] = local[t]
+
+    def _run_temporal_block(self, kernel: KernelSchedule,
+                            ctx: dict[str, tuple[int, int]],
+                            env: dict[str, np.ndarray],
+                            outputs: dict[str, np.ndarray],
+                            sizes: dict[str, int]) -> None:
+        plan = kernel.plan
+        assert plan is not None
+        graph = plan.graph
+        cfg = kernel.effective_config()
+        tdim = plan.dim
+        tsize = sizes[tdim]
+        tile = cfg.tile or tsize
+        tiles = [(lo, min(lo + tile, tsize)) for lo in range(0, tsize, tile)]
+
+        stages = {s.op_name: s for s in plan.stages}
+        tile_ops = [graph.op(name) for name in plan.tile_op_names]
+
+        # Running aggregates, shaped to the block slice of their tensor.
+        aggs: dict[str, np.ndarray] = {}
+        for s in plan.stages:
+            spec = graph.tensors[s.output]
+            shape = []
+            for d in spec.dims:
+                if d in ctx:
+                    lo, hi = ctx[d]
+                    shape.append(hi - lo)
+                else:
+                    shape.append(sizes[d])
+            aggs[s.output] = np.full(shape, REDUCE_INIT[s.combiner],
+                                     dtype=self.dtype)
+
+        # Loop-invariant input slices are staged once per block (the
+        # generated kernel's hoisted loads, e.g. FlashAttention's Q block).
+        graph_inputs = set(graph.input_tensors)
+        invariant: dict[str, np.ndarray] = {}
+        for op in tile_ops:
+            for t in op.inputs:
+                if (t in graph_inputs and t not in invariant
+                        and tdim not in graph.tensors[t].dims):
+                    self._fetch(t, graph, invariant, env, ctx)
+
+        # Pass 1: tile loop with SA/UTA aggregation.
+        for lo, hi in tiles:
+            tctx = dict(ctx)
+            tctx[tdim] = (lo, hi)
+            olds = {k: v.copy() for k, v in aggs.items()}
+            local: dict[str, np.ndarray] = dict(invariant)
+            for op in tile_ops:
+                if op.name in stages:
+                    stage = stages[op.name]
+                    local_red = self._eval(op, graph, local, env, tctx, sizes)
+                    out_dims = graph.tensors[stage.output].dims
+                    olds_aligned = {
+                        a: _align(olds[a], graph.tensors[a].dims, out_dims)
+                        for a in stage.update.referenced_aggs()
+                    }
+                    news_aligned = {
+                        a: _align(aggs[a], graph.tensors[a].dims, out_dims)
+                        for a in stage.update.referenced_aggs()
+                    }
+                    updated = stage.update.apply(aggs[stage.output],
+                                                 olds_aligned, news_aligned)
+                    if stage.combiner == "sum":
+                        aggs[stage.output] = updated + local_red
+                    elif stage.combiner == "max":
+                        aggs[stage.output] = np.maximum(updated, local_red)
+                    elif stage.combiner == "min":
+                        aggs[stage.output] = np.minimum(updated, local_red)
+                    else:
+                        raise ExecutionError(
+                            f"stage {op.name!r}: unsupported combiner "
+                            f"{stage.combiner!r}")
+                    local[stage.output] = aggs[stage.output]
+                else:
+                    local[op.output] = self._eval(op, graph, local, env,
+                                                  tctx, sizes)
+
+        # Aggregate outputs are final results of this block.
+        for s in plan.stages:
+            if s.output in outputs:
+                spec = graph.tensors[s.output]
+                _slice_array(outputs[s.output], spec.dims, ctx)[...] = \
+                    aggs[s.output]
+
+        # Pass 2: epilogue over the tiles with final aggregates.
+        if plan.pass2_op_names:
+            pass2_ops = [graph.op(name) for name in plan.pass2_op_names]
+            pass2_invariant: dict[str, np.ndarray] = {}
+            for op in pass2_ops:
+                for t in op.inputs:
+                    if (t in graph_inputs and t not in pass2_invariant
+                            and tdim not in graph.tensors[t].dims):
+                        self._fetch(t, graph, pass2_invariant, env, ctx)
+            for lo, hi in tiles:
+                tctx = dict(ctx)
+                tctx[tdim] = (lo, hi)
+                local = dict(aggs)
+                local.update(pass2_invariant)
+                for op in pass2_ops:
+                    local[op.output] = self._eval(op, graph, local, env,
+                                                  tctx, sizes)
+                for t, arr in outputs.items():
+                    if t in local and t not in aggs:
+                        spec = graph.tensors[t]
+                        _slice_array(arr, spec.dims, tctx)[...] = local[t]
+
+
+def execute_schedule(program: ProgramSchedule, feeds: dict[str, np.ndarray],
+                     dtype=np.float64) -> dict[str, np.ndarray]:
+    """Convenience wrapper: run ``program`` on ``feeds``."""
+    return ScheduleExecutor(dtype=dtype).execute_program(program, feeds)

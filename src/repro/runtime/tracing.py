@@ -1,0 +1,91 @@
+"""Tracing executor: measure global-memory traffic by *running* schedules.
+
+The analytical cost model (``repro.hw.simulator``) derives a kernel's
+global loads and stores from schedule structure alone.  This module
+computes the same quantities empirically, by instrumenting the schedule
+interpreter's block loop — every slice a block fetches from a global tensor
+is tallied, every output write is tallied.
+
+The agreement between the two (tested in
+``tests/integration/test_model_validation.py``) is the reproduction's
+internal consistency check: the numbers the experiments report are the
+numbers the schedules actually imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.schedule import KernelSchedule, ProgramSchedule
+from ..ir.tensor import DTYPE_BYTES
+from .executor import ScheduleExecutor
+
+
+@dataclass
+class TrafficTrace:
+    """Observed global-memory traffic of one executed kernel."""
+
+    load_bytes: int = 0
+    store_bytes: int = 0
+    loads_by_tensor: dict[str, int] = field(default_factory=dict)
+
+    def add_load(self, tensor: str, nbytes: int) -> None:
+        self.load_bytes += nbytes
+        self.loads_by_tensor[tensor] = (
+            self.loads_by_tensor.get(tensor, 0) + nbytes)
+
+
+class TracingExecutor(ScheduleExecutor):
+    """A :class:`ScheduleExecutor` that tallies global traffic.
+
+    Loads are counted whenever a block (or intra-block pass) fetches a
+    slice of a tensor living in the global environment; stores are counted
+    from the kernel's output sizes.  Per-block caching inside one pass is
+    respected (the base executor memoises fetches in its block-local
+    environment), matching the model's assumption that a block stages each
+    operand slice once per pass.
+    """
+
+    def __init__(self, dtype=np.float64) -> None:
+        super().__init__(dtype=dtype)
+        self.traces: dict[str, TrafficTrace] = {}
+        self._current: TrafficTrace | None = None
+        self._elem_bytes: dict[str, int] = {}
+
+    def execute_kernel(self, kernel: KernelSchedule,
+                       env: dict[str, np.ndarray]) -> None:
+        trace = TrafficTrace()
+        self.traces[kernel.name] = trace
+        self._current = trace
+        graph = kernel.exec_graph
+        self._globals = set(graph.input_tensors)
+        self._elem_bytes = {
+            t: DTYPE_BYTES[spec.dtype] for t, spec in graph.tensors.items()
+        }
+        try:
+            super().execute_kernel(kernel, env)
+        finally:
+            for t in graph.output_tensors:
+                trace.store_bytes += graph.tensors[t].nbytes(graph.dims)
+            self._current = None
+
+    def _fetch(self, name, graph, local, env, ctx):
+        counted = (self._current is not None and name not in local
+                   and name in env and name in self._globals)
+        arr = super()._fetch(name, graph, local, env, ctx)
+        if counted:
+            self._current.add_load(
+                name, arr.size * self._elem_bytes.get(name, 2))
+        return arr
+
+
+def trace_program(program: ProgramSchedule,
+                  feeds: dict[str, np.ndarray],
+                  dtype=np.float64) -> tuple[dict[str, np.ndarray],
+                                             dict[str, TrafficTrace]]:
+    """Execute a program while tracing traffic; returns (env, traces)."""
+    executor = TracingExecutor(dtype=dtype)
+    env = executor.execute_program(program, feeds)
+    return env, executor.traces

@@ -1,0 +1,149 @@
+"""Tests for the baseline schedule generators."""
+
+import pytest
+
+from repro.baselines import (
+    FlashAttentionUnavailable,
+    schedule_cublaslt,
+    schedule_flash_attention,
+    schedule_fused_layernorm,
+    schedule_pytorch,
+    schedule_unfused_primitive,
+)
+from repro.hw import AMPERE, VOLTA
+from repro.models import layernorm_graph, lstm_cell_graph, mha_graph, mlp_graph
+
+
+class TestUnfused:
+    def test_one_kernel_per_op(self, small_mha):
+        sched = schedule_unfused_primitive(small_mha, AMPERE)
+        assert sched.num_kernels == len(small_mha.ops)
+
+    def test_dispatch_overhead_flag(self, small_mha):
+        with_fw = schedule_unfused_primitive(small_mha, AMPERE)
+        without = schedule_unfused_primitive(small_mha, AMPERE,
+                                             framework_overhead=False)
+        assert "dispatch_overhead" in with_fw.meta
+        assert "dispatch_overhead" not in without.meta
+
+
+class TestPyTorch:
+    def test_softmax_group_fused(self):
+        # The model-zoo MHA tags its softmax ops; PyTorch fuses that group.
+        graph = mha_graph(1, 1, 64, 64, 16, scaled=False)
+        sched = schedule_pytorch(graph, AMPERE)
+        # GEMM, GEMM as single kernels + 1 fused softmax kernel.
+        assert sched.num_kernels == 3
+        assert max(len(k.exec_graph.ops) for k in sched.kernels) == 5
+
+    def test_untagged_graph_runs_per_op(self, small_mha):
+        # The conftest MHA is built from raw primitives (no tags): eager
+        # PyTorch launches one kernel per op.
+        sched = schedule_pytorch(small_mha, AMPERE)
+        assert sched.num_kernels == len(small_mha.ops)
+
+    def test_layernorm_group_fused(self, small_ln):
+        sched = schedule_pytorch(small_ln, AMPERE)
+        assert sched.num_kernels == 1
+
+    def test_rmsnorm_runs_eager(self, small_rmsnorm):
+        # Huggingface RMSNorm is plain python ops: one kernel per op.
+        sched = schedule_pytorch(small_rmsnorm, AMPERE)
+        assert sched.num_kernels == len(small_rmsnorm.ops)
+
+    def test_lstm_five_kernel_structure(self, small_lstm):
+        sched = schedule_pytorch(small_lstm, AMPERE,
+                                 framework_overhead=False,
+                                 fuse_groups="all")
+        # 2 GEMMs + 3 hand-grouped element-wise kernels (section 6.1).
+        assert sched.num_kernels == 5
+
+
+class TestCublasLt:
+    def test_mlp_one_kernel_per_layer(self):
+        graph = mlp_graph(4, 64, 32, 32)
+        sched = schedule_cublaslt(graph, AMPERE)
+        assert sched.num_kernels == 4
+        for kernel in sched.kernels:
+            kinds = [op.kind for op in kernel.exec_graph.ops]
+            assert kinds[0] == "matmul"
+
+    def test_plain_cublas_no_epilogue(self):
+        graph = mlp_graph(2, 64, 32, 32)
+        lt = schedule_cublaslt(graph, AMPERE)
+        plain = schedule_cublaslt(graph, AMPERE, fuse_epilogue=False)
+        assert plain.num_kernels > lt.num_kernels
+
+    def test_lstm_kernel_count_between_unfused_and_fused(self, small_lstm):
+        sched = schedule_cublaslt(small_lstm, AMPERE)
+        assert 2 < sched.num_kernels < len(small_lstm.ops)
+
+    def test_epilogue_stops_at_reduction(self, small_softmax_gemm):
+        sched = schedule_cublaslt(small_softmax_gemm, AMPERE)
+        for kernel in sched.kernels:
+            ops = kernel.exec_graph.ops
+            if any(op.is_contraction for op in ops):
+                assert not any(op.kind.startswith("reduce_") for op in ops
+                               if not op.is_contraction)
+
+
+class TestFlashAttention:
+    def test_variants_single_kernel(self, small_mha):
+        for variant in ("fa1", "fa2", "fa_triton"):
+            sched = schedule_flash_attention(small_mha, AMPERE, variant)
+            assert sched.num_kernels == 1
+            assert sched.kernels[0].plan.uses_uta
+
+    def test_fa2_unavailable_on_volta(self, small_mha):
+        with pytest.raises(FlashAttentionUnavailable):
+            schedule_flash_attention(small_mha, VOLTA, "fa2")
+
+    def test_fa1_available_on_volta(self, small_mha):
+        sched = schedule_flash_attention(small_mha, VOLTA, "fa1")
+        assert sched.num_kernels == 1
+
+    def test_fa1_spills_output(self, small_mha):
+        sched = schedule_flash_attention(small_mha, AMPERE, "fa1")
+        assert sched.kernels[0].meta["output_spill_factor"] > 1
+
+    def test_fa2_does_not_spill(self, small_mha):
+        sched = schedule_flash_attention(small_mha, AMPERE, "fa2")
+        assert "output_spill_factor" not in sched.kernels[0].meta
+
+    def test_unknown_variant_raises(self, small_mha):
+        with pytest.raises(ValueError):
+            schedule_flash_attention(small_mha, AMPERE, "fa9")
+
+    def test_non_mha_graph_raises(self, small_ln):
+        with pytest.raises(ValueError):
+            schedule_flash_attention(small_ln, AMPERE, "fa2")
+
+    def test_batched_mha_blocks_lead_dims(self, batched_mha):
+        sched = schedule_flash_attention(batched_mha, AMPERE, "fa2")
+        cfg = sched.kernels[0].config
+        assert cfg.block_of("b") == 1
+        assert cfg.block_of("h") == 1
+
+
+class TestFusedLayerNorm:
+    def test_variants_single_kernel(self, small_ln):
+        for variant in ("pytorch_op", "apex", "ln_triton"):
+            sched = schedule_fused_layernorm(small_ln, AMPERE, variant)
+            assert sched.num_kernels == 1
+
+    def test_apex_persistent_when_it_fits(self, small_ln):
+        sched = schedule_fused_layernorm(small_ln, AMPERE, "apex")
+        assert sched.kernels[0].plan is None  # single pass
+
+    def test_apex_falls_back_for_huge_rows(self):
+        graph = layernorm_graph(64, 65536)
+        sched = schedule_fused_layernorm(graph, AMPERE, "apex")
+        assert sched.kernels[0].plan is not None  # two-pass fallback
+
+    def test_pytorch_op_one_row_blocks(self, small_ln):
+        sched = schedule_fused_layernorm(small_ln, AMPERE, "pytorch_op")
+        assert sched.kernels[0].config.block_of("m") == 1
+
+    def test_unknown_variant_raises(self, small_ln):
+        with pytest.raises(ValueError):
+            schedule_fused_layernorm(small_ln, AMPERE, "oneflow")

@@ -1,0 +1,124 @@
+"""Tests for the end-to-end engines (section 6.2 comparators)."""
+
+import pytest
+
+from repro.baselines import (
+    ENGINES,
+    EngineUnsupported,
+    compile_model_with_engine,
+    engine_supported,
+    modeled_compile_seconds,
+)
+from repro.hw import AMPERE, HOPPER, VOLTA
+from repro.ir import program_from_graph
+from repro.models import build_model, mha_graph
+from repro.pipeline import simulate_model
+
+
+@pytest.fixture(scope="module")
+def tiny_bert():
+    return build_model("bert", batch=1, seq=128)
+
+
+class TestAvailabilityMatrix:
+    def test_nnfusion_volta_only(self):
+        assert engine_supported("nnfusion", VOLTA)
+        assert not engine_supported("nnfusion", AMPERE)
+        assert not engine_supported("nnfusion", HOPPER)
+
+    def test_bladedisc_not_on_hopper(self):
+        assert engine_supported("bladedisc", VOLTA)
+        assert engine_supported("bladedisc", AMPERE)
+        assert not engine_supported("bladedisc", HOPPER)
+
+    def test_others_everywhere(self):
+        for engine in ("pytorch", "tensorrt", "kernl", "spacefusion"):
+            for gpu in (VOLTA, AMPERE, HOPPER):
+                assert engine_supported(engine, gpu)
+
+    def test_unsupported_raises(self, tiny_bert):
+        with pytest.raises(EngineUnsupported):
+            compile_model_with_engine(tiny_bert, AMPERE, "nnfusion")
+
+    def test_unknown_engine_raises(self, tiny_bert):
+        with pytest.raises(ValueError, match="unknown engine"):
+            compile_model_with_engine(tiny_bert, AMPERE, "onnxruntime")
+
+
+class TestEngineSchedules:
+    def test_all_supported_engines_compile_bert(self, tiny_bert):
+        for engine in ENGINES:
+            if not engine_supported(engine, AMPERE):
+                continue
+            model = compile_model_with_engine(tiny_bert, AMPERE, engine)
+            assert model.subprograms
+            counters = simulate_model(model, AMPERE)
+            assert counters.time_s > 0
+
+    def test_spacefusion_fuses_most(self, tiny_bert):
+        kernels = {}
+        for engine in ("spacefusion", "pytorch", "bladedisc"):
+            model = compile_model_with_engine(tiny_bert, AMPERE, engine)
+            kernels[engine] = sum(
+                s.schedule.num_kernels for s in model.subprograms)
+        assert kernels["spacefusion"] <= kernels["bladedisc"]
+        assert kernels["spacefusion"] < kernels["pytorch"]
+
+    def test_bladedisc_never_fuses_ci_with_mi(self, tiny_bert):
+        from repro.ir.traits import is_compute_intensive
+        model = compile_model_with_engine(tiny_bert, AMPERE, "bladedisc")
+        for sub in model.subprograms:
+            for kernel in sub.schedule.kernels:
+                g = kernel.exec_graph
+                ci = [op for op in g.ops
+                      if is_compute_intensive(op, g.dims)]
+                if ci:
+                    assert len(g.ops) == 1
+
+    def test_kernl_uses_triton_attention(self):
+        graph = mha_graph(1, 2, 128, 128, 32)
+        graph.ops[0].attrs.setdefault("fusion_group", None)
+        prog = program_from_graph(graph)
+        model = compile_model_with_engine(prog, AMPERE, "kernl")
+        kernels = [k for s in model.subprograms for k in s.schedule.kernels]
+        assert any(k.meta.get("baseline") == "fa_triton" for k in kernels)
+
+    def test_tensorrt_fuses_attention(self):
+        graph = mha_graph(1, 2, 128, 128, 32)
+        prog = program_from_graph(graph)
+        model = compile_model_with_engine(prog, AMPERE, "tensorrt")
+        kernels = [k for s in model.subprograms for k in s.schedule.kernels]
+        assert len(kernels) == 1
+        assert kernels[0].meta["baseline"] == "tensorrt"
+
+    def test_cuda_graphs_marked_for_engines(self, tiny_bert):
+        for engine in ("tensorrt", "kernl", "bladedisc"):
+            model = compile_model_with_engine(tiny_bert, AMPERE, engine)
+            assert any(s.schedule.meta.get("cuda_graphs")
+                       for s in model.subprograms
+                       if s.schedule.kernels)
+
+    def test_pytorch_no_cuda_graphs(self, tiny_bert):
+        model = compile_model_with_engine(tiny_bert, AMPERE, "pytorch")
+        assert not any(s.schedule.meta.get("cuda_graphs")
+                       for s in model.subprograms)
+
+
+class TestCompileTimeModel:
+    def test_spacefusion_records_modeled_compile(self, tiny_bert):
+        model = compile_model_with_engine(tiny_bert, AMPERE, "spacefusion")
+        assert model.stats.phase_times["modeled_compile"] > 0
+
+    def test_spacefusion_compiles_faster_than_comparators(self, tiny_bert):
+        times = {}
+        for engine in ("spacefusion", "tensorrt", "bladedisc"):
+            model = compile_model_with_engine(tiny_bert, AMPERE, engine)
+            times[engine] = model.stats.phase_times["modeled_compile"]
+        # Table 5's ordering: SpaceFusion < TensorRT, BladeDISC.
+        assert times["spacefusion"] < times["tensorrt"]
+        assert times["spacefusion"] < times["bladedisc"]
+
+    def test_modeled_compile_monotone_in_patterns(self, tiny_bert):
+        model = compile_model_with_engine(tiny_bert, AMPERE, "tensorrt")
+        t = modeled_compile_seconds("tensorrt", model)
+        assert t > 20.0

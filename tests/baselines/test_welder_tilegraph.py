@@ -1,0 +1,144 @@
+"""Tests for the tile-graph fuser and the Figure-2 motivation experiment."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.welder_tilegraph import (
+    DEFAULT_TILE,
+    group_smem_bytes,
+    propagate_tiles,
+    schedule_welder,
+    tile_graph_fuse,
+)
+from repro.bench.motivation import fig2_motivation
+from repro.hw import AMPERE, VOLTA
+from repro.models import mha_graph, softmax_gemm_graph
+from repro.pipeline import compile_for, simulate
+from repro.runtime.executor import execute_schedule
+from repro.runtime.kernels import execute_graph_reference, random_feeds
+
+
+class TestTilePropagation:
+    def test_reduce_demands_full_extent(self):
+        """The paper's core observation: a reduction's input tile spans the
+        whole reduced dimension (Figure 2(a))."""
+        graph = softmax_gemm_graph(64, 256, 32)
+        ops = graph.topological_ops()
+        plan = propagate_tiles(graph, ops, {d: 16 for d in
+                                            graph.dims.names()})
+        # Softmax's input X is demanded at (tile_m, full K).
+        assert plan.tiles["X"]["m"] == 16
+        assert plan.tiles["X"]["k"] == 256
+
+    def test_aligned_intermediate_is_tile_by_k(self):
+        """Figure 2(c): the stitched intermediate is TileM_align x K —
+        16x256 fp16 = 8 KiB per tensor."""
+        graph = softmax_gemm_graph(64, 256, 32)
+        ops = graph.topological_ops()
+        plan = propagate_tiles(graph, ops, {d: 16 for d in
+                                            graph.dims.names()})
+        div_out = next(op.output for op in graph.ops if op.kind == "div")
+        assert plan.tile_bytes(graph, div_out) == 16 * 256 * 2
+
+    def test_smem_grows_linearly_with_k(self):
+        sizes = {}
+        for k in (256, 512, 1024):
+            graph = softmax_gemm_graph(64, k, 32)
+            ops = graph.topological_ops()
+            plan = propagate_tiles(graph, ops,
+                                   {d: 16 for d in graph.dims.names()})
+            sizes[k] = group_smem_bytes(graph, ops, plan)
+        assert sizes[512] == pytest.approx(2 * sizes[256], rel=0.01)
+        assert sizes[1024] == pytest.approx(4 * sizes[256], rel=0.01)
+
+    def test_elementwise_passes_tile_through(self):
+        from repro.ir import GraphBuilder
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 64), ("n", 32)])
+        e = b.unary("exp", x)
+        b.unary("relu", e, out_name="Y")
+        graph = b.build()
+        plan = propagate_tiles(graph, graph.topological_ops(),
+                               {"m": 8, "n": 8})
+        assert plan.tiles["X"] == {"m": 8, "n": 8}
+
+
+class TestTileGraphFusion:
+    def test_small_k_fuses_single_group(self):
+        graph = softmax_gemm_graph(4096, 256, 64)
+        groups = tile_graph_fuse(graph, VOLTA)
+        assert len(groups) == 1
+        assert groups[0].smem_bytes <= VOLTA.smem_per_block
+
+    def test_large_k_fusion_failure(self):
+        """Figure 2(c)'s K=1024 failure: 16 x 1024 intermediates overflow
+        Volta's 96 KiB shared memory, cutting the kernel."""
+        graph = softmax_gemm_graph(4096, 1024, 64)
+        groups = tile_graph_fuse(graph, VOLTA)
+        assert len(groups) > 1
+
+    def test_every_group_fits_budget(self):
+        for k in (256, 1024, 4096):
+            graph = softmax_gemm_graph(2048, k, 64)
+            for group in tile_graph_fuse(graph, VOLTA):
+                if len(group.ops) > 1:
+                    assert group.smem_bytes <= VOLTA.smem_per_block
+
+    def test_groups_cover_all_ops(self):
+        graph = mha_graph(1, 2, 256, 256, 64)
+        groups = tile_graph_fuse(graph, AMPERE)
+        covered = [op.name for g in groups for op in g.ops]
+        assert sorted(covered) == sorted(op.name for op in graph.ops)
+
+
+class TestWelderSchedules:
+    def test_schedule_executes_correctly(self):
+        graph = softmax_gemm_graph(64, 48, 24)
+        sched = schedule_welder(graph, AMPERE)
+        feeds = random_feeds(graph, seed=0)
+        ref = execute_graph_reference(graph, feeds)
+        env = execute_schedule(sched, feeds)
+        np.testing.assert_allclose(env["Out"], ref["Out"], atol=1e-9)
+
+    def test_split_schedule_still_correct(self):
+        graph = softmax_gemm_graph(128, 1024, 32)
+        sched = schedule_welder(graph, VOLTA)
+        assert sched.num_kernels > 1
+        feeds = random_feeds(graph, seed=1)
+        ref = execute_graph_reference(graph, feeds)
+        env = execute_schedule(sched, feeds)
+        np.testing.assert_allclose(env["Out"], ref["Out"], atol=1e-8)
+
+    def test_never_uses_uta(self):
+        graph = mha_graph(1, 2, 512, 512, 64)
+        sched = schedule_welder(graph, AMPERE)
+        for kernel in sched.kernels:
+            if kernel.plan is not None:
+                assert not kernel.plan.uses_uta
+
+
+class TestFig2Motivation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_motivation("volta", k_values=(256, 1024, 2048))
+
+    def test_k256_both_fuse(self, result):
+        row = result.filtered(k=256)[0]
+        assert row["welder_fused"]
+        assert row["spacefusion_kernels"] == 1
+
+    def test_k1024_alignment_fails_spacefusion_survives(self, result):
+        """The paper's headline contrast, quantified."""
+        row = result.filtered(k=1024)[0]
+        assert not row["welder_fused"]
+        assert row["spacefusion_kernels"] == 1
+        assert row["speedup_vs_welder"] > 1.3
+
+    def test_aligned_tile_matches_paper_example(self, result):
+        # 16x256 intermediate tiles: 3 stitched intermediates at 8 KiB.
+        row = result.filtered(k=256)[0]
+        assert row["aligned_tile_kb"] == pytest.approx(24.06, abs=0.1)
+
+    def test_gap_grows_with_k(self, result):
+        sus = [r["speedup_vs_welder"] for r in result.rows]
+        assert sus[-1] > sus[0]

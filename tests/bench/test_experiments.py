@@ -1,0 +1,141 @@
+"""Smoke tests for the experiment harness: every table/figure generator
+produces well-formed rows with the expected columns and sane values."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    evaluation_suite,
+    fig11a_mlp,
+    fig11b_lstm,
+    fig12_layernorm,
+    fig13_mha,
+    fig14_end_to_end,
+    fig15_memory_cache,
+    fig16a_ablation,
+    fig16c_arch_sensitivity,
+    geomean,
+    table4_mha_breakdown,
+    table5_model_compile_times,
+    table6_fusion_patterns,
+)
+
+
+class TestReporting:
+    def test_result_render(self):
+        r = ExperimentResult("figX", "demo", ["a", "b"])
+        r.add_row(a=1, b=2.5)
+        text = r.render()
+        assert "figX" in text and "2.50" in text
+
+    def test_filtered(self):
+        r = ExperimentResult("figX", "demo", ["a", "b"])
+        r.add_row(a=1, b=2)
+        r.add_row(a=2, b=3)
+        assert len(r.filtered(a=1)) == 1
+
+    def test_none_rendered_as_dash(self):
+        r = ExperimentResult("figX", "demo", ["a"])
+        r.add_row(a=None)
+        assert "-" in r.render()
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) != geomean([])  # nan
+
+
+class TestSubgraphExperiments:
+    def test_fig11a_speedups_positive(self):
+        r = fig11a_mlp(archs=("ampere",), layer_counts=(2, 4))
+        assert len(r.rows) == 2
+        assert all(row["speedup"] > 0.5 for row in r.rows)
+
+    def test_fig11a_speedup_grows_with_layers(self):
+        r = fig11a_mlp(archs=("ampere",), layer_counts=(2, 20))
+        sus = r.column("speedup")
+        assert sus[1] > sus[0]
+
+    def test_fig11b_columns(self):
+        r = fig11b_lstm(archs=("ampere",), hidden_sizes=(128,))
+        assert r.rows[0]["speedup_vs_cublas"] > 1.0
+
+    def test_fig12_spacefusion_wins(self):
+        r = fig12_layernorm(archs=("ampere",), sizes=(2048,))
+        row = r.rows[0]
+        assert row["su_pytorch"] > 2.0
+        assert row["su_vs_pytorch_op"] > 0.9
+
+    def test_fig13_fa_absent_on_volta(self):
+        r = fig13_mha(archs=("volta",), batches=(1,), seqs=(128,))
+        row = r.rows[0]
+        assert row["su_fa2"] is None  # no Volta build (as in the paper)
+        assert row["su_fa1"] is not None
+
+    def test_fig15_unfused_worse_everywhere(self):
+        r = fig15_memory_cache("ampere")
+        for row in r.filtered(variant="unfused_baseline"):
+            assert row["dram_norm"] > 1.0
+            assert row["l2_miss_norm"] > 1.0
+
+
+class TestEndToEndExperiments:
+    def test_fig14_row_shape(self):
+        r = fig14_end_to_end(archs=("ampere",), models=("bert",),
+                             batches=(1,), engines=("pytorch",
+                                                    "spacefusion"))
+        assert r.rows[0]["su_spacefusion"] > 1.0
+
+    def test_fig14_unsupported_marked_none(self):
+        r = fig14_end_to_end(archs=("hopper",), models=("bert",),
+                             batches=(1,),
+                             engines=("pytorch", "spacefusion",
+                                      "bladedisc"))
+        assert r.rows[0]["su_bladedisc"] is None
+
+    def test_fig16a_variants_bounded_by_full(self):
+        r = fig16a_ablation(arch="ampere", models=("bert",), batches=(1,))
+        row = r.rows[0]
+        assert row["spacefusion"] == pytest.approx(1.0)
+        for variant in ("base_ss", "base_as", "base_ts"):
+            assert 0.2 < row[variant] <= 1.01
+
+    def test_fig16c_perf_grows(self):
+        r = fig16c_arch_sensitivity(models=("bert",))
+        row = r.rows[0]
+        assert row["perf_hopper"] > row["perf_ampere"] > 1.0
+
+
+class TestCompileTimeExperiments:
+    def test_table4_tuning_dominates(self):
+        r = table4_mha_breakdown("ampere", cases=((8, 256),))
+        row = r.rows[0]
+        assert row["tuning_s"] > (row["ts_slice_ms"]
+                                  + row["enum_cfg_ms"]) / 1e3
+        assert row["total_s"] >= row["tuning_s"]
+
+    def test_table5_spacefusion_fastest(self):
+        r = table5_model_compile_times("ampere", models=("vit",), seq=128)
+        row = r.rows[0]
+        assert row["spacefusion_s"] < row["bladedisc_s"]
+        assert row["spacefusion_s"] < row["tensorrt_s"]
+
+
+class TestPatternCensus:
+    def test_suite_has_14_instances_9_structures(self):
+        suite = evaluation_suite()
+        assert len(suite) == 14
+        structures = {p.name.split("@")[0] for p in suite}
+        assert len(structures) == 9
+
+    def test_table6_ordering(self):
+        r = table6_fusion_patterns("ampere")
+        counts = {row["compiler"]: row["total"] for row in r.rows}
+        assert counts["spacefusion"] >= counts["nnfusion"] \
+            >= counts["bladedisc"]
+        by = {row["compiler"]: row for row in r.rows}
+        # BladeDISC fuses MI-only patterns (section 6.6).
+        assert by["bladedisc"]["ci_and_mi"] == 0
+        assert by["spacefusion"]["ci_and_mi"] > 0
+        # Only SpaceFusion (and the tile-graph compiler, partially) mixes
+        # CI and MI ops; its mixed patterns dominate its census.
+        assert by["spacefusion"]["ci_and_mi"] > by["spacefusion"]["mi_only"]

@@ -1,0 +1,58 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.bench.plotting import bar_chart, comparison_chart, series_chart
+from repro.bench.reporting import ExperimentResult
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("█") == 10          # peak fills the width
+        assert lines[0].count("█") == 5
+
+    def test_title_and_units(self):
+        out = bar_chart(["a"], [1.5], title="T", unit="ms")
+        assert out.startswith("T")
+        assert "1.50ms" in out
+
+    def test_none_rendered_as_dash(self):
+        out = bar_chart(["a", "b"], [1.0, None])
+        assert "-" in out.splitlines()[1]
+
+    def test_half_cell(self):
+        out = bar_chart(["a", "b"], [2.0, 1.75], width=4)  # 3.5 cells
+        assert "▌" in out.splitlines()[1]
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_ok(self):
+        assert bar_chart([], []) == ""
+
+
+class TestSeriesChart:
+    def _result(self):
+        r = ExperimentResult("figX", "demo", ["arch", "seq", "su"])
+        for arch in ("volta", "ampere"):
+            for seq, su in ((128, 2.0), (256, 3.0)):
+                r.add_row(arch=arch, seq=seq, su=su)
+        return r
+
+    def test_grouped_output(self):
+        out = series_chart(self._result(), x="seq", y="su", group_by="arch")
+        assert out.count("[arch=") == 2
+        assert "128" in out and "256" in out
+
+    def test_ungrouped(self):
+        out = series_chart(self._result(), x="seq", y="su")
+        assert "figX" in out
+
+    def test_comparison_chart(self):
+        r = ExperimentResult("figY", "demo", ["model", "a", "b"])
+        r.add_row(model="bert", a=2.0, b=1.0)
+        out = comparison_chart(r, "model", ["a", "b"])
+        assert "bert" in out and "2.00" in out

@@ -1,0 +1,87 @@
+"""Shared fixtures: canonical graphs and devices used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw import AMPERE, HOPPER, VOLTA
+from repro.ir import GraphBuilder
+from repro.models import (
+    layernorm_graph,
+    lstm_cell_graph,
+    mha_graph,
+    mlp_graph,
+    rmsnorm_graph,
+    softmax_gemm_graph,
+    softmax_graph,
+)
+
+
+@pytest.fixture
+def ampere():
+    return AMPERE
+
+
+@pytest.fixture
+def volta():
+    return VOLTA
+
+
+@pytest.fixture
+def hopper():
+    return HOPPER
+
+
+@pytest.fixture
+def small_mha():
+    """A small single-head MHA graph with non-square, non-power-of-2 dims
+    (ragged slicing paths get exercised)."""
+    b = GraphBuilder("mha_small")
+    q = b.input("Q", [("m", 96), ("dk", 24)])
+    k = b.input("K", [("l", 80), ("dk", 24)])
+    v = b.input("V", [("l", 80), ("dv", 40)])
+    qk = b.matmul(q, k, reduce_dim="dk", out_name="QK")
+    p = b.softmax(qk, dim="l")
+    b.matmul(p, v, reduce_dim="l", out_name="Out")
+    return b.build()
+
+
+@pytest.fixture
+def small_ln():
+    return layernorm_graph(40, 72, name="ln_small")
+
+
+@pytest.fixture
+def small_softmax():
+    return softmax_graph(48, 56, name="softmax_small")
+
+
+@pytest.fixture
+def small_mlp():
+    return mlp_graph(3, 64, 32, 48, name="mlp_small")
+
+
+@pytest.fixture
+def small_lstm():
+    return lstm_cell_graph(32, 40, 24, name="lstm_small")
+
+
+@pytest.fixture
+def small_rmsnorm():
+    return rmsnorm_graph(36, 60, name="rms_small")
+
+
+@pytest.fixture
+def small_softmax_gemm():
+    return softmax_gemm_graph(32, 48, 40, name="sg_small")
+
+
+@pytest.fixture
+def batched_mha():
+    return mha_graph(2, 4, 64, 48, 16, name="mha_batched")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

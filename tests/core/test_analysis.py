@@ -1,0 +1,94 @@
+"""Tests for the section-2 dependency census."""
+
+import pytest
+
+from repro.core.analysis import mapping_census, single_output_dependency_stats
+from repro.ir import GraphBuilder
+
+
+def _mha(L, K, M=6):
+    """Plain MHA in the paper's Figure-1 setting (no scale/mask)."""
+    b = GraphBuilder("mha")
+    q = b.input("Query", [("m", M), ("dk", K)])
+    k = b.input("Key", [("l", L), ("dk", K)])
+    v = b.input("Value", [("l", L), ("dv", K)])
+    qk = b.matmul(q, k, reduce_dim="dk", out_name="QK")
+    p = b.softmax(qk, dim="l")
+    b.matmul(p, v, reduce_dim="l", out_name="Out")
+    return b.build()
+
+
+class TestMHACensus:
+    """The paper (section 2): a single MHA output element depends on
+    (2LK + 4K + 2) elements from 8 tensors through 6 layers of nesting,
+    via 6 One-to-Alls and 4 All-to-Ones.
+
+    Our decomposition is one op finer (the paper folds ``exp(QK - Max)``
+    into one node and counts Value rows at full width), so the machine-
+    derived closed form here is ``LK + 5L + K + 2`` over 9 tensors with
+    7 nesting layers — same quadratic structure, same mapping census.
+    """
+
+    @pytest.mark.parametrize("L,K", [(5, 3), (8, 4), (16, 8), (7, 7)])
+    def test_element_count_closed_form(self, L, K):
+        stats = single_output_dependency_stats(_mha(L, K))
+        assert stats.total_elements == L * K + 5 * L + K + 2
+
+    def test_wide_ranges_cover_whole_dimensions(self):
+        """'Wide dependency ranges covering the whole range of a tensor
+        dimension': Key contributes all L*K elements, QK its whole row."""
+        L, K = 8, 4
+        stats = single_output_dependency_stats(_mha(L, K))
+        assert stats.elements_by_tensor["Key"] == L * K
+        assert stats.elements_by_tensor["QK"] == L
+        assert stats.elements_by_tensor["Query"] == K
+
+    def test_scalars_from_reductions(self):
+        stats = single_output_dependency_stats(_mha(8, 4))
+        assert stats.elements_by_tensor["rmax_2"] == 1
+        assert stats.elements_by_tensor["rsum_8"] == 1
+
+    def test_nesting_depth(self):
+        # Paper: 6 layers for its 5-op softmax folding; ours splits sub/exp.
+        stats = single_output_dependency_stats(_mha(8, 4))
+        assert stats.nesting_depth == 7
+
+    def test_mapping_census_matches_paper(self):
+        """Exactly the paper's Figure-5 count: 6 O2A + 4 A2O."""
+        census = mapping_census(_mha(8, 4))
+        assert census["O2A"] == 6
+        assert census["A2O"] == 4
+
+    def test_describe(self):
+        text = single_output_dependency_stats(_mha(5, 3)).describe()
+        assert "45 elements" in text
+
+
+class TestOtherGraphs:
+    def test_elementwise_chain_depends_on_one_element_per_tensor(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 8), ("n", 4)])
+        e = b.unary("exp", x)
+        b.unary("relu", e, out_name="Y")
+        stats = single_output_dependency_stats(b.build())
+        assert stats.total_elements == 2  # one element of X, one of exp
+        assert stats.nesting_depth == 2
+
+    def test_reduction_pulls_whole_dimension(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 8), ("n", 12)])
+        b.reduce("sum", x, dim="n", out_name="S")
+        stats = single_output_dependency_stats(b.build())
+        assert stats.elements_by_tensor["X"] == 12
+
+    def test_chosen_element_matters_only_by_position(self):
+        g = _mha(6, 4)
+        a = single_output_dependency_stats(g, element=(0, 0))
+        b2 = single_output_dependency_stats(g, element=(3, 2))
+        assert a.total_elements == b2.total_elements
+
+    def test_layernorm_census(self, small_ln):
+        stats = single_output_dependency_stats(small_ln)
+        n = small_ln.dims.size("n")
+        # The whole row is pulled through both reductions.
+        assert stats.elements_by_tensor["X"] == n

@@ -1,0 +1,119 @@
+"""Tests for the auto-tuner (section 6.5) and memory planner (section 5.4)."""
+
+import pytest
+
+from repro.core.autotuner import TuneResult, pick_best, tune_kernel
+from repro.core.builder import build_smg
+from repro.core.memory_planner import (
+    GLOBAL,
+    REGISTER,
+    SHARED,
+    plan_memory_levels,
+    register_tensors,
+    shared_tensors,
+)
+from repro.core.schedule import KernelSchedule, ScheduleConfig
+from repro.core.temporal_slicer import plan_temporal_slice
+
+
+def _kernel_with_space(small_mha, n=6):
+    smg = build_smg(small_mha)
+    plan = plan_temporal_slice(smg, "l")
+    k = KernelSchedule("k", smg, ("m",), plan)
+    k.search_space = [ScheduleConfig(block=(("m", 8 * (i + 1)),), tile=16)
+                      for i in range(n)]
+    return k
+
+
+class TestAutotuner:
+    def test_picks_fastest(self, small_mha):
+        kernel = _kernel_with_space(small_mha)
+        times = {cfg: 1.0 / (i + 1)
+                 for i, cfg in enumerate(kernel.search_space)}
+        res = tune_kernel(kernel, lambda k, c: times[c])
+        assert res.best_config == kernel.search_space[-1]
+        assert kernel.config == res.best_config
+
+    def test_early_quit_counts(self, small_mha):
+        kernel = _kernel_with_space(small_mha)
+        # First config is fast; the rest are 100x slower -> quit early.
+        def timing(k, cfg):
+            return 1e-6 if cfg is kernel.search_space[0] else 1e-4
+        res = tune_kernel(kernel, timing, alpha=0.25)
+        assert res.configs_quit_early == len(kernel.search_space) - 1
+
+    def test_early_quit_shortens_campaign(self, small_mha):
+        kernel = _kernel_with_space(small_mha)
+        def timing(k, cfg):
+            return 1e-6 if cfg is kernel.search_space[0] else 1e-4
+        with_quit = tune_kernel(kernel, timing, alpha=0.25).tuning_wall_time
+        without = tune_kernel(kernel, timing, alpha=1e9).tuning_wall_time
+        assert with_quit < without
+
+    def test_wall_time_counts_runs(self, small_mha):
+        kernel = _kernel_with_space(small_mha, n=1)
+        res = tune_kernel(kernel, lambda k, c: 1e-3)
+        assert res.tuning_wall_time == pytest.approx(120 * 1e-3)
+
+    def test_timings_recorded(self, small_mha):
+        kernel = _kernel_with_space(small_mha)
+        res = tune_kernel(kernel, lambda k, c: 1e-3)
+        assert len(res.timings) == len(kernel.search_space)
+
+    def test_pick_best(self, small_mha):
+        kernel = _kernel_with_space(small_mha)
+        results = [
+            TuneResult(kernel, kernel.search_space[0], t, 1, 0, 0.0)
+            for t in (3.0, 1.0, 2.0)
+        ]
+        assert pick_best(results).best_time == 1.0
+
+    def test_pick_best_empty_raises(self):
+        with pytest.raises(ValueError):
+            pick_best([])
+
+
+class TestMemoryPlanner:
+    def test_inputs_outputs_global(self, small_mha):
+        kernel = _kernel_with_space(small_mha)
+        levels = plan_memory_levels(kernel)
+        for t in ("Q", "K", "V", "Out"):
+            assert levels[t] == GLOBAL
+
+    def test_aggregates_in_registers(self, small_mha):
+        """The running max/sum live in registers, like FlashAttention's
+        online statistics."""
+        kernel = _kernel_with_space(small_mha)
+        levels = plan_memory_levels(kernel)
+        outputs = set(kernel.exec_graph.output_tensors)
+        for s in kernel.plan.stages:
+            if s.output in levels and s.output not in outputs:
+                assert levels[s.output] == REGISTER
+
+    def test_a2o_sink_in_shared(self, small_mha):
+        """QK — the sink of GEMM1's All-to-One — maps to shared memory
+        (section 5.4)."""
+        kernel = _kernel_with_space(small_mha)
+        levels = plan_memory_levels(kernel)
+        assert levels["QK"] == SHARED
+
+    def test_o2o_chain_in_registers(self, small_mha):
+        kernel = _kernel_with_space(small_mha)
+        levels = plan_memory_levels(kernel)
+        sub_out = next(op.output for op in kernel.exec_graph.ops
+                       if op.kind == "sub")
+        assert levels[sub_out] == REGISTER
+
+    def test_every_tensor_assigned(self, small_ln):
+        from repro.core.builder import build_smg as bs
+        smg = bs(small_ln)
+        plan = plan_temporal_slice(smg, "n")
+        kernel = KernelSchedule("k", smg, ("m",), plan)
+        levels = plan_memory_levels(kernel)
+        assert set(levels) == set(kernel.exec_graph.tensors)
+
+    def test_level_query_helpers(self, small_mha):
+        kernel = _kernel_with_space(small_mha)
+        kernel.memory_levels = plan_memory_levels(kernel)
+        assert set(shared_tensors(kernel)) | set(register_tensors(kernel)) \
+            <= set(kernel.exec_graph.tensors)

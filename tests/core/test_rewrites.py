@@ -1,0 +1,138 @@
+"""Tests for the algebraic graph rewrites backing broadcast postposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.rewrites import (
+    copy_graph,
+    find_variance_patterns,
+    lower_mean_reductions,
+    prepare_for_temporal_slicing,
+    prune_dead_ops,
+    variance_decomposition,
+)
+from repro.ir import GraphBuilder
+from repro.runtime.kernels import execute_graph_reference, random_feeds
+
+
+class TestCopyAndPrune:
+    def test_copy_pins_outputs(self, small_ln):
+        clone = copy_graph(small_ln)
+        assert clone.declared_outputs == small_ln.output_tensors
+        clone.ops = clone.ops[:-1]
+        # The original's op list is untouched.
+        assert len(small_ln.ops) > len(clone.ops)
+
+    def test_prune_removes_dead_chain(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4)])
+        live = b.unary("exp", x, out_name="Live")
+        b.unary("relu", x, out_name="Dead")
+        g = b.build()
+        g.declared_outputs = ["Live"]
+        prune_dead_ops(g)
+        assert [op.output for op in g.ops] == ["Live"]
+        assert "Dead" not in g.tensors
+
+    def test_prune_keeps_transitive_producers(self, small_mha):
+        g = copy_graph(small_mha)
+        prune_dead_ops(g)
+        assert len(g.ops) == len(small_mha.ops)
+
+
+class TestMeanLowering:
+    def test_mean_becomes_sum_plus_scale(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 8)])
+        b.reduce("mean", x, dim="n", out_name="Mu")
+        g = copy_graph(b.build())
+        lower_mean_reductions(g, "n")
+        kinds = [op.kind for op in g.ops]
+        assert "reduce_mean" not in kinds
+        assert "reduce_sum" in kinds and "scalar_mul" in kinds
+
+    def test_lowering_preserves_semantics(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 8)])
+        b.reduce("mean", x, dim="n", out_name="Mu")
+        g = b.build()
+        feeds = random_feeds(g, seed=7)
+        ref = execute_graph_reference(g, feeds)
+        lowered = copy_graph(g)
+        lower_mean_reductions(lowered, "n")
+        out = execute_graph_reference(lowered, feeds)
+        assert np.allclose(out["Mu"], ref["Mu"])
+
+    def test_mean_over_other_dim_untouched(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 8)])
+        b.reduce("mean", x, dim="m", out_name="Mu")
+        g = copy_graph(b.build())
+        lower_mean_reductions(g, "n")
+        assert g.ops[0].kind == "reduce_mean"
+
+
+class TestVarianceDecomposition:
+    def test_pattern_found_in_layernorm(self, small_ln):
+        patterns = find_variance_patterns(small_ln, "n")
+        assert len(patterns) == 1
+        assert patterns[0].var_op.kind == "reduce_mean"
+
+    def test_rewrite_fires_and_removes_dependency(self, small_ln):
+        g = copy_graph(small_ln)
+        assert variance_decomposition(g, "n")
+        # After E[x^2]-E[x]^2 the two means are independent: no reduction's
+        # ancestors include the other reduction.
+        means = [op for op in g.ops if op.kind == "reduce_mean"]
+        assert len(means) == 2
+        for op in means:
+            ancestors = {o.output for o in g.topological_ops()
+                         if g.producer_of(op.inputs[0]) and o is not op}
+        # structural check: the centered sub no longer feeds a reduction
+        sub = next(op for op in g.ops if op.kind == "sub")
+        consumers = {c.kind for c in g.consumers_of(sub.output)}
+        assert "reduce_mean" not in consumers
+
+    def test_rewrite_preserves_semantics(self, small_ln):
+        feeds = random_feeds(small_ln, seed=3)
+        ref = execute_graph_reference(small_ln, feeds)
+        g = copy_graph(small_ln)
+        variance_decomposition(g, "n")
+        out = execute_graph_reference(g, feeds)
+        out_name = small_ln.output_tensors[0]
+        assert np.allclose(out[out_name], ref[out_name])
+
+    def test_no_pattern_returns_false(self, small_mha):
+        g = copy_graph(small_mha)
+        assert not variance_decomposition(g, "l")
+
+    def test_mul_self_square_matches(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 8)])
+        mu = b.reduce("mean", x, dim="n")
+        c = b.binary("sub", x, mu)
+        sq = b.binary("mul", c, c)
+        b.reduce("mean", sq, dim="n", out_name="Var")
+        g = b.build()
+        assert len(find_variance_patterns(g, "n")) == 1
+
+
+class TestPrepare:
+    def test_layernorm_prepared_graph_is_equivalent(self, small_ln):
+        feeds = random_feeds(small_ln, seed=11)
+        ref = execute_graph_reference(small_ln, feeds)
+        prepared, rewrote = prepare_for_temporal_slicing(small_ln, "n")
+        assert rewrote
+        out = execute_graph_reference(prepared, feeds)
+        name = small_ln.output_tensors[0]
+        assert np.allclose(out[name], ref[name])
+
+    def test_original_graph_is_untouched(self, small_ln):
+        n_ops = len(small_ln.ops)
+        prepare_for_temporal_slicing(small_ln, "n")
+        assert len(small_ln.ops) == n_ops
+
+    def test_mha_prepare_is_identity_modulo_means(self, small_mha):
+        prepared, rewrote = prepare_for_temporal_slicing(small_mha, "l")
+        assert not rewrote
+        assert len(prepared.ops) == len(small_mha.ops)

@@ -1,0 +1,170 @@
+"""Tests for the schedule data model and resource estimation (section 5.1)."""
+
+import pytest
+
+from repro.core.builder import build_smg
+from repro.core.resources import (
+    ResourceConfig,
+    check_resources,
+    enumerate_configs,
+    estimate_block_resources,
+)
+from repro.core.schedule import KernelSchedule, ProgramSchedule, ScheduleConfig
+from repro.core.temporal_slicer import plan_temporal_slice
+
+
+def _mha_kernel(small_mha, config=None):
+    smg = build_smg(small_mha)
+    plan = plan_temporal_slice(smg, "l")
+    return KernelSchedule("k", smg, ("m",), plan, config=config)
+
+
+class TestScheduleConfig:
+    def test_block_of(self):
+        cfg = ScheduleConfig(block=(("m", 32),), tile=16)
+        assert cfg.block_of("m") == 32
+        assert cfg.block_of("n") is None
+
+    def test_as_dict_and_describe(self):
+        cfg = ScheduleConfig(block=(("m", 32), ("n", 8)), tile=4)
+        assert cfg.as_dict() == {"m": 32, "n": 8}
+        assert "tile=4" in cfg.describe()
+
+
+class TestKernelSchedule:
+    def test_grid_size(self, small_mha):
+        k = _mha_kernel(small_mha, ScheduleConfig(block=(("m", 32),), tile=16))
+        assert k.grid_size() == 3  # ceil(96/32)
+
+    def test_grid_requires_block(self, small_mha):
+        k = _mha_kernel(small_mha, ScheduleConfig(block=(), tile=16))
+        with pytest.raises(ValueError, match="lacks block"):
+            k.grid_size()
+
+    def test_num_intra_blocks(self, small_mha):
+        k = _mha_kernel(small_mha, ScheduleConfig(block=(("m", 32),), tile=16))
+        assert k.num_intra_blocks() == 5  # ceil(80/16)
+
+    def test_sliced_extent(self, small_mha):
+        k = _mha_kernel(small_mha, ScheduleConfig(block=(("m", 32),), tile=16))
+        assert k.sliced_extent("m") == 32
+        assert k.sliced_extent("l") == 16   # temporal tile
+        assert k.sliced_extent("dk") == 24  # unsliced: full extent
+
+    def test_tensor_block_elems(self, small_mha):
+        k = _mha_kernel(small_mha, ScheduleConfig(block=(("m", 32),), tile=16))
+        assert k.tensor_block_elems("QK") == 32 * 16
+        assert k.tensor_block_elems("K") == 16 * 24
+
+    def test_effective_config_fallbacks(self, small_mha):
+        k = _mha_kernel(small_mha)
+        k.search_space = [ScheduleConfig(block=(("m", 8),), tile=16)]
+        assert k.effective_config().block_of("m") == 8
+        k.search_space = []
+        with pytest.raises(ValueError, match="no configuration"):
+            k.effective_config()
+
+    def test_exec_graph_is_rewritten_graph(self, small_ln):
+        smg = build_smg(small_ln)
+        plan = plan_temporal_slice(smg, "n")
+        k = KernelSchedule("k", smg, ("m",), plan)
+        assert k.exec_graph is plan.graph
+        assert k.temporal_dim == "n"
+
+    def test_program_schedule_counts(self, small_mha):
+        prog = ProgramSchedule("p")
+        prog.add(_mha_kernel(small_mha, ScheduleConfig(block=(("m", 32),),
+                                                       tile=16)))
+        assert prog.num_kernels == 1
+        assert prog.fused_op_counts() == [7]
+        assert "p" in prog.describe()
+
+
+class TestResourceEstimation:
+    RC = ResourceConfig(smem_per_block=96 * 1024, regs_per_block=128 * 1024)
+
+    def test_temporal_slicing_shrinks_smem(self, small_mha):
+        smg = build_smg(small_mha)
+        plan = plan_temporal_slice(smg, "l")
+        kernel = KernelSchedule("k", smg, ("m",), plan)
+        small_tile = estimate_block_resources(
+            kernel, ScheduleConfig(block=(("m", 32),), tile=16), self.RC)
+        big_tile = estimate_block_resources(
+            kernel, ScheduleConfig(block=(("m", 32),), tile=80), self.RC)
+        assert small_tile.smem_bytes < big_tile.smem_bytes
+
+    def test_bigger_blocks_cost_more_smem(self, small_mha):
+        smg = build_smg(small_mha)
+        plan = plan_temporal_slice(smg, "l")
+        kernel = KernelSchedule("k", smg, ("m",), plan)
+        small = estimate_block_resources(
+            kernel, ScheduleConfig(block=(("m", 8),), tile=16), self.RC)
+        big = estimate_block_resources(
+            kernel, ScheduleConfig(block=(("m", 96),), tile=16), self.RC)
+        assert small.smem_bytes < big.smem_bytes
+
+    def test_aggregates_charged_to_registers(self, small_mha):
+        smg = build_smg(small_mha)
+        plan = plan_temporal_slice(smg, "l")
+        kernel = KernelSchedule("k", smg, ("m",), plan)
+        res = estimate_block_resources(
+            kernel, ScheduleConfig(block=(("m", 32),), tile=16), self.RC)
+        # Out (32x40) + rsum (32) + rmax (32) accumulators in fp32.
+        assert res.reg_bytes >= (32 * 40 + 64) * 4
+
+    def test_check_resources_bounds(self, small_mha):
+        smg = build_smg(small_mha)
+        kernel = KernelSchedule("k", smg, ("m",))
+        tiny_rc = ResourceConfig(smem_per_block=1024, regs_per_block=1 << 20)
+        assert not check_resources(
+            kernel, ScheduleConfig(block=(("m", 96),)), tiny_rc)
+
+    def test_fits_predicate(self):
+        from repro.core.resources import BlockResources
+        res = BlockResources(smem_bytes=1000, reg_bytes=1000)
+        assert res.fits(ResourceConfig(2000, 2000))
+        assert not res.fits(ResourceConfig(500, 2000))
+
+
+class TestEnumerateConfigs:
+    RC = ResourceConfig(smem_per_block=96 * 1024, regs_per_block=128 * 1024)
+
+    def test_all_configs_fit(self, small_mha):
+        smg = build_smg(small_mha)
+        plan = plan_temporal_slice(smg, "l")
+        kernel = KernelSchedule("k", smg, ("m",), plan)
+        configs = enumerate_configs(kernel, self.RC)
+        assert configs
+        for cfg in configs:
+            assert check_resources(kernel, cfg, self.RC)
+
+    def test_dependency_free_dims_pinned_to_one(self, batched_mha):
+        smg = build_smg(batched_mha)
+        plan = plan_temporal_slice(smg, "l")
+        kernel = KernelSchedule("k", smg, ("b", "h", "m"), plan)
+        for cfg in enumerate_configs(kernel, self.RC):
+            assert cfg.block_of("b") == 1
+            assert cfg.block_of("h") == 1
+
+    def test_respects_max_configs(self, small_mha):
+        smg = build_smg(small_mha)
+        plan = plan_temporal_slice(smg, "l")
+        kernel = KernelSchedule("k", smg, ("m",), plan)
+        configs = enumerate_configs(kernel, self.RC, max_configs=5)
+        assert len(configs) <= 5
+
+    def test_no_spatial_dims_degenerate_config(self):
+        from repro.ir import GraphBuilder
+        b = GraphBuilder("g")
+        x = b.input("X", [("n", 16)])
+        b.reduce("sum", x, dim="n")
+        smg = build_smg(b.build())
+        kernel = KernelSchedule("k", smg, ())
+        configs = enumerate_configs(kernel, self.RC)
+        assert configs == [ScheduleConfig(block=(), tile=None)]
+
+    def test_tiny_smem_prunes_everything(self, small_mha):
+        smg = build_smg(small_mha)
+        kernel = KernelSchedule("k", smg, ("m",))
+        rc = ResourceConfig(smem_per_block=256, regs_per_block=1 << 20)
+        assert enumerate_configs(kernel, rc) == []

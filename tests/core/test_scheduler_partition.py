@@ -1,0 +1,175 @@
+"""Tests for Algorithm 1 (resource-aware slicing) and Algorithm 2 (partitioning)."""
+
+import pytest
+
+from repro.core.builder import build_smg
+from repro.core.partition import (
+    partition_round,
+    reorganize_sub_smgs,
+    subgraph_from_ops,
+)
+from repro.core.resources import ResourceConfig
+from repro.core.scheduler import SlicingOptions, resource_aware_slicing
+from repro.hw import AMPERE
+from repro.ir import GraphBuilder
+
+RC = AMPERE.resource_config()
+
+
+class TestAlgorithm1:
+    def test_mha_yields_spatial_and_temporal_candidates(self, small_mha):
+        result = resource_aware_slicing(build_smg(small_mha), RC)
+        assert result.scheduled
+        slicings = {k.meta["slicing"] for k in result.candidates}
+        assert "spatial+temporal" in slicings
+
+    def test_candidates_carry_search_spaces(self, small_mha):
+        result = resource_aware_slicing(build_smg(small_mha), RC)
+        for kernel in result.candidates:
+            assert kernel.search_space
+
+    def test_memory_plan_applied(self, small_mha):
+        result = resource_aware_slicing(build_smg(small_mha), RC)
+        for kernel in result.candidates:
+            assert kernel.memory_levels
+
+    def test_phase_times_recorded(self, small_mha):
+        result = resource_aware_slicing(build_smg(small_mha), RC)
+        assert "spatial_slice" in result.phase_times
+        assert "enum_cfg" in result.phase_times
+
+    def test_unparallelisable_graph_fails(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("n", 64)])
+        b.reduce("sum", x, dim="n")
+        result = resource_aware_slicing(build_smg(b.build()), RC)
+        assert not result.scheduled
+
+    def test_temporal_disabled_option(self, small_mha):
+        result = resource_aware_slicing(
+            build_smg(small_mha), RC, SlicingOptions(enable_temporal=False))
+        slicings = {k.meta["slicing"] for k in result.candidates}
+        assert slicings == {"spatial"}
+
+    def test_uta_disabled_blocks_mha_chain_dim(self, small_mha):
+        """Without UTA the dependent chain along l cannot be sliced; the
+        temporal slicer can still split-K along dk (Simple Aggregate), so
+        any temporal candidate must avoid l."""
+        result = resource_aware_slicing(
+            build_smg(small_mha), RC, SlicingOptions(enable_uta=False))
+        for kernel in result.candidates:
+            if kernel.plan is not None:
+                assert kernel.plan.dim != "l"
+                assert not kernel.plan.uses_uta
+
+    def test_uta_disabled_still_allows_sa(self, small_ln):
+        # LayerNorm's chain becomes Simple Aggregate after the variance
+        # rewrite, so Welder-style compilers can still slice it.
+        result = resource_aware_slicing(
+            build_smg(small_ln), RC, SlicingOptions(enable_uta=False))
+        slicings = {k.meta["slicing"] for k in result.candidates}
+        assert "spatial+temporal" in slicings
+
+    def test_oversized_spatial_only_falls_to_temporal(self):
+        """When the spatial-only schedule exceeds shared memory, only the
+        temporally sliced variant survives (the paper's K=1024 fusion
+        failure of Figure 2(c) fixed by 2(d))."""
+        b = GraphBuilder("bigrow")
+        x = b.input("X", [("m", 512), ("n", 65536)])
+        b.softmax(x, dim="n", out_name="P")
+        result = resource_aware_slicing(build_smg(b.build()), RC)
+        assert result.scheduled
+        slicings = {k.meta["slicing"] for k in result.candidates}
+        assert slicings == {"spatial+temporal"}
+
+
+class TestSubSMGReorganization:
+    def test_mha_segments(self, small_mha):
+        segments = reorganize_sub_smgs(small_mha)
+        kinds = [s.kind for s in segments]
+        # GEMM1 | max | sub,exp | sum | div | GEMM2
+        assert kinds == ["A2O", "A2O", "nonA2O", "A2O", "nonA2O", "A2O"]
+
+    def test_elementwise_run_groups(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 8)])
+        y = b.unary("exp", x)
+        z = b.unary("relu", y)
+        b.reduce("sum", z, dim="m")
+        segments = reorganize_sub_smgs(b.build())
+        assert [s.kind for s in segments] == ["nonA2O", "A2O"]
+        assert len(segments[0].ops) == 2
+
+    def test_subgraph_from_ops_declares_crossing_tensors(self, small_mha):
+        ops = small_mha.topological_ops()[:2]  # GEMM1 + reduce_max
+        later = {t for op in small_mha.topological_ops()[2:]
+                 for t in op.inputs}
+        sub = subgraph_from_ops(small_mha, ops, "front",
+                                downstream_needs=later)
+        # QK is consumed by later ops, so it must be a declared output even
+        # though it is consumed inside the front graph too.
+        assert "QK" in sub.output_tensors
+
+
+class TestAlgorithm2:
+    def test_partition_peels_until_schedulable(self):
+        """A graph whose tail cannot be fused (opaque chain) partitions
+        into a schedulable former part and the remainder."""
+        b = GraphBuilder("hard")
+        x = b.input("X", [("m", 64), ("n", 256)])
+        mx = b.reduce("max", x, dim="n")
+        c = b.binary("sub", x, mx)
+        t = b.unary("tanh", c)
+        s = b.reduce("sum", t, dim="n")
+        b.binary("div", t, s, out_name="Y")
+        graph = b.build()
+
+        def schedulable(g):
+            try:
+                smg = build_smg(g)
+            except Exception:
+                return False
+            return resource_aware_slicing(smg, RC).scheduled
+
+        # The full graph is actually schedulable spatially (m), so force
+        # the partitioner by rejecting multi-reduction graphs.
+        def strict(g):
+            return schedulable(g) and sum(
+                1 for op in g.ops if op.is_reduction) <= 1
+
+        candidates = partition_round(graph, strict)
+        assert candidates
+        front = candidates[0].former
+        assert strict(front)
+        assert candidates[0].latter is not None
+
+    def test_partition_trivial_when_whole_graph_passes(self, small_mha):
+        candidates = partition_round(small_mha, lambda g: True,
+                                     explore_candidates=False)
+        assert len(candidates) == 1
+        assert candidates[0].latter is None
+        assert len(candidates[0].former.ops) == len(small_mha.ops)
+
+    def test_explore_candidates_adds_second_split(self, small_mha):
+        # Accept everything: the 5.3 exploration peels the trailing
+        # non-A2O sub-SMG (div) into a second candidate.
+        candidates = partition_round(small_mha, lambda g: True,
+                                     explore_candidates=True)
+        assert len(candidates) >= 1
+
+    def test_unschedulable_everything_returns_empty(self, small_mha):
+        assert partition_round(small_mha, lambda g: False) == []
+
+    def test_partition_sides_validate(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 16), ("n", 32)])
+        e = b.unary("exp", x)
+        s = b.reduce("sum", e, dim="n")
+        b.binary("div", e, s, out_name="Y")
+        graph = b.build()
+        candidates = partition_round(
+            graph, lambda g: len(g.ops) <= 2, explore_candidates=False)
+        assert candidates
+        candidates[0].former.validate()
+        if candidates[0].latter is not None:
+            candidates[0].latter.validate()

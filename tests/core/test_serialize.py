@@ -1,0 +1,127 @@
+"""Tests for schedule serialization and the on-disk compile cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import (
+    ScheduleCache,
+    SerializeError,
+    compile_cached,
+    graph_from_dict,
+    graph_to_dict,
+    schedule_from_json,
+    schedule_to_json,
+)
+from repro.hw import AMPERE
+from repro.ir import GraphBuilder, program_from_graph
+from repro.pipeline import compile_for, compile_model_for
+from repro.runtime.executor import execute_schedule
+from repro.runtime.kernels import execute_graph_reference, random_feeds
+
+
+class TestGraphRoundTrip:
+    def test_roundtrip_preserves_structure(self, small_mha):
+        clone = graph_from_dict(graph_to_dict(small_mha))
+        assert [op.name for op in clone.ops] == \
+            [op.name for op in small_mha.ops]
+        assert clone.dims.items() == small_mha.dims.items()
+        assert set(clone.tensors) == set(small_mha.tensors)
+
+    def test_roundtrip_preserves_semantics(self, small_ln):
+        clone = graph_from_dict(graph_to_dict(small_ln))
+        feeds = random_feeds(small_ln, seed=0)
+        a = execute_graph_reference(small_ln, feeds)
+        b = execute_graph_reference(clone, feeds)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_scalar_attrs_survive(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4)])
+        b.scalar("mul", x, 0.125)
+        clone = graph_from_dict(graph_to_dict(b.build()))
+        assert clone.ops[0].attrs["scalar"] == 0.125
+
+    def test_declared_outputs_survive(self, small_lstm):
+        clone = graph_from_dict(graph_to_dict(small_lstm))
+        assert set(clone.output_tensors) == {"CellOut", "Out"}
+
+
+class TestScheduleRoundTrip:
+    def test_uta_schedule_roundtrip(self, small_mha):
+        sched, _ = compile_for(small_mha, AMPERE)
+        restored = schedule_from_json(schedule_to_json(sched))
+        assert restored.num_kernels == sched.num_kernels
+        k0, k1 = sched.kernels[0], restored.kernels[0]
+        assert k1.spatial_dims == k0.spatial_dims
+        assert k1.config == k0.config
+        assert k1.plan is not None
+        assert [s.update.describe() for s in k1.plan.stages] == \
+            [s.update.describe() for s in k0.plan.stages]
+
+    def test_restored_schedule_executes_identically(self, small_mha):
+        sched, _ = compile_for(small_mha, AMPERE)
+        restored = schedule_from_json(schedule_to_json(sched))
+        feeds = random_feeds(small_mha, seed=4)
+        a = execute_schedule(sched, feeds)
+        b = execute_schedule(restored, feeds)
+        np.testing.assert_array_equal(a["Out"], b["Out"])
+
+    def test_restored_schedule_simulates_identically(self, small_ln):
+        from repro.pipeline import simulate
+        sched, _ = compile_for(small_ln, AMPERE)
+        restored = schedule_from_json(schedule_to_json(sched))
+        assert simulate(restored, AMPERE).time_s == \
+            pytest.approx(simulate(sched, AMPERE).time_s)
+
+    def test_barrier_kernels_roundtrip(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 8), ("n", 4)])
+        e = b.unary("exp", x)
+        b.barrier("reshape", e, [("f", 32)], out_name="Y")
+        model = compile_model_for(program_from_graph(b.build()), AMPERE)
+        sched = model.expanded_schedule()
+        restored = schedule_from_json(schedule_to_json(sched))
+        assert restored.num_kernels == sched.num_kernels
+        feeds = random_feeds(b.graph, seed=0)
+        env = execute_schedule(restored, {"X": feeds["X"]})
+        assert env["Y"].shape == (32,)
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(SerializeError, match="version"):
+            schedule_from_json('{"version": 99, "name": "x", "meta": {}, '
+                               '"kernels": []}')
+
+
+class TestScheduleCache:
+    def test_miss_then_hit(self, small_mha, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        first, stats = compile_cached(small_mha, AMPERE, cache)
+        assert stats is not None            # compiled
+        second, stats2 = compile_cached(small_mha, AMPERE, cache)
+        assert stats2 is None               # served from cache
+        assert cache.hits == 1 and cache.misses == 1
+        assert second.num_kernels == first.num_kernels
+
+    def test_cached_schedule_correct(self, small_ln, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        compile_cached(small_ln, AMPERE, cache)
+        restored, _ = compile_cached(small_ln, AMPERE, cache)
+        feeds = random_feeds(small_ln, seed=1)
+        ref = execute_graph_reference(small_ln, feeds)
+        env = execute_schedule(restored, feeds)
+        np.testing.assert_allclose(env["Y"], ref["Y"], atol=1e-9)
+
+    def test_different_gpu_different_entry(self, small_mha, tmp_path):
+        from repro.hw import VOLTA
+        cache = ScheduleCache(tmp_path)
+        compile_cached(small_mha, AMPERE, cache)
+        _sched, stats = compile_cached(small_mha, VOLTA, cache)
+        assert stats is not None  # not a hit: different target
+
+    def test_different_graph_different_entry(self, tmp_path):
+        from repro.models import layernorm_graph
+        cache = ScheduleCache(tmp_path)
+        compile_cached(layernorm_graph(32, 64), AMPERE, cache)
+        _s, stats = compile_cached(layernorm_graph(32, 128), AMPERE, cache)
+        assert stats is not None

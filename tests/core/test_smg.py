@@ -1,0 +1,197 @@
+"""Tests for SMG construction and queries, mirroring Figures 3, 4 and 5."""
+
+import pytest
+
+from repro.core.builder import build_op_smg, build_smg, iteration_space_of, op_of_iteration_space
+from repro.core.mappings import A2O, O2A, O2O
+from repro.core.smg import SMGError
+from repro.core.spaces import DataSpace, IterationSpace
+from repro.ir import GraphBuilder
+
+
+@pytest.fixture
+def gemm_graph():
+    """The single-operator GEMM of Figure 3: QK = GEMM(Query, Key)."""
+    b = GraphBuilder("gemm")
+    q = b.input("Query", [("m", 8), ("k", 4)])
+    k = b.input("Key", [("n", 6), ("k", 4)])
+    b.matmul(q, k, reduce_dim="k", out_name="QK")
+    return b.build()
+
+
+class TestFigure3SingleOperator:
+    """The SMG of one GEMM, as drawn in Figure 3(c)."""
+
+    def test_four_spaces(self, gemm_graph):
+        smg = build_smg(gemm_graph)
+        data = {s.name for s in smg.data_spaces()}
+        assert data == {"Query", "Key", "QK"}
+        assert len(smg.iteration_spaces()) == 1
+
+    def test_query_o2a_along_n(self, gemm_graph):
+        smg = build_smg(gemm_graph)
+        [edge] = [m for m in smg.out_edges("Query")]
+        assert edge.kind is O2A
+        assert edge.dims == frozenset({"n"})
+
+    def test_key_o2a_along_m(self, gemm_graph):
+        smg = build_smg(gemm_graph)
+        [edge] = smg.out_edges("Key")
+        assert edge.kind is O2A
+        assert edge.dims == frozenset({"m"})
+
+    def test_a2o_into_output_along_k(self, gemm_graph):
+        smg = build_smg(gemm_graph)
+        [edge] = smg.in_edges("QK")
+        assert edge.kind is A2O
+        assert edge.dims == frozenset({"k"})
+        assert edge.reduce_kind == "sum"
+
+    def test_render_shows_placeholders(self, gemm_graph):
+        text = build_smg(gemm_graph).render()
+        assert "Query(m,-,k)" in text
+        assert "Key(-,n,k)" in text
+        assert "QK(m,n,-)" in text
+
+    def test_build_op_smg_matches(self, gemm_graph):
+        smg = build_op_smg(gemm_graph, gemm_graph.ops[0].name)
+        assert {s.name for s in smg.data_spaces()} == {"Query", "Key", "QK"}
+
+
+class TestFigure4Fusion:
+    """Connecting GEMM and Softmax into one fused SMG (Figure 4)."""
+
+    def test_intermediate_fused_into_single_space(self, small_softmax_gemm):
+        smg = build_smg(small_softmax_gemm)
+        # Softmax's input and the final GEMM's input div tensor appear once.
+        names = [s.name for s in smg.data_spaces()]
+        assert len(names) == len(set(names))
+
+    def test_inter_operator_o2o_edges_exist(self, small_mha):
+        smg = build_smg(small_mha)
+        o2o = [m for m in smg.mappings if m.kind is O2O]
+        assert len(o2o) >= 4  # QK->max, QK->sub, exp->sum, exp->div chains
+
+
+class TestFigure5MHA:
+    def test_mha_has_ten_directed_mappings(self, small_mha):
+        """Section 4.1: MHA's visualised SMG depicts 6 One-to-Alls and
+        4 All-to-Ones (One-to-One fusion edges excluded)."""
+        smg = build_smg(small_mha)
+        o2a = [m for m in smg.mappings if m.kind is O2A]
+        a2o = [m for m in smg.mappings if m.kind is A2O]
+        assert len(a2o) == 4
+        assert len(o2a) == 6
+
+    def test_three_parallel_a2o_one_orthogonal(self, small_mha):
+        """The last three All-to-Ones (softmax max/sum and GEMM2) are
+        geometrically parallel along l; GEMM1's is orthogonal along dk."""
+        smg = build_smg(small_mha)
+        a2o = [m for m in smg.mappings if m.kind is A2O]
+        along_l = [m for m in a2o if m.along("l")]
+        along_dk = [m for m in a2o if m.along("dk")]
+        assert len(along_l) == 3
+        assert len(along_dk) == 1
+
+    def test_aligned_dim_groups_merge_feature_dims(self, small_mha):
+        """Dimension alignment folds the two feature dims into one slot
+        (MHA's 3-dim core of Figure 5) when their extents match."""
+        b = GraphBuilder("mha_eq")
+        q = b.input("Q", [("m", 64), ("dk", 32)])
+        k = b.input("K", [("l", 64), ("dk", 32)])
+        v = b.input("V", [("l", 64), ("dv", 32)])
+        qk = b.matmul(q, k, reduce_dim="dk", out_name="QK")
+        p = b.softmax(qk, dim="l")
+        b.matmul(p, v, reduce_dim="l", out_name="Out")
+        smg = build_smg(b.build())
+        groups = smg.aligned_dim_groups()
+        assert ("dk", "dv") in groups or ("dv", "dk") in groups
+        assert len(groups) == 3  # m, l, {dk,dv}
+
+    def test_unequal_feature_dims_do_not_merge(self, small_mha):
+        smg = build_smg(small_mha)  # dk=24, dv=40
+        groups = smg.aligned_dim_groups()
+        assert all(len(g) == 1 for g in groups)
+
+
+class TestA2OChains:
+    def test_mha_chain_is_dependent(self, small_mha):
+        smg = build_smg(small_mha)
+        chains = smg.a2o_dependency_chains("l")
+        assert len(chains) == 1
+        kinds = [m.reduce_kind for m in chains[0]]
+        assert kinds == ["max", "sum", "sum"]  # max <- sum <- dot
+
+    def test_independent_reductions_form_singletons(self):
+        b = GraphBuilder("two_reduce")
+        x = b.input("X", [("m", 8), ("n", 6)])
+        b.reduce("max", x, dim="n", out_name="Mx")
+        b.reduce("sum", x, dim="n", out_name="Sm")
+        smg = build_smg(b.build())
+        chains = smg.a2o_dependency_chains("n")
+        assert len(chains) == 2
+        assert all(len(c) == 1 for c in chains)
+
+    def test_layernorm_chain_is_dependent_before_rewrite(self, small_ln):
+        smg = build_smg(small_ln)
+        chains = smg.a2o_dependency_chains("n")
+        assert len(chains) == 1
+        assert len(chains[0]) == 2  # mean <- mean of squares
+
+
+class TestSMGQueries:
+    def test_roles(self, small_mha):
+        smg = build_smg(small_mha)
+        assert {s.name for s in smg.input_spaces()} == {"Q", "K", "V"}
+        assert {s.name for s in smg.output_spaces()} == {"Out"}
+        assert len(smg.intermediate_spaces()) == 6
+
+    def test_volume_along(self, small_mha):
+        smg = build_smg(small_mha)
+        assert smg.volume_along("l") > 0
+        assert smg.volume_along("m") > smg.volume_along("dv")
+
+    def test_reaches(self, small_mha):
+        smg = build_smg(small_mha)
+        assert smg.reaches("Q", "Out")
+        assert not smg.reaches("Out", "Q")
+
+    def test_unknown_space_raises(self, small_mha):
+        smg = build_smg(small_mha)
+        with pytest.raises(SMGError):
+            smg.space("ghost")
+
+    def test_iteration_space_lookup(self, small_mha):
+        smg = build_smg(small_mha)
+        it = iteration_space_of(smg, small_mha.ops[0].name)
+        assert isinstance(smg.space(it), IterationSpace)
+        op = op_of_iteration_space(smg, it)
+        assert op.name == small_mha.ops[0].name
+
+    def test_op_of_data_space_raises(self, small_mha):
+        smg = build_smg(small_mha)
+        with pytest.raises(SMGError, match="not an iteration space"):
+            op_of_iteration_space(smg, "Q")
+
+    def test_validate_passes(self, small_mha):
+        build_smg(small_mha).validate()
+
+    def test_barrier_graph_rejected(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 8)])
+        b.barrier("reshape", x, [("a", 2), ("c", 4)])
+        with pytest.raises(SMGError, match="barrier"):
+            build_smg(b.build())
+
+    def test_input_o2a_along_spatial_dim(self, small_mha):
+        smg = build_smg(small_mha)
+        inputs = smg.input_o2a_along("m")
+        assert {m.src for m in inputs} == {"K", "V"}
+
+    def test_blocking_mappings_table3(self, small_mha):
+        smg = build_smg(small_mha)
+        assert smg.blocking_mappings_for_spatial("m") == []
+        assert len(smg.blocking_mappings_for_spatial("l")) > 0
+        # dk carries GEMM1's reduction
+        assert any(m.kind is A2O
+                   for m in smg.blocking_mappings_for_spatial("dk"))

@@ -1,0 +1,100 @@
+"""Tests for computational spaces and space mappings (section 4.1)."""
+
+import pytest
+
+from repro.core.mappings import A2O, O2A, O2O, Mapping
+from repro.core.spaces import DataSpace, IterationSpace, SlicedExtent, Space
+from repro.ir.tensor import DimRegistry
+
+
+@pytest.fixture
+def reg():
+    r = DimRegistry()
+    r.define("m", 8)
+    r.define("n", 4)
+    r.define("k", 2)
+    return r
+
+
+class TestSpaces:
+    def test_volume(self, reg):
+        assert Space("S", ("m", "n")).volume(reg) == 32
+        assert Space("S", ()).volume(reg) == 1
+
+    def test_has_dim(self):
+        s = Space("S", ("m",))
+        assert s.has_dim("m") and not s.has_dim("n")
+
+    def test_render_with_placeholders(self):
+        s = Space("Query", ("m", "k"))
+        # The paper writes Query(M,-,K) for a space absent along N.
+        assert s.render(("m", "n", "k")) == "Query(m,-,k)"
+
+    def test_data_space_roles(self):
+        d = DataSpace("X", ("m",), role="input")
+        assert d.is_graph_input and not d.is_graph_output
+        o = DataSpace("Y", ("m",), role="output")
+        assert o.is_graph_output
+
+    def test_data_space_nbytes(self, reg):
+        d = DataSpace("X", ("m", "n"), dtype="fp16")
+        assert d.nbytes(reg) == 64
+
+    def test_iteration_space_links_op(self):
+        it = IterationSpace("mm", ("m", "n", "k"), op_name="matmul_1",
+                            op_kind="matmul")
+        assert it.op_name == "matmul_1"
+
+
+class TestSlicedExtent:
+    def test_num_slices_exact(self):
+        s = SlicedExtent("m", 8, 4)
+        assert s.num_slices == 2
+        assert s.slice_bounds(0) == (0, 4)
+        assert s.slice_bounds(1) == (4, 8)
+
+    def test_ragged_final_slice(self):
+        s = SlicedExtent("m", 10, 4)
+        assert s.num_slices == 3
+        assert s.slice_bounds(2) == (8, 10)
+
+    def test_out_of_range_raises(self):
+        s = SlicedExtent("m", 8, 4)
+        with pytest.raises(IndexError):
+            s.slice_bounds(2)
+
+    def test_invalid_block_raises(self):
+        with pytest.raises(ValueError):
+            SlicedExtent("m", 8, 0)
+        with pytest.raises(ValueError):
+            SlicedExtent("m", 8, 9)
+
+
+class TestMappings:
+    def test_o2o_has_no_dims(self):
+        m = Mapping("a", "b", O2O)
+        assert not m.dims
+        with pytest.raises(ValueError, match="no direction"):
+            Mapping("a", "b", O2O, dims=frozenset({"m"}))
+
+    def test_o2a_requires_dims(self):
+        with pytest.raises(ValueError, match="requires direction"):
+            Mapping("a", "b", O2A)
+        m = Mapping("a", "b", O2A, dims=frozenset({"n"}))
+        assert m.along("n") and not m.along("m")
+
+    def test_a2o_requires_reduce_kind(self):
+        with pytest.raises(ValueError, match="reduce_kind"):
+            Mapping("a", "b", A2O, dims=frozenset({"k"}))
+        m = Mapping("a", "b", A2O, dims=frozenset({"k"}), reduce_kind="sum")
+        assert m.reduce_kind == "sum"
+
+    def test_non_a2o_cannot_carry_reduce_kind(self):
+        with pytest.raises(ValueError, match="only All-to-One"):
+            Mapping("a", "b", O2A, dims=frozenset({"k"}), reduce_kind="sum")
+
+    def test_describe(self):
+        m = Mapping("GEMM", "QK", A2O, dims=frozenset({"k"}),
+                    reduce_kind="sum")
+        assert "A2O(dim=k):sum" in m.describe()
+        assert Mapping("a", "b", O2O).describe() == "a -O2O-> b"

@@ -1,0 +1,269 @@
+"""Tests for broadcast postposition and update-function synthesis (Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_smg
+from repro.core.rewrites import prepare_for_temporal_slicing
+from repro.core.update_functions import (
+    AddOffset,
+    FactorAnalysis,
+    NormFactor,
+    Representation,
+    UpdateFunction,
+    UTAError,
+    synthesize_update_functions,
+)
+from repro.ir import GraphBuilder
+
+
+def _stage_ops(graph, dim):
+    return [op for op in graph.topological_ops() if dim in op.reduce_dims]
+
+
+class TestRepresentation:
+    def test_pure(self):
+        rep = Representation.pure()
+        assert rep.is_pure()
+
+    def test_with_mult_accumulates(self):
+        rep = Representation.pure().with_mult("M", "exp", -1)
+        rep = rep.with_mult("M", "exp", -1)
+        assert rep.mult[("M", "exp")] == -2
+
+    def test_with_mult_cancels_to_identity(self):
+        rep = Representation.pure().with_mult("M", "exp", 1)
+        rep = rep.with_mult("M", "exp", -1)
+        assert rep.is_pure()
+
+    def test_with_add(self):
+        rep = Representation.pure().with_add("M", -1)
+        assert rep.add == {"M": -1}
+        assert rep.referenced_aggs() == {"M"}
+
+    def test_copy_is_deep(self):
+        rep = Representation.pure().with_add("M", 1)
+        clone = rep.copy()
+        clone.add["M"] = 5
+        assert rep.add["M"] == 1
+
+
+class TestUpdateFunctionApply:
+    def test_identity(self):
+        upd = UpdateFunction("S", (), ())
+        assert upd.is_identity
+        out = upd.apply(np.array([3.0]), {}, {})
+        assert out[0] == 3.0
+
+    def test_exp_factor_rescaling(self):
+        """stored = raw / exp(M): advancing M from 1 to 3 scales stored by
+        exp(1-3)."""
+        upd = UpdateFunction("S", (NormFactor("M", "exp", -1),), ())
+        out = upd.apply(np.array([2.0]), {"M": np.array([1.0])},
+                        {"M": np.array([3.0])})
+        assert np.allclose(out, 2.0 * np.exp(-2.0))
+
+    def test_id_factor_rescaling(self):
+        """stored = raw / S: update multiplies by S_old/S_new."""
+        upd = UpdateFunction("O", (NormFactor("S", "id", -1),), ())
+        out = upd.apply(np.array([6.0]), {"S": np.array([2.0])},
+                        {"S": np.array([4.0])})
+        assert np.allclose(out, 3.0)
+
+    def test_id_factor_zero_old_is_safe(self):
+        upd = UpdateFunction("O", (NormFactor("S", "id", -1),), ())
+        out = upd.apply(np.array([0.0]), {"S": np.array([0.0])},
+                        {"S": np.array([4.0])})
+        assert np.isfinite(out).all()
+
+    def test_additive_offset(self):
+        upd = UpdateFunction("Mx", (), (AddOffset("C", -1),))
+        out = upd.apply(np.array([5.0]), {"C": np.array([1.0])},
+                        {"C": np.array([4.0])})
+        assert np.allclose(out, 5.0 - 3.0)
+
+    def test_exp_factors_stay_in_log_domain(self):
+        """Large magnitudes must not overflow: exp(a)/exp(b) is computed as
+        exp(a-b)."""
+        upd = UpdateFunction("S", (NormFactor("M", "exp", -1),), ())
+        out = upd.apply(np.array([1.0]), {"M": np.array([1000.0])},
+                        {"M": np.array([1001.0])})
+        assert np.isfinite(out).all()
+
+    def test_describe_mentions_old_new(self):
+        upd = UpdateFunction("S", (NormFactor("M", "exp", -1),), ())
+        text = upd.describe()
+        assert "old" in text and "exp(M" in text
+
+    def test_referenced_aggs_deduplicated(self):
+        upd = UpdateFunction("O", (NormFactor("M", "exp", -1),
+                                   NormFactor("S", "id", -1)),
+                             (AddOffset("M", 1),))
+        assert upd.referenced_aggs() == ("M", "S")
+
+
+class TestSoftmaxChainSynthesis:
+    def _plan_graph(self, small_mha):
+        graph, _ = prepare_for_temporal_slicing(small_mha, "l")
+        return graph
+
+    def test_full_chain(self, small_mha):
+        graph = self._plan_graph(small_mha)
+        stages = _stage_ops(graph, "l")
+        updates = synthesize_update_functions(graph, "l", stages)
+        assert updates[0].is_identity                      # max
+        assert len(updates[1].factors) == 1                # sum / exp(max)
+        assert len(updates[2].factors) == 2                # dot / exp(max)/sum
+
+    def test_numerical_consistency_of_sum_update(self, small_mha):
+        """Verify updateSum against a two-tile online softmax by hand."""
+        graph = self._plan_graph(small_mha)
+        stages = _stage_ops(graph, "l")
+        updates = synthesize_update_functions(graph, "l", stages)
+        upd_sum = updates[1]
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(16)
+        x1, x2 = x[:8], x[8:]
+        m1 = x1.max()
+        s1 = np.exp(x1 - m1).sum()
+        m2 = max(m1, x2.max())
+        s2 = upd_sum.apply(np.array(s1), {stages[0].output: np.array(m1)},
+                           {stages[0].output: np.array(m2)}) \
+            + np.exp(x2 - m2).sum()
+        assert np.allclose(s2, np.exp(x - m2).sum())
+
+
+class TestFactorAnalysisRules:
+    def _graph_sub_exp_sum(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 16)])
+        mx = b.reduce("max", x, dim="n", out_name="M")
+        c = b.binary("sub", x, mx)
+        e = b.unary("exp", c)
+        b.reduce("sum", e, dim="n", out_name="S")
+        return b.build()
+
+    def test_exp_of_sub_becomes_exp_factor(self):
+        g = self._graph_sub_exp_sum()
+        fa = FactorAnalysis(g, "n", ["M", "S"])
+        exp_out = g.ops[2].output
+        rep = fa.repr_of(exp_out)
+        assert rep.mult == {("M", "exp"): -1}
+
+    def test_div_by_aggregate_gives_id_factor(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 16)])
+        s = b.reduce("sum", x, dim="n", out_name="S")
+        d = b.binary("div", x, s)
+        g = b.build()
+        fa = FactorAnalysis(g, "n", ["S"])
+        assert fa.repr_of(d.name).mult == {("S", "id"): -1}
+
+    def test_mul_by_aggregate_gives_positive_factor(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 16)])
+        s = b.reduce("sum", x, dim="n", out_name="S")
+        d = b.binary("mul", x, s)
+        g = b.build()
+        fa = FactorAnalysis(g, "n", ["S"])
+        assert fa.repr_of(d.name).mult == {("S", "id"): 1}
+
+    def test_tanh_of_offset_is_opaque(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 16)])
+        mx = b.reduce("max", x, dim="n", out_name="M")
+        c = b.binary("sub", x, mx)
+        t = b.unary("tanh", c)
+        g = b.build()
+        fa = FactorAnalysis(g, "n", ["M"])
+        assert fa.repr_of(t.name).opaque
+
+    def test_square_doubles_powers(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 16)])
+        s = b.reduce("sum", x, dim="n", out_name="S")
+        d = b.binary("div", x, s)
+        sq = b.unary("square", d)
+        g = b.build()
+        fa = FactorAnalysis(g, "n", ["S"])
+        assert fa.repr_of(sq.name).mult == {("S", "id"): -2}
+
+    def test_derived_aggregate_is_opaque(self):
+        """A unary transform of an aggregate broadcast into the tile is
+        conservatively opaque (only direct broadcast forms postpose)."""
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 16)])
+        mx = b.reduce("max", x, dim="n", out_name="M")
+        m2 = b.unary("exp", mx, out_name="Mexp")
+        d = b.binary("div", x, m2)
+        b.reduce("sum", d, dim="n", out_name="S")
+        g = b.build()
+        fa = FactorAnalysis(g, "n", ["M", "S"])
+        assert fa.repr_of(d.name).opaque
+
+    def test_non_temporal_constant_is_pure(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 16)])
+        bias = b.input("Bias", [("m", 4)])
+        a = b.binary("add", x, bias)
+        g = b.build()
+        fa = FactorAnalysis(g, "n", [])
+        assert fa.repr_of(a.name).is_pure()
+
+    def test_same_factor_operands_combine_under_add(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 16)])
+        s = b.reduce("sum", x, dim="n", out_name="S")
+        d1 = b.binary("div", x, s)
+        d2 = b.binary("div", x, s)
+        a = b.binary("add", d1, d2)
+        g = b.build()
+        fa = FactorAnalysis(g, "n", ["S"])
+        assert fa.repr_of(a.name).mult == {("S", "id"): -1}
+
+    def test_mixed_factor_operands_opaque_under_add(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 16)])
+        s = b.reduce("sum", x, dim="n", out_name="S")
+        d1 = b.binary("div", x, s)
+        a = b.binary("add", d1, x)
+        g = b.build()
+        fa = FactorAnalysis(g, "n", ["S"])
+        assert fa.repr_of(a.name).opaque
+
+
+class TestSynthesisErrors:
+    def test_opaque_raises_uta_error(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 16)])
+        mx = b.reduce("max", x, dim="n", out_name="M")
+        c = b.binary("sub", x, mx)
+        t = b.unary("tanh", c)
+        b.reduce("sum", t, dim="n", out_name="S")
+        g = b.build()
+        stages = _stage_ops(g, "n")
+        with pytest.raises(UTAError, match="postposition failed"):
+            synthesize_update_functions(g, "n", stages)
+
+    def test_forward_reference_raises(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 16)])
+        s = b.reduce("sum", x, dim="n", out_name="S")
+        d = b.binary("div", x, s)
+        b.reduce("max", d, dim="n", out_name="M2")
+        g = b.build()
+        stages = _stage_ops(g, "n")
+        # Reverse the order so the max "precedes" its dependency.
+        with pytest.raises(UTAError):
+            synthesize_update_functions(g, "n", list(reversed(stages)))
+
+    def test_additive_through_sum_raises(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4), ("n", 16)])
+        mx = b.reduce("max", x, dim="n", out_name="M")
+        c = b.binary("sub", x, mx)
+        b.reduce("sum", c, dim="n", out_name="S")
+        g = b.build()
+        stages = _stage_ops(g, "n")
+        with pytest.raises(UTAError, match="additive offsets"):
+            synthesize_update_functions(g, "n", stages)

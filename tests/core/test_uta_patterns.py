@@ -1,0 +1,164 @@
+"""Additional Update-then-Aggregate patterns beyond the attention chain.
+
+Each test builds a dependent-reduction pattern, lets the pipeline derive
+its plan, and validates numerically across tilings — widening the evidence
+that the factor analysis generalises rather than pattern-matching softmax.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_smg
+from repro.core.schedule import KernelSchedule, ProgramSchedule, ScheduleConfig
+from repro.core.temporal_slicer import TemporalSliceError, plan_temporal_slice
+from repro.hw import AMPERE
+from repro.ir import GraphBuilder
+from repro.pipeline import compile_for
+from repro.runtime.executor import execute_schedule
+from repro.runtime.kernels import execute_graph_reference, random_feeds
+
+
+def _check(graph, tdim, spatial=("m",), block=8, tile=8, atol=1e-8):
+    smg = build_smg(graph)
+    plan = plan_temporal_slice(smg, tdim)
+    kernel = KernelSchedule(
+        "k", smg, spatial, plan,
+        config=ScheduleConfig(block=tuple((d, block) for d in spatial),
+                              tile=tile))
+    feeds = random_feeds(graph, seed=11)
+    ref = execute_graph_reference(graph, feeds)
+    env = execute_schedule(ProgramSchedule("p", [kernel]), feeds)
+    for name, expected in ref.items():
+        np.testing.assert_allclose(env[name], expected, atol=atol)
+    return plan
+
+
+class TestNormalizationChains:
+    def test_sum_then_normalized_sum(self):
+        """S1 = sum(x); S2 = sum(x / S1): id-factor UTA without exp."""
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 24), ("n", 32)])
+        e = b.unary("sigmoid", x)  # keep sums positive and well scaled
+        s1 = b.reduce("sum", e, dim="n", out_name="S1")
+        d = b.binary("div", e, s1)
+        b.reduce("sum", d, dim="n", out_name="S2")
+        plan = _check(b.build(), "n")
+        assert plan.uses_uta
+        s2 = plan.stages[1]
+        assert [f.func for f in s2.update.factors] == ["id"]
+
+    def test_mul_normalizer(self):
+        """sum(x * S1): a positive-power id factor."""
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 16), ("n", 24)])
+        e = b.unary("sigmoid", x)
+        s1 = b.reduce("sum", e, dim="n", out_name="S1")
+        m = b.binary("mul", e, s1)
+        b.reduce("sum", m, dim="n", out_name="S2")
+        plan = _check(b.build(), "n")
+        assert plan.stages[1].update.factors[0].power == 1
+
+    def test_squared_normalizer(self):
+        """sum((x / S1)^2): the square doubles the factor power."""
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 12), ("n", 20)])
+        e = b.unary("sigmoid", x)
+        s1 = b.reduce("sum", e, dim="n", out_name="S1")
+        d = b.binary("div", e, s1)
+        sq = b.unary("square", d)
+        b.reduce("sum", sq, dim="n", out_name="S2")
+        plan = _check(b.build(), "n")
+        assert plan.stages[1].update.factors[0].power == -2
+
+    def test_three_stage_mixed_chain(self):
+        """max -> normalized sum -> normalized dot: the full softmax-GEMM
+        chain with an extra scalar op interleaved."""
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 16), ("n", 24)])
+        w = b.input("W", [("n", 24), ("d", 8)])
+        mx = b.reduce("max", x, dim="n")
+        c = b.binary("sub", x, mx)
+        cs = b.scalar("mul", c, 0.5)
+        e = b.unary("exp", cs)
+        s = b.reduce("sum", e, dim="n")
+        d = b.binary("div", e, s)
+        b.matmul(d, w, reduce_dim="n", out_name="Out")
+        plan = _check(b.build(), "n")
+        assert len(plan.stages) == 3
+        assert plan.stages[2].uses_uta
+
+
+class TestMinChains:
+    def test_min_first_chain(self):
+        """min -> sum(exp(min - x)): the mirrored stability trick."""
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 12), ("n", 16)])
+        mn = b.reduce("min", x, dim="n", out_name="Mn")
+        c = b.binary("sub", x, mn)       # x - min >= 0
+        e = b.unary("exp", b.unary("neg", c))
+        b.reduce("sum", e, dim="n", out_name="S")
+        plan = _check(b.build(), "n")
+        assert plan.stages[0].combiner == "min"
+        assert plan.stages[1].uses_uta
+
+
+class TestLogSumExp:
+    def test_logsumexp_epilogue(self):
+        """LSE = log(sum(exp(x - max))) + max: log and the final add are
+        epilogue ops over aggregates; the chain itself is the softmax
+        denominator."""
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 20), ("n", 28)])
+        mx = b.reduce("max", x, dim="n", out_name="Mx")
+        c = b.binary("sub", x, mx)
+        e = b.unary("exp", c)
+        s = b.reduce("sum", e, dim="n", out_name="S")
+        lg = b.unary("log", s)
+        b.binary("add", lg, mx, out_name="LSE")
+        plan = _check(b.build(), "n")
+        assert plan.has_pass2
+        assert set(plan.pass2_op_names) >= {
+            op.name for op in plan.graph.ops if op.kind in ("log",)}
+
+    def test_logsumexp_compiles_end_to_end(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 40), ("n", 56)])
+        mx = b.reduce("max", x, dim="n")
+        e = b.unary("exp", b.binary("sub", x, mx))
+        s = b.reduce("sum", e, dim="n")
+        b.binary("add", b.unary("log", s), mx, out_name="LSE")
+        graph = b.build()
+        sched, _ = compile_for(graph, AMPERE)
+        feeds = random_feeds(graph, seed=2)
+        ref = execute_graph_reference(graph, feeds)
+        env = execute_schedule(sched, feeds)
+        np.testing.assert_allclose(env["LSE"], ref["LSE"], atol=1e-9)
+
+
+class TestUnsliceableVariants:
+    def test_sum_of_offset_rejected(self):
+        """sum(x - mean(x)) over the sliced dim: additive offsets cannot
+        cross a sum without element counts -> falls to partitioning."""
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 8), ("n", 16)])
+        mu = b.reduce("max", x, dim="n")   # any earlier aggregate
+        c = b.binary("sub", x, mu)
+        b.reduce("sum", c, dim="n", out_name="S")
+        smg = build_smg(b.build())
+        with pytest.raises(TemporalSliceError):
+            plan_temporal_slice(smg, "n")
+
+    def test_compiler_still_handles_it(self):
+        """The unsliceable chain must still compile (spatial-only or
+        partitioned) and produce correct results."""
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 8), ("n", 16)])
+        mu = b.reduce("max", x, dim="n")
+        c = b.binary("sub", x, mu)
+        b.reduce("sum", c, dim="n", out_name="S")
+        graph = b.build()
+        sched, _ = compile_for(graph, AMPERE)
+        feeds = random_feeds(graph, seed=3)
+        ref = execute_graph_reference(graph, feeds)
+        env = execute_schedule(sched, feeds)
+        np.testing.assert_allclose(env["S"], ref["S"], atol=1e-9)

@@ -1,0 +1,144 @@
+"""Tests for visualisation exports and kernel pseudocode generation."""
+
+import pytest
+
+from repro.codegen import generate_kernel_pseudocode, generate_program_pseudocode
+from repro.core.builder import build_smg
+from repro.core.viz import schedule_to_text, smg_to_dot
+from repro.hw import AMPERE
+from repro.ir import GraphBuilder, program_from_graph
+from repro.models import mha_graph
+from repro.pipeline import compile_for, compile_model_for
+
+
+class TestDotExport:
+    def test_dot_is_wellformed(self, small_mha):
+        dot = smg_to_dot(build_smg(small_mha))
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count('"Q"') >= 2  # node decl + edge
+
+    def test_every_space_and_mapping_rendered(self, small_mha):
+        smg = build_smg(small_mha)
+        dot = smg_to_dot(smg)
+        for space in smg.spaces.values():
+            assert f'"{space.name}"' in dot
+        assert dot.count("->") == len(smg.mappings)
+
+    def test_mapping_colours(self, small_mha):
+        dot = smg_to_dot(build_smg(small_mha))
+        assert "forestgreen" in dot  # One-to-All
+        assert "red3" in dot         # All-to-One
+        assert "gray40" in dot       # One-to-One
+
+    def test_roles_get_fills(self, small_mha):
+        dot = smg_to_dot(build_smg(small_mha))
+        assert "lightgoldenrod1" in dot   # inputs
+        assert "mediumpurple1" in dot     # outputs
+
+    def test_paper_style_placeholders_in_labels(self, small_mha):
+        dot = smg_to_dot(build_smg(small_mha))
+        assert "Q(m,-,dk,-)" in dot
+
+
+class TestScheduleText:
+    def test_report_contains_update_functions(self, small_mha):
+        sched, _ = compile_for(small_mha, AMPERE)
+        text = schedule_to_text(sched)
+        assert "update" in text
+        assert "UTA" in text
+
+    def test_report_lists_memory_levels(self, small_mha):
+        sched, _ = compile_for(small_mha, AMPERE)
+        text = schedule_to_text(sched)
+        assert "shared:" in text or "register:" in text
+
+
+class TestPseudocode:
+    def test_uta_kernel_structure(self, small_mha):
+        sched, _ = compile_for(small_mha, AMPERE)
+        code = generate_kernel_pseudocode(sched.kernels[0])
+        assert "parallel_for Block in SMG_Blocks:" in code
+        assert "for IntraBlock in Block:" in code
+        assert "aggr_max(" in code
+        assert "aggr_sum(update_" in code
+        assert "store(Out)" in code
+        assert "Broadcast Postposition" in code
+
+    def test_invariant_loads_hoisted(self, small_mha):
+        sched, _ = compile_for(small_mha, AMPERE)
+        code = generate_kernel_pseudocode(sched.kernels[0])
+        lines = code.splitlines()
+        q_line = next(i for i, l in enumerate(lines) if "Q = load" in l)
+        loop_line = next(i for i, l in enumerate(lines)
+                         if "for IntraBlock" in l)
+        assert q_line < loop_line  # Q hoisted out of the tile loop
+
+    def test_streamed_loads_inside_loop(self, small_mha):
+        sched, _ = compile_for(small_mha, AMPERE)
+        code = generate_kernel_pseudocode(sched.kernels[0])
+        lines = code.splitlines()
+        k_line = next(i for i, l in enumerate(lines) if "K = load" in l)
+        loop_line = next(i for i, l in enumerate(lines)
+                         if "for IntraBlock" in l)
+        assert k_line > loop_line
+        assert "tile_l" in lines[k_line]
+
+    def test_pass2_epilogue_emitted(self, small_ln):
+        sched, _ = compile_for(small_ln, AMPERE)
+        kernel = sched.kernels[0]
+        code = generate_kernel_pseudocode(kernel)
+        if kernel.plan is not None and kernel.plan.has_pass2:
+            assert "# epilogue pass" in code
+
+    def test_plain_kernel(self, small_mlp):
+        from repro.core.compiler import FusionOptions
+        sched, _ = compile_for(small_mlp, AMPERE,
+                               FusionOptions(enable_temporal=False))
+        code = generate_program_pseudocode(sched)
+        assert "parallel_for" in code
+        assert "matmul(" in code
+
+    def test_barrier_kernels_annotated(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 8), ("n", 4)])
+        e = b.unary("exp", x)
+        b.barrier("reshape", e, [("f", 32)], out_name="Y")
+        prog = program_from_graph(b.build())
+        model = compile_model_for(prog, AMPERE)
+        code = generate_program_pseudocode(model.expanded_schedule())
+        assert "layout op reshape" in code
+
+
+class TestGQAExtension:
+    def test_gqa_fuses_like_mha(self):
+        from repro.models import gqa_graph
+        graph = gqa_graph(1, 8, 2, 128, 128, 32)
+        sched, _ = compile_for(graph, AMPERE)
+        assert sched.num_kernels == 1
+        assert sched.kernels[0].plan.uses_uta
+
+    def test_group_dim_spatially_sliceable(self):
+        from repro.core.spatial_slicer import spatial_sliceable_dims
+        from repro.models import gqa_graph
+        graph = gqa_graph(1, 8, 2, 64, 64, 16)
+        dims = spatial_sliceable_dims(build_smg(graph))
+        # K/V reuse along r is an *input* One-to-All: still sliceable.
+        assert "r" in dims and "g" in dims and "m" in dims
+
+    def test_gqa_numerics(self):
+        import numpy as np
+        from repro.models import gqa_graph
+        from repro.runtime.executor import execute_schedule
+        from repro.runtime.kernels import execute_graph_reference, random_feeds
+        graph = gqa_graph(2, 4, 2, 24, 32, 8)
+        sched, _ = compile_for(graph, AMPERE)
+        feeds = random_feeds(graph, seed=3)
+        ref = execute_graph_reference(graph, feeds)
+        env = execute_schedule(sched, feeds)
+        np.testing.assert_allclose(env["Out"], ref["Out"], atol=1e-9)
+
+    def test_invalid_grouping_raises(self):
+        from repro.models import gqa_graph
+        with pytest.raises(ValueError, match="multiple"):
+            gqa_graph(1, 7, 2, 16, 16, 8)

@@ -1,0 +1,90 @@
+"""Cross-check: the event-driven simulator vs the analytical cost model."""
+
+import math
+
+import pytest
+
+from repro.hw import AMPERE, VOLTA, DeviceSimulator
+from repro.hw.event_sim import EventDrivenSimulator, cross_check
+from repro.models import layernorm_graph, mha_graph, mlp_graph
+from repro.pipeline import compile_for
+
+
+def _kernels():
+    out = []
+    for graph in (mha_graph(2, 8, 512, 512, 64),
+                  layernorm_graph(4096, 4096),
+                  mlp_graph(6, 8192, 256, 256)):
+        sched, _ = compile_for(graph, AMPERE)
+        out.extend(sched.kernels)
+    return out
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return _kernels()
+
+
+class TestCrossCheck:
+    def test_magnitude_agreement(self, kernels):
+        """The two models agree within a small constant factor on every
+        compiled kernel."""
+        for kernel in kernels:
+            analytic, event = cross_check(kernel, AMPERE)
+            ratio = event / analytic
+            assert 0.3 < ratio < 3.0, (kernel.name, ratio)
+
+    def test_config_ranking_correlates(self, kernels):
+        """The auto-tuner consumes *rankings*: the event simulator's best
+        configurations must be near the analytical model's best."""
+        sim = DeviceSimulator(AMPERE)
+        ev = EventDrivenSimulator(AMPERE)
+        for kernel in kernels:
+            if len(kernel.search_space) < 4:
+                continue
+            analytic_rank = [c for c, _t in sim.sweep_configs(kernel)]
+            event_rank = [c for c, _t in ev.rank_configs(kernel)]
+            # The analytical winner sits in the event sim's top third.
+            pos = event_rank.index(analytic_rank[0])
+            assert pos <= max(2, len(event_rank) // 3)
+
+    def test_waves_counted(self):
+        graph = mha_graph(8, 16, 1024, 1024, 64)
+        sched, _ = compile_for(graph, AMPERE)
+        result = EventDrivenSimulator(AMPERE).simulate_kernel(
+            sched.kernels[0])
+        grid = sched.kernels[0].grid_size()
+        assert result.waves == math.ceil(grid / result.concurrent_blocks)
+
+    def test_more_blocks_more_waves(self, kernels):
+        ev = EventDrivenSimulator(AMPERE)
+        kernel = kernels[0]
+        small = ev.simulate_kernel(kernel, kernel.search_space[0])
+        assert small.waves >= 1
+        assert small.time_s > 0
+
+    def test_volta_slower_than_ampere(self):
+        graph = mha_graph(2, 8, 512, 512, 64)
+        a_sched, _ = compile_for(graph, AMPERE)
+        v_sched, _ = compile_for(graph, VOLTA)
+        t_a = EventDrivenSimulator(AMPERE).simulate_kernel(
+            a_sched.kernels[0]).time_s
+        t_v = EventDrivenSimulator(VOLTA).simulate_kernel(
+            v_sched.kernels[0]).time_s
+        assert t_v > t_a
+
+    def test_barrier_kernel_delegates(self):
+        from repro.core.compiler import build_barrier_kernel
+        from repro.ir import GraphBuilder
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 1024)])
+        b.barrier("reshape", x, [("a", 2), ("c", 512)], out_name="Y")
+        g = b.build()
+        from repro.ir.graph import DataflowGraph
+        sub = DataflowGraph("g.r", dims=g.dims)
+        for t in g.tensors.values():
+            sub.tensors[t.name] = t
+        sub.ops = list(g.ops)
+        kernel = build_barrier_kernel(sub)
+        result = EventDrivenSimulator(AMPERE).simulate_kernel(kernel)
+        assert result.time_s > 0

@@ -1,0 +1,151 @@
+"""Tests for the analytical cost model: the invariants the paper's numbers
+rest on (fusion removes intermediate traffic; parallelism and block sizes
+matter; launch overheads accumulate)."""
+
+import pytest
+
+from repro.baselines import schedule_unfused_primitive
+from repro.core.schedule import ScheduleConfig
+from repro.hw import AMPERE, HOPPER, VOLTA, DeviceSimulator, L2State
+from repro.models import layernorm_graph, mha_graph
+from repro.pipeline import compile_for, simulate
+
+
+@pytest.fixture(scope="module")
+def mha():
+    return mha_graph(1, 4, 512, 512, 64)
+
+
+@pytest.fixture(scope="module")
+def fused_mha(mha):
+    sched, _ = compile_for(mha, AMPERE)
+    return sched
+
+
+class TestFusionTrafficInvariants:
+    def test_fused_moves_less_dram(self, mha, fused_mha):
+        fused = simulate(fused_mha, AMPERE)
+        unfused = simulate(schedule_unfused_primitive(mha, AMPERE), AMPERE)
+        assert fused.dram_bytes < unfused.dram_bytes
+
+    def test_fused_fewer_l1_and_l2_misses(self, mha, fused_mha):
+        fused = simulate(fused_mha, AMPERE)
+        unfused = simulate(schedule_unfused_primitive(mha, AMPERE), AMPERE)
+        assert fused.l1_miss_count < unfused.l1_miss_count
+        assert fused.l2_miss_count < unfused.l2_miss_count
+
+    def test_fused_is_faster(self, mha, fused_mha):
+        fused = simulate(fused_mha, AMPERE)
+        unfused = simulate(schedule_unfused_primitive(mha, AMPERE), AMPERE)
+        assert fused.time_s < unfused.time_s
+
+    def test_dram_at_least_compulsory(self, mha, fused_mha):
+        """A kernel cannot move less than its unique inputs + outputs."""
+        sim = DeviceSimulator(AMPERE)
+        kernel = fused_mha.kernels[0]
+        graph = kernel.exec_graph
+        compulsory = sum(
+            graph.tensors[t].nbytes(graph.dims)
+            for t in (*graph.input_tensors, *graph.output_tensors))
+        counters, _ = sim.kernel_cost(kernel)
+        assert counters.dram_bytes >= compulsory
+
+    def test_flops_independent_of_config(self, fused_mha):
+        sim = DeviceSimulator(AMPERE)
+        kernel = fused_mha.kernels[0]
+        flops = set()
+        for cfg in kernel.search_space[:4]:
+            counters, _ = sim.kernel_cost(kernel, cfg)
+            flops.add((counters.flops_tensor, counters.flops_simt))
+        assert len(flops) == 1
+
+
+class TestTimingProperties:
+    def test_hopper_faster_than_volta(self, mha):
+        times = {}
+        for gpu in (VOLTA, AMPERE, HOPPER):
+            sched, _ = compile_for(mha, gpu)
+            times[gpu.arch] = simulate(sched, gpu).time_s
+        assert times["hopper"] < times["ampere"] < times["volta"]
+
+    def test_launch_overhead_accumulates(self, mha):
+        unfused = schedule_unfused_primitive(mha, AMPERE,
+                                             framework_overhead=False)
+        sim = DeviceSimulator(AMPERE)
+        eager = sim.program_cost(unfused, cuda_graphs=False)
+        graphs = sim.program_cost(unfused, cuda_graphs=True)
+        assert graphs.time_s < eager.time_s
+        saved = eager.time_s - graphs.time_s
+        expected = unfused.num_kernels * (
+            AMPERE.kernel_launch_overhead - AMPERE.graph_launch_overhead)
+        assert saved == pytest.approx(expected, rel=1e-6)
+
+    def test_dispatch_overhead_meta(self, mha):
+        sched = schedule_unfused_primitive(mha, AMPERE)
+        sim = DeviceSimulator(AMPERE)
+        with_dispatch = sim.program_cost(sched, cuda_graphs=False)
+        sched.meta.pop("dispatch_overhead")
+        without = sim.program_cost(sched, cuda_graphs=False)
+        assert with_dispatch.time_s > without.time_s
+
+    def test_tiny_grid_penalised(self, fused_mha):
+        """A one-block launch cannot use the whole device."""
+        sim = DeviceSimulator(AMPERE)
+        kernel = fused_mha.kernels[0]
+        small = ScheduleConfig(block=(("b", 1), ("h", 1), ("m", 512)),
+                               tile=64)
+        big = ScheduleConfig(block=(("b", 1), ("h", 1), ("m", 32)), tile=64)
+        t_small = sim.kernel_time(kernel, small)
+        t_big = sim.kernel_time(kernel, big)
+        assert t_big < t_small
+
+    def test_manual_efficiency_speeds_compute(self, fused_mha):
+        sim = DeviceSimulator(AMPERE)
+        kernel = fused_mha.kernels[0]
+        base = sim.kernel_time(kernel)
+        kernel.meta["efficiency"] = 1.3
+        boosted = sim.kernel_time(kernel)
+        kernel.meta.pop("efficiency")
+        assert boosted <= base
+
+    def test_output_spill_factor_adds_traffic(self, fused_mha):
+        sim = DeviceSimulator(AMPERE)
+        kernel = fused_mha.kernels[0]
+        base, _ = sim.kernel_cost(kernel)
+        kernel.meta["output_spill_factor"] = 4.0
+        spilled, _ = sim.kernel_cost(kernel)
+        kernel.meta.pop("output_spill_factor")
+        assert spilled.dram_bytes > base.dram_bytes
+
+
+class TestL2Residency:
+    def test_producer_consumer_hits_l2(self):
+        graph = layernorm_graph(256, 256)
+        sched = schedule_unfused_primitive(graph, AMPERE)
+        sim = DeviceSimulator(AMPERE)
+        cold = sum(sim.kernel_cost(k)[0].dram_bytes for k in sched.kernels)
+        warm = sim.program_cost(sched).dram_bytes
+        assert warm < cold
+
+    def test_l2_state_threading(self):
+        graph = layernorm_graph(64, 64)
+        sched = schedule_unfused_primitive(graph, AMPERE)
+        sim = DeviceSimulator(AMPERE)
+        l2 = L2State(AMPERE.l2_capacity)
+        sim.kernel_cost(sched.kernels[0], l2=l2)
+        out = sched.kernels[0].exec_graph.output_tensors[0]
+        assert l2.is_resident(out)
+
+
+class TestPass2Accounting:
+    def test_pass2_rereads_inputs(self):
+        """A two-pass LayerNorm schedule reads X twice; forcing a huge M
+        where only temporal schedules fit must show the double read."""
+        graph = layernorm_graph(64, 2048)
+        sched, _ = compile_for(graph, AMPERE)
+        kernel = sched.kernels[0]
+        sim = DeviceSimulator(AMPERE)
+        counters, breakdown = sim.kernel_cost(kernel)
+        x_bytes = graph.tensors["X"].nbytes(graph.dims)
+        if kernel.plan is not None and kernel.plan.has_pass2:
+            assert breakdown.load_bytes >= 2 * x_bytes

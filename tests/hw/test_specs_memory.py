@@ -1,0 +1,85 @@
+"""Tests for GPU specs and the L2 residency model."""
+
+import pytest
+
+from repro.hw import AMPERE, ARCHITECTURES, HOPPER, VOLTA, L2State, get_gpu
+
+
+class TestSpecs:
+    def test_three_architectures(self):
+        assert set(ARCHITECTURES) == {"volta", "ampere", "hopper"}
+
+    def test_peak_ratio_matches_paper(self):
+        """Figure 16(c): FP16 tensor-core peak ratio 1 : 2.79 : 6.75."""
+        v = VOLTA.tensor_flops
+        assert AMPERE.tensor_flops / v == pytest.approx(2.79, abs=0.05)
+        assert HOPPER.tensor_flops / v == pytest.approx(6.75, abs=0.05)
+
+    def test_smem_grows_across_generations(self):
+        assert VOLTA.smem_per_block < AMPERE.smem_per_block < HOPPER.smem_per_block
+
+    def test_resource_config_projection(self):
+        rc = AMPERE.resource_config()
+        assert rc.smem_per_block == AMPERE.smem_per_block
+        assert rc.regs_per_block > 0
+
+    def test_get_gpu_by_arch_and_name(self):
+        assert get_gpu("volta") is VOLTA
+        assert get_gpu("A100") is AMPERE
+        with pytest.raises(KeyError):
+            get_gpu("pascal")
+
+    def test_graph_launch_cheaper(self):
+        for spec in ARCHITECTURES.values():
+            assert spec.graph_launch_overhead < spec.kernel_launch_overhead
+
+
+class TestL2State:
+    def test_insert_and_resident(self):
+        l2 = L2State(1000)
+        l2.insert("a", 100)
+        assert l2.is_resident("a")
+        assert l2.used_bytes == 100
+
+    def test_oversized_bypasses(self):
+        l2 = L2State(1000)
+        l2.insert("big", 600)  # > capacity/2
+        assert not l2.is_resident("big")
+
+    def test_lru_eviction(self):
+        l2 = L2State(1000)
+        l2.insert("a", 400)
+        l2.insert("b", 400)
+        l2.insert("c", 400)  # evicts a
+        assert not l2.is_resident("a")
+        assert l2.is_resident("b") and l2.is_resident("c")
+
+    def test_touch_refreshes_recency(self):
+        l2 = L2State(1000)
+        l2.insert("a", 400)
+        l2.insert("b", 400)
+        l2.touch("a")
+        l2.insert("c", 400)  # evicts b, not a
+        assert l2.is_resident("a")
+        assert not l2.is_resident("b")
+
+    def test_rewrite_updates_size(self):
+        l2 = L2State(1000)
+        l2.insert("a", 100)
+        l2.insert("a", 300)
+        assert l2.used_bytes == 300
+
+    def test_invalidate_and_clear(self):
+        l2 = L2State(1000)
+        l2.insert("a", 100)
+        l2.invalidate("a")
+        assert not l2.is_resident("a")
+        l2.insert("b", 100)
+        l2.clear()
+        assert l2.used_bytes == 0
+
+    def test_oversized_insert_drops_stale_entry(self):
+        l2 = L2State(1000)
+        l2.insert("a", 100)
+        l2.insert("a", 900)  # now oversized: must not stay resident
+        assert not l2.is_resident("a")

@@ -1,0 +1,81 @@
+"""Coverage matrices: every model x engine x architecture combination the
+paper's Figure 14 spans must compile, simulate, and behave sanely."""
+
+import pytest
+
+from repro.baselines import (
+    ENGINES,
+    compile_model_with_engine,
+    engine_supported,
+)
+from repro.hw import ARCHITECTURES
+from repro.models import MODEL_CONFIGS, build_model
+from repro.pipeline import compile_model_for, simulate_model
+
+_SMALL_SEQ = 64
+
+
+@pytest.mark.parametrize("model_name", sorted(MODEL_CONFIGS))
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+def test_spacefusion_compiles_every_model_every_arch(model_name, arch):
+    gpu = ARCHITECTURES[arch]
+    program = build_model(model_name, batch=1, seq=_SMALL_SEQ)
+    compiled = compile_model_for(program, gpu)
+    counters = simulate_model(compiled, gpu)
+    assert counters.time_s > 0
+    assert counters.kernel_launches > 0
+    for sub in compiled.subprograms:
+        for kernel in sub.schedule.kernels:
+            if not kernel.meta.get("barrier"):
+                assert kernel.config is not None
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+def test_every_engine_every_arch(engine, arch):
+    gpu = ARCHITECTURES[arch]
+    if not engine_supported(engine, gpu):
+        pytest.skip(f"{engine} unsupported on {arch} (as in the paper)")
+    program = build_model("bert", batch=1, seq=_SMALL_SEQ)
+    model = compile_model_with_engine(program, gpu, engine)
+    counters = simulate_model(model, gpu, cuda_graphs=engine != "pytorch")
+    assert counters.time_s > 0
+    assert counters.dram_bytes > 0
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+def test_spacefusion_never_slower_than_eager(arch):
+    gpu = ARCHITECTURES[arch]
+    program = build_model("bert", batch=1, seq=_SMALL_SEQ)
+    sf = simulate_model(
+        compile_model_with_engine(program, gpu, "spacefusion"), gpu)
+    eager = simulate_model(
+        compile_model_with_engine(program, gpu, "pytorch"), gpu,
+        cuda_graphs=False)
+    assert sf.time_s < eager.time_s
+
+
+@pytest.mark.parametrize("batch", [1, 4, 32])
+def test_batch_scaling_monotone(batch):
+    """More batch means more work: end-to-end time grows with batch."""
+    gpu = ARCHITECTURES["ampere"]
+    program = build_model("bert", batch=batch, seq=_SMALL_SEQ)
+    compiled = compile_model_for(program, gpu)
+    time_s = simulate_model(compiled, gpu).time_s
+    if not hasattr(test_batch_scaling_monotone, "_prev"):
+        test_batch_scaling_monotone._prev = {}
+    prev = test_batch_scaling_monotone._prev
+    for other_batch, other_time in prev.items():
+        if other_batch < batch:
+            assert time_s > other_time
+    prev[batch] = time_s
+
+
+def test_dram_traffic_nonnegative_everywhere():
+    gpu = ARCHITECTURES["ampere"]
+    for model_name in ("bert", "llama2"):
+        program = build_model(model_name, batch=1, seq=_SMALL_SEQ)
+        compiled = compile_model_for(program, gpu)
+        counters = simulate_model(compiled, gpu)
+        assert counters.dram_bytes > 0
+        assert counters.l1_fill_bytes >= counters.dram_bytes * 0.1

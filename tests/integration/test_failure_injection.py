@@ -1,0 +1,134 @@
+"""Failure injection: prove the correctness checks have teeth.
+
+Each test corrupts one load-bearing piece of the machinery — an update
+function, the aggregation order, an initial value — and asserts the fused
+result *diverges* from the reference.  If any of these passed, the green
+equality tests elsewhere would be vacuous.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_smg
+from repro.core.schedule import KernelSchedule, ProgramSchedule, ScheduleConfig
+from repro.core.temporal_slicer import AggregationPlan, ReductionStage, plan_temporal_slice
+from repro.core.update_functions import NormFactor, UpdateFunction
+from repro.hw import AMPERE
+from repro.pipeline import compile_for
+from repro.runtime.executor import execute_schedule
+from repro.runtime.kernels import execute_graph_reference, random_feeds
+
+
+def _mha_kernel(small_mha, plan, tile=16):
+    smg = build_smg(small_mha)
+    return ProgramSchedule("p", [KernelSchedule(
+        "k", smg, ("m",), plan,
+        config=ScheduleConfig(block=(("m", 32),), tile=tile))])
+
+
+def _max_err(graph, sched, seed=0):
+    feeds = random_feeds(graph, seed=seed)
+    ref = execute_graph_reference(graph, feeds)
+    env = execute_schedule(sched, feeds)
+    out = graph.output_tensors[0]
+    return float(np.max(np.abs(env[out] - ref[out])))
+
+
+class TestUpdateFunctionMutations:
+    def test_identity_update_breaks_sum(self, small_mha):
+        """Dropping updateSum (plain Simple Aggregate on the dependent
+        chain) must produce wrong results — the paper's motivation for
+        UTA."""
+        smg = build_smg(small_mha)
+        plan = plan_temporal_slice(smg, "l")
+        broken = AggregationPlan(
+            dim=plan.dim, graph=plan.graph,
+            stages=[
+                plan.stages[0],
+                ReductionStage(plan.stages[1].op_name,
+                               plan.stages[1].output, "sum",
+                               UpdateFunction(plan.stages[1].output, (), ())),
+                plan.stages[2],
+            ],
+            tile_op_names=plan.tile_op_names,
+            pass2_op_names=plan.pass2_op_names)
+        err = _max_err(small_mha, _mha_kernel(small_mha, broken))
+        assert err > 1e-3
+
+    def test_wrong_factor_sign_breaks(self, small_mha):
+        smg = build_smg(small_mha)
+        plan = plan_temporal_slice(smg, "l")
+        s = plan.stages[1]
+        flipped = UpdateFunction(
+            s.output,
+            tuple(NormFactor(f.agg, f.func, -f.power)
+                  for f in s.update.factors),
+            ())
+        broken = AggregationPlan(
+            dim=plan.dim, graph=plan.graph,
+            stages=[plan.stages[0],
+                    ReductionStage(s.op_name, s.output, "sum", flipped),
+                    plan.stages[2]],
+            tile_op_names=plan.tile_op_names,
+            pass2_op_names=plan.pass2_op_names)
+        err = _max_err(small_mha, _mha_kernel(small_mha, broken))
+        # The flipped sign overflows exp(): divergence or outright NaN.
+        assert err > 1e-3 or np.isnan(err)
+
+    def test_single_tile_hides_the_mutation(self, small_mha):
+        """With one tile the update functions never fire: the mutated plan
+        must still be exact — confirming the divergence above really comes
+        from cross-tile aggregation."""
+        smg = build_smg(small_mha)
+        plan = plan_temporal_slice(smg, "l")
+        s = plan.stages[1]
+        broken = AggregationPlan(
+            dim=plan.dim, graph=plan.graph,
+            stages=[plan.stages[0],
+                    ReductionStage(s.op_name, s.output, "sum",
+                                   UpdateFunction(s.output, (), ())),
+                    plan.stages[2]],
+            tile_op_names=plan.tile_op_names,
+            pass2_op_names=plan.pass2_op_names)
+        err = _max_err(small_mha, _mha_kernel(small_mha, broken, tile=80))
+        assert err < 1e-9
+
+
+class TestStageOrderMutations:
+    def test_reordered_stages_break(self, small_mha):
+        """Evaluating the sum stage before the max stage consumes a stale
+        maximum."""
+        smg = build_smg(small_mha)
+        plan = plan_temporal_slice(smg, "l")
+        reordered = AggregationPlan(
+            dim=plan.dim, graph=plan.graph,
+            stages=plan.stages,
+            tile_op_names=_swap(plan.tile_op_names,
+                                plan.stages[0].op_name,
+                                plan.stages[1].op_name),
+            pass2_op_names=plan.pass2_op_names)
+        with pytest.raises(Exception):
+            # Either an execution error (missing operand) or divergence.
+            err = _max_err(small_mha, _mha_kernel(small_mha, reordered))
+            assert err > 1e-3
+            raise AssertionError  # noqa: divergence counts as failure too
+
+
+def _swap(names, a, b):
+    out = list(names)
+    ia, ib = out.index(a), out.index(b)
+    out[ia], out[ib] = out[ib], out[ia]
+    return out
+
+
+class TestModelMutations:
+    def test_spill_free_fa2_modelled_faster_than_mutated(self, small_mha):
+        """Injecting an output-spill factor into a schedule must slow its
+        modelled time — the counters respond to the mutation."""
+        from repro.hw import DeviceSimulator
+        sched, _ = compile_for(small_mha, AMPERE)
+        sim = DeviceSimulator(AMPERE)
+        clean = sim.kernel_time(sched.kernels[0])
+        sched.kernels[0].meta["output_spill_factor"] = 8.0
+        dirty = sim.kernel_time(sched.kernels[0])
+        assert dirty >= clean

@@ -1,0 +1,165 @@
+"""Integration tests asserting the paper's headline result *shapes*.
+
+Absolute numbers come from the device model, so these tests pin the
+qualitative claims the paper makes — who wins, roughly by how much, and
+where the crossovers are — with deliberately loose bounds.
+"""
+
+import pytest
+
+from repro.baselines import (
+    compile_model_with_engine,
+    schedule_flash_attention,
+    schedule_fused_layernorm,
+    schedule_pytorch,
+    schedule_unfused_primitive,
+)
+from repro.hw import AMPERE, HOPPER, VOLTA
+from repro.models import build_model, layernorm_graph, mha_graph, mlp_graph
+from repro.pipeline import compile_for, simulate, simulate_model
+
+
+def _speedup(graph, gpu, baseline_schedule):
+    fused, _ = compile_for(graph, gpu)
+    return (simulate(baseline_schedule, gpu).time_s
+            / simulate(fused, gpu).time_s)
+
+
+class TestSubgraphClaims:
+    def test_mha_beats_pytorch_substantially(self):
+        """Section 6.1: up to 10.35x / average 5.40x over PyTorch."""
+        graph = mha_graph(1, 16, 1024, 1024, 64)
+        su = _speedup(graph, AMPERE, schedule_pytorch(graph, AMPERE))
+        assert su > 2.0
+
+    def test_mha_comparable_to_flash_attention_2(self):
+        """Section 6.1: comparable performance to FlashAttention 2."""
+        graph = mha_graph(32, 16, 1024, 1024, 64)
+        fused, _ = compile_for(graph, AMPERE)
+        sf = simulate(fused, AMPERE).time_s
+        fa2 = simulate(schedule_flash_attention(graph, AMPERE, "fa2"),
+                       AMPERE).time_s
+        assert 0.5 < fa2 / sf < 2.5
+
+    def test_fa2_beats_fa1(self):
+        """FlashAttention-2 removes FA-1's output spills."""
+        graph = mha_graph(32, 16, 2048, 2048, 64)
+        fa1 = simulate(schedule_flash_attention(graph, AMPERE, "fa1"),
+                       AMPERE).time_s
+        fa2 = simulate(schedule_flash_attention(graph, AMPERE, "fa2"),
+                       AMPERE).time_s
+        assert fa2 < fa1
+
+    def test_layernorm_beats_pytorch(self):
+        """Section 6.1: average 7.25x over unfused PyTorch."""
+        graph = layernorm_graph(4096, 4096)
+        su = _speedup(graph, AMPERE,
+                      schedule_unfused_primitive(graph, AMPERE,
+                                                 efficiency=1.0))
+        assert su > 3.0
+
+    def test_layernorm_at_least_matches_fused_baselines(self):
+        graph = layernorm_graph(4096, 4096)
+        fused, _ = compile_for(graph, AMPERE)
+        sf = simulate(fused, AMPERE).time_s
+        for variant in ("pytorch_op", "apex", "ln_triton"):
+            t = simulate(schedule_fused_layernorm(graph, AMPERE, variant),
+                         AMPERE).time_s
+            assert t / sf > 0.9
+
+    def test_mlp_fusion_wins_at_small_widths(self):
+        """Footnote 3: multi-layer MLP fusion pays off for N,K <= 256."""
+        from repro.baselines import schedule_cublaslt
+        graph = mlp_graph(8, 8192, 256, 256)
+        su = _speedup(graph, AMPERE, schedule_cublaslt(graph, AMPERE))
+        assert su > 1.1
+
+    def test_fused_mlp_is_single_kernel_at_256(self):
+        graph = mlp_graph(20, 8192, 256, 256)
+        sched, _ = compile_for(graph, AMPERE)
+        assert sched.num_kernels == 1
+
+
+class TestMemoryClaims:
+    def test_mha_traffic_reduction_order_of_magnitude(self):
+        """Section 6.3: ~19x average data-movement reduction for MHA."""
+        graph = mha_graph(32, 16, 1024, 1024, 64)
+        fused, _ = compile_for(graph, AMPERE)
+        sf = simulate(fused, AMPERE)
+        unfused = simulate(schedule_unfused_primitive(graph, AMPERE), AMPERE)
+        assert unfused.dram_bytes / sf.dram_bytes > 8
+
+    def test_ln_traffic_reduction_smaller_than_mha(self):
+        """Section 6.3: LN's reduction (5.25x) is smaller than MHA's
+        (18.98x) because LN has no quadratic intermediate."""
+        ln = layernorm_graph(4096, 4096)
+        mha = mha_graph(32, 16, 1024, 1024, 64)
+        ratios = {}
+        for name, graph in (("ln", ln), ("mha", mha)):
+            fused, _ = compile_for(graph, AMPERE)
+            sf = simulate(fused, AMPERE)
+            unf = simulate(schedule_unfused_primitive(graph, AMPERE), AMPERE)
+            ratios[name] = unf.dram_bytes / sf.dram_bytes
+        assert ratios["mha"] > ratios["ln"]
+
+
+class TestEndToEndClaims:
+    @pytest.fixture(scope="class")
+    def bert(self):
+        return build_model("bert", batch=1, seq=512)
+
+    def _time(self, prog, gpu, engine):
+        model = compile_model_with_engine(prog, gpu, engine)
+        return simulate_model(model, gpu,
+                              cuda_graphs=engine != "pytorch").time_s
+
+    def test_spacefusion_beats_pytorch_end_to_end(self, bert):
+        assert self._time(bert, AMPERE, "pytorch") \
+            / self._time(bert, AMPERE, "spacefusion") > 2.0
+
+    def test_spacefusion_beats_bladedisc(self, bert):
+        """Section 6.2: average 2.27x over BladeDISC."""
+        assert self._time(bert, AMPERE, "bladedisc") \
+            / self._time(bert, AMPERE, "spacefusion") > 1.05
+
+    def test_spacefusion_beats_kernl(self, bert):
+        """Section 6.2: average 1.34x over Kernl."""
+        assert self._time(bert, AMPERE, "kernl") \
+            / self._time(bert, AMPERE, "spacefusion") > 1.0
+
+    def test_llama2_gains_smaller_than_bert(self):
+        """Section 6.2: Llama2's larger weights blunt the speedups."""
+        sus = {}
+        for name in ("bert", "llama2"):
+            prog = build_model(name, batch=1, seq=512)
+            sus[name] = (self._time(prog, AMPERE, "pytorch")
+                         / self._time(prog, AMPERE, "spacefusion"))
+        assert sus["llama2"] < sus["bert"]
+
+    def test_speedup_grows_with_architecture(self):
+        """Figure 16(c): newer architectures see larger speedups."""
+        prog = build_model("bert", batch=1, seq=512)
+        su = {}
+        for gpu in (VOLTA, HOPPER):
+            su[gpu.arch] = (self._time(prog, gpu, "pytorch")
+                            / self._time(prog, gpu, "spacefusion"))
+        assert su["hopper"] > su["volta"]
+
+
+class TestWelderComparison:
+    def test_welder_fails_long_sequence_mha(self):
+        """Section 6.2: NNFusion fails to fuse MHA at long sequence
+        lengths; SpaceFusion's temporal slicing keeps one kernel."""
+        from repro.core.compiler import FusionOptions
+        graph = mha_graph(1, 4, 4096, 4096, 64)
+        sf, _ = compile_for(graph, VOLTA)
+        welder, _ = compile_for(graph, VOLTA, FusionOptions(enable_uta=False))
+        assert sf.num_kernels == 1
+        assert welder.num_kernels > 1
+
+    def test_spacefusion_at_least_matches_welder(self):
+        from repro.core.compiler import FusionOptions
+        graph = mha_graph(2, 8, 2048, 2048, 64)
+        sf, _ = compile_for(graph, VOLTA)
+        welder, _ = compile_for(graph, VOLTA, FusionOptions(enable_uta=False))
+        assert simulate(sf, VOLTA).time_s <= simulate(welder, VOLTA).time_s

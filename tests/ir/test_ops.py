@@ -1,0 +1,196 @@
+"""Tests for operator construction, validation, and dependency queries."""
+
+import pytest
+
+from repro.ir.ops import (
+    Op,
+    ceil_div,
+    make_barrier,
+    make_binary,
+    make_matmul,
+    make_reduce,
+    make_scalar,
+    make_unary,
+    pow2_floor,
+    pow2_range,
+    transcendental_weight,
+)
+from repro.ir.tensor import DimRegistry
+
+
+@pytest.fixture
+def reg():
+    r = DimRegistry()
+    for name, size in (("m", 8), ("n", 6), ("k", 4)):
+        r.define(name, size)
+    return r
+
+
+class TestMatmul:
+    def test_construction(self):
+        op = make_matmul("mm", "A", ("m", "k"), "B", ("n", "k"),
+                         "C", ("m", "n"), "k")
+        assert op.kind == "matmul"
+        assert op.reduce_dims == ("k",)
+        assert op.reduce_kind == "sum"
+        assert op.iter_dims == ("m", "n", "k")
+
+    def test_is_contraction_and_reduction(self):
+        op = make_matmul("mm", "A", ("m", "k"), "B", ("n", "k"),
+                         "C", ("m", "n"), "k")
+        assert op.is_contraction
+        assert op.is_reduction
+        assert not op.is_elementwise
+
+    def test_broadcast_dims_per_operand(self):
+        op = make_matmul("mm", "A", ("m", "k"), "B", ("n", "k"),
+                         "C", ("m", "n"), "k")
+        # A lacks n: reused along n; B lacks m: reused along m.
+        assert op.broadcast_dims_of_input(0) == ("n",)
+        assert op.broadcast_dims_of_input(1) == ("m",)
+
+    def test_reduce_dim_in_output_raises(self):
+        with pytest.raises(ValueError, match="also in output"):
+            make_matmul("mm", "A", ("m", "k"), "B", ("n", "k"),
+                        "C", ("m", "k"), "k")
+
+    def test_operand_missing_reduce_dim_raises(self):
+        with pytest.raises(ValueError, match="lacks reduce dim"):
+            make_matmul("mm", "A", ("m", "n"), "B", ("n", "k"),
+                        "C", ("m", "n"), "k")
+
+    def test_flops_counts_fma(self, reg):
+        op = make_matmul("mm", "A", ("m", "k"), "B", ("n", "k"),
+                         "C", ("m", "n"), "k")
+        assert op.flops(reg) == 2 * 8 * 6 * 4
+
+    def test_batched_matmul(self):
+        op = make_matmul("mm", "A", ("m", "n", "k"), "B", ("m", "n", "k"),
+                         "C", ("m", "n"), "k")
+        assert op.broadcast_dims_of_input(0) == ()
+
+
+class TestReduce:
+    def test_reduce_sum(self):
+        op = make_reduce("r", "sum", "X", ("m", "n"), "Y", "n")
+        assert op.kind == "reduce_sum"
+        assert op.output_axes == ("m",)
+        assert op.reduce_dims == ("n",)
+
+    @pytest.mark.parametrize("kind", ["sum", "max", "min", "mean"])
+    def test_all_kinds(self, kind):
+        op = make_reduce("r", kind, "X", ("m", "n"), "Y", "n")
+        assert op.reduce_kind == kind
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown reduce kind"):
+            make_reduce("r", "prod", "X", ("m", "n"), "Y", "n")
+
+    def test_dim_not_axis_raises(self):
+        with pytest.raises(ValueError, match="not an axis"):
+            make_reduce("r", "sum", "X", ("m", "n"), "Y", "k")
+
+    def test_reduce_flops(self, reg):
+        op = make_reduce("r", "sum", "X", ("m", "n"), "Y", "n")
+        assert op.flops(reg) == 8 * 6
+
+
+class TestElementwise:
+    def test_unary(self):
+        op = make_unary("e", "exp", "X", ("m", "n"), "Y")
+        assert op.is_elementwise
+        assert not op.is_reduction
+
+    def test_unknown_unary_raises(self):
+        with pytest.raises(ValueError, match="unknown unary"):
+            make_unary("e", "frobnicate", "X", ("m",), "Y")
+
+    def test_binary_broadcast(self):
+        op = make_binary("b", "sub", "X", ("m", "n"), "Mu", ("m",),
+                         "Y", ("m", "n"))
+        assert op.has_broadcast
+        assert op.broadcast_dims_of_input(1) == ("n",)
+        assert not op.is_elementwise  # one operand is broadcast
+
+    def test_binary_same_shape_is_elementwise(self):
+        op = make_binary("b", "add", "X", ("m", "n"), "Y", ("m", "n"),
+                         "Z", ("m", "n"))
+        assert op.is_elementwise
+
+    def test_unknown_binary_raises(self):
+        with pytest.raises(ValueError, match="unknown binary"):
+            make_binary("b", "xor", "X", ("m",), "Y", ("m",), "Z", ("m",))
+
+    def test_scalar_op(self):
+        op = make_scalar("s", "mul", "X", ("m",), "Y", 0.5)
+        assert op.kind == "scalar_mul"
+        assert op.attrs["scalar"] == 0.5
+
+    def test_unknown_scalar_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown scalar"):
+            make_scalar("s", "mod", "X", ("m",), "Y", 2.0)
+
+
+class TestBarrier:
+    def test_reshape_is_barrier(self):
+        op = make_barrier("r", "reshape", "X", ("m", "n"), "Y", ("k",))
+        assert op.is_barrier
+        assert op.flops(DimRegistry()) == 0
+
+    def test_unknown_barrier_raises(self):
+        with pytest.raises(ValueError, match="unknown barrier"):
+            make_barrier("r", "melt", "X", ("m",), "Y", ("m",))
+
+
+class TestOpValidation:
+    def test_input_dims_outside_iteration_space(self):
+        with pytest.raises(ValueError, match="outside the iteration space"):
+            Op(name="bad", kind="add", inputs=("A", "B"), output="C",
+               input_axes=(("m", "z"), ("m", "n")), output_axes=("m", "n"),
+               iter_dims=("m", "n"))
+
+    def test_reduce_dims_mismatch(self):
+        with pytest.raises(ValueError, match="do not match"):
+            Op(name="bad", kind="reduce_sum", inputs=("A",), output="C",
+               input_axes=(("m", "n"),), output_axes=("m",),
+               iter_dims=("m", "n"), reduce_dims=(), reduce_kind="sum")
+
+    def test_reduce_requires_kind(self):
+        with pytest.raises(ValueError, match="needs a reduce_kind"):
+            Op(name="bad", kind="reduce_sum", inputs=("A",), output="C",
+               input_axes=(("m", "n"),), output_axes=("m",),
+               iter_dims=("m", "n"), reduce_dims=("n",), reduce_kind=None)
+
+    def test_inputs_axes_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            Op(name="bad", kind="add", inputs=("A", "B"), output="C",
+               input_axes=(("m",),), output_axes=("m",), iter_dims=("m",))
+
+
+class TestHelpers:
+    def test_transcendental_weights(self):
+        assert transcendental_weight("exp") > transcendental_weight("add")
+        assert transcendental_weight("gelu") >= transcendental_weight("exp")
+        assert transcendental_weight("add") == 1.0
+
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(1, 100) == 1
+
+    def test_pow2_floor(self):
+        assert pow2_floor(1) == 1
+        assert pow2_floor(17) == 16
+        assert pow2_floor(64) == 64
+        with pytest.raises(ValueError):
+            pow2_floor(0)
+
+    def test_pow2_range(self):
+        assert pow2_range(2, 16) == [2, 4, 8, 16]
+        assert pow2_range(3, 16) == [4, 8, 16]
+        assert pow2_range(8, 4) == []
+        assert pow2_range(1, 1) == [1]
+
+    def test_iter_volume(self, reg):
+        op = make_unary("e", "exp", "X", ("m", "n"), "Y")
+        assert op.iter_volume(reg) == 48

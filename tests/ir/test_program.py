@@ -1,0 +1,96 @@
+"""Tests for tensor programs: barrier partitioning and deduplication."""
+
+import pytest
+
+from repro.ir import GraphBuilder, TensorProgram, partition_at_barriers, program_from_graph
+from repro.ir.program import Subprogram, validate_program
+from repro.models import layernorm_graph
+
+
+def _graph_with_barrier():
+    b = GraphBuilder("g")
+    x = b.input("X", [("m", 8), ("n", 6)])
+    e = b.unary("exp", x)
+    r = b.barrier("reshape", e, [("f", 48)])
+    b.unary("relu", r, out_name="Out")
+    return b.build()
+
+
+class TestPartitionAtBarriers:
+    def test_barrier_splits_into_three_regions(self):
+        parts = partition_at_barriers(_graph_with_barrier())
+        assert len(parts) == 3
+        assert [len(p.ops) for p in parts] == [1, 1, 1]
+        assert parts[1].ops[0].is_barrier
+
+    def test_no_barrier_single_region(self, small_mha):
+        parts = partition_at_barriers(small_mha)
+        assert len(parts) == 1
+        assert len(parts[0].ops) == len(small_mha.ops)
+
+    def test_regions_are_valid_graphs(self):
+        for part in partition_at_barriers(_graph_with_barrier()):
+            part.validate()
+
+    def test_region_io_chains(self):
+        parts = partition_at_barriers(_graph_with_barrier())
+        assert parts[1].input_tensors == [parts[0].output_tensors[0]]
+        assert parts[2].input_tensors == [parts[1].output_tensors[0]]
+
+    def test_leading_barrier(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 8)])
+        r = b.barrier("reshape", x, [("a", 2), ("c", 4)])
+        b.unary("exp", r)
+        parts = partition_at_barriers(b.build())
+        assert len(parts) == 2
+        assert parts[0].ops[0].is_barrier
+
+
+class TestSubprogramDedup:
+    def test_identical_graphs_share_signature(self):
+        a = Subprogram(layernorm_graph(64, 32, name="ln"))
+        b = Subprogram(layernorm_graph(64, 32, name="ln"))
+        assert a.signature() == b.signature()
+
+    def test_different_sizes_differ(self):
+        a = Subprogram(layernorm_graph(64, 32, name="ln"))
+        b = Subprogram(layernorm_graph(64, 48, name="ln"))
+        assert a.signature() != b.signature()
+
+    def test_unique_subprograms_fold_occurrences(self):
+        prog = TensorProgram("p")
+        prog.add(layernorm_graph(64, 32, name="ln"), occurrences=3)
+        prog.add(layernorm_graph(64, 32, name="ln"), occurrences=2)
+        prog.add(layernorm_graph(64, 48, name="ln"), occurrences=1)
+        uniq = prog.unique_subprograms()
+        assert len(uniq) == 2
+        assert uniq[0].occurrences == 5
+        assert uniq[1].occurrences == 1
+
+    def test_layer_name_suffix_ignored_in_signature(self):
+        # Repeated layers carry indexed names but identical structure.
+        a = Subprogram(layernorm_graph(64, 32, name="ln#part0"))
+        b = Subprogram(layernorm_graph(64, 32, name="ln#part1"))
+        assert a.signature() == b.signature()
+
+    def test_total_flops_scales_with_occurrences(self):
+        prog = TensorProgram("p")
+        g = layernorm_graph(64, 32)
+        prog.add(g, occurrences=4)
+        assert prog.total_flops() == 4 * g.total_flops()
+
+
+class TestProgramFromGraph:
+    def test_builds_subprograms(self):
+        prog = program_from_graph(_graph_with_barrier(), occurrences=2)
+        assert len(prog.subprograms) == 3
+        assert all(s.occurrences == 2 for s in prog.subprograms)
+
+    def test_validate_program(self):
+        prog = program_from_graph(_graph_with_barrier())
+        validate_program(prog)
+
+    def test_meta_passthrough(self):
+        prog = program_from_graph(_graph_with_barrier(), meta={"batch": 8})
+        assert prog.meta["batch"] == 8

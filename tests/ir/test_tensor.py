@@ -1,0 +1,110 @@
+"""Tests for dimension registry and tensor specifications."""
+
+import pytest
+
+from repro.ir.tensor import DTYPE_BYTES, DimRegistry, TensorSpec
+
+
+class TestDimRegistry:
+    def test_define_and_size(self):
+        reg = DimRegistry()
+        assert reg.define("m", 128) == "m"
+        assert reg.size("m") == 128
+
+    def test_redefine_same_size_is_ok(self):
+        reg = DimRegistry()
+        reg.define("m", 64)
+        reg.define("m", 64)
+        assert reg.size("m") == 64
+
+    def test_redefine_different_size_raises(self):
+        reg = DimRegistry()
+        reg.define("m", 64)
+        with pytest.raises(ValueError, match="redefined"):
+            reg.define("m", 65)
+
+    def test_nonpositive_size_raises(self):
+        reg = DimRegistry()
+        with pytest.raises(ValueError, match="positive"):
+            reg.define("m", 0)
+        with pytest.raises(ValueError):
+            reg.define("n", -3)
+
+    def test_unknown_dim_raises_keyerror(self):
+        reg = DimRegistry()
+        with pytest.raises(KeyError, match="unknown dimension"):
+            reg.size("missing")
+
+    def test_contains_and_names_preserve_order(self):
+        reg = DimRegistry()
+        reg.define("b", 2)
+        reg.define("a", 3)
+        assert "b" in reg and "a" in reg and "c" not in reg
+        assert reg.names() == ("b", "a")
+
+    def test_copy_is_independent(self):
+        reg = DimRegistry()
+        reg.define("m", 8)
+        clone = reg.copy()
+        clone.define("n", 4)
+        assert "n" in clone and "n" not in reg
+
+    def test_items(self):
+        reg = DimRegistry()
+        reg.define("x", 5)
+        assert reg.items() == (("x", 5),)
+
+
+class TestTensorSpec:
+    def _reg(self):
+        reg = DimRegistry()
+        reg.define("m", 16)
+        reg.define("n", 8)
+        return reg
+
+    def test_shape_and_numel(self):
+        reg = self._reg()
+        t = TensorSpec("X", ("m", "n"))
+        assert t.shape(reg) == (16, 8)
+        assert t.numel(reg) == 128
+
+    def test_nbytes_fp16_default(self):
+        reg = self._reg()
+        t = TensorSpec("X", ("m", "n"))
+        assert t.nbytes(reg) == 128 * 2
+
+    def test_nbytes_fp32(self):
+        reg = self._reg()
+        t = TensorSpec("X", ("m",), dtype="fp32")
+        assert t.nbytes(reg) == 16 * 4
+
+    def test_bad_dtype_raises(self):
+        with pytest.raises(ValueError, match="dtype"):
+            TensorSpec("X", ("m",), dtype="fp8")
+
+    def test_repeated_dim_raises(self):
+        with pytest.raises(ValueError, match="repeats"):
+            TensorSpec("X", ("m", "m"))
+
+    def test_axis_of(self):
+        t = TensorSpec("X", ("m", "n"))
+        assert t.axis_of("n") == 1
+        with pytest.raises(ValueError, match="no dimension"):
+            t.axis_of("k")
+
+    def test_rank(self):
+        assert TensorSpec("X", ("m", "n")).rank == 2
+        assert TensorSpec("S", ()).rank == 0
+
+    def test_scalar_tensor_numel(self):
+        reg = self._reg()
+        assert TensorSpec("S", ()).numel(reg) == 1
+
+    def test_dtype_table_is_consistent(self):
+        assert DTYPE_BYTES["fp16"] == 2
+        assert DTYPE_BYTES["fp32"] == 4
+        assert DTYPE_BYTES["bf16"] == 2
+
+    def test_is_weight_flag(self):
+        t = TensorSpec("W", ("m",), is_weight=True)
+        assert t.is_weight

@@ -1,0 +1,121 @@
+"""Tests reproducing Table 1 and the MI/CI classification of section 6.6."""
+
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.ir.traits import (
+    classify_graph,
+    count_all_to_ones,
+    dependency_profile,
+    graph_intensity,
+    is_compute_intensive,
+    table1_rows,
+)
+
+
+class TestTable1:
+    """The decoupled-dependency table of the paper, derived from access
+    forms rather than asserted by hand."""
+
+    def test_gemm_row(self):
+        rows = table1_rows()
+        gemm = rows["GEMM"]
+        # Paper: GEMM has no One-to-One, has One-to-All and All-to-One.
+        assert not gemm.one_to_one
+        assert gemm.one_to_all
+        assert gemm.all_to_one
+
+    def test_softmax_row(self):
+        softmax = table1_rows()["Softmax"]
+        # Paper: Softmax exhibits all three dependency classes.
+        assert softmax.one_to_one
+        assert softmax.one_to_all
+        assert softmax.all_to_one
+
+    def test_reduce_row(self):
+        reduce_max = table1_rows()["ReduceMax"]
+        # Paper: ReduceMax/ReduceMean have only All-to-One.
+        assert not reduce_max.one_to_one
+        assert not reduce_max.one_to_all
+        assert reduce_max.all_to_one
+
+    def test_broadcast_elementwise_row(self):
+        bcast = table1_rows()["ElementwiseBroadcast"]
+        # Paper: element-wise with broadcast has O2O and O2A, no A2O.
+        assert bcast.one_to_one
+        assert bcast.one_to_all
+        assert not bcast.all_to_one
+
+    def test_pure_elementwise_profile(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4)])
+        b.unary("exp", x)
+        prof = dependency_profile(b.graph.ops[0])
+        assert prof.one_to_one and not prof.one_to_all and not prof.all_to_one
+
+    def test_as_row_rendering(self):
+        prof = table1_rows()["GEMM"]
+        assert prof.as_row() == ("no", "yes", "yes")
+
+
+class TestIntensity:
+    def test_large_gemm_is_compute_intensive(self):
+        b = GraphBuilder("g")
+        a = b.input("A", [("m", 512), ("k", 512)])
+        w = b.input("B", [("n", 512), ("k", 512)])
+        b.matmul(a, w, reduce_dim="k")
+        g = b.build()
+        assert is_compute_intensive(g.ops[0], g.dims)
+
+    def test_skinny_gemm_is_memory_intensive(self):
+        b = GraphBuilder("g")
+        a = b.input("A", [("m", 4), ("k", 8)])
+        w = b.input("B", [("n", 4), ("k", 8)])
+        b.matmul(a, w, reduce_dim="k")
+        g = b.build()
+        assert not is_compute_intensive(g.ops[0], g.dims)
+
+    def test_elementwise_is_memory_intensive(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 1024), ("n", 1024)])
+        b.unary("exp", x)
+        g = b.build()
+        assert not is_compute_intensive(g.ops[0], g.dims)
+
+    def test_classify_graph_labels_every_op(self, small_mha):
+        labels = classify_graph(small_mha)
+        assert set(labels) == {op.name for op in small_mha.ops}
+        assert set(labels.values()) <= {"CI", "MI"}
+
+    def test_graph_intensity_mixed(self):
+        b = GraphBuilder("g")
+        a = b.input("A", [("m", 512), ("k", 512)])
+        w = b.input("B", [("n", 512), ("k", 512)])
+        c = b.matmul(a, w, reduce_dim="k")
+        b.unary("exp", c)
+        assert graph_intensity(b.build()) == "mixed"
+
+    def test_graph_intensity_mi_only(self, small_ln):
+        assert graph_intensity(small_ln) == "MI"
+
+    def test_graph_intensity_ci_only(self):
+        b = GraphBuilder("g")
+        a = b.input("A", [("m", 512), ("k", 512)])
+        w = b.input("B", [("n", 512), ("k", 512)])
+        b.matmul(a, w, reduce_dim="k")
+        assert graph_intensity(b.build()) == "CI"
+
+
+class TestAllToOneCensus:
+    def test_mha_has_four_a2o_mappings(self, small_mha):
+        # Section 2: MHA contains 4 All-to-Ones (GEMM1, max, sum, GEMM2).
+        assert count_all_to_ones(small_mha) == 4
+
+    def test_layernorm_has_two(self, small_ln):
+        assert count_all_to_ones(small_ln) == 2
+
+    def test_elementwise_graph_has_none(self):
+        b = GraphBuilder("g")
+        x = b.input("X", [("m", 4)])
+        b.unary("exp", x)
+        assert count_all_to_ones(b.build()) == 0

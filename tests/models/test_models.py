@@ -1,0 +1,158 @@
+"""Tests for the evaluation subgraphs and the Transformer model zoo."""
+
+import pytest
+
+from repro.ir import count_all_to_ones
+from repro.models import (
+    MODEL_CONFIGS,
+    TransformerConfig,
+    build_model,
+    build_transformer_program,
+    layernorm_graph,
+    lstm_cell_graph,
+    mha_graph,
+    mlp_graph,
+    rmsnorm_graph,
+    softmax_gemm_graph,
+    vit_sequence_length,
+)
+
+
+class TestSubgraphBuilders:
+    def test_mlp_layer_count(self):
+        g = mlp_graph(5, 64, 32, 48)
+        assert sum(1 for op in g.ops if op.is_contraction) == 5
+        assert len(g.ops) == 15  # matmul + bias + act per layer
+
+    def test_mlp_weight_tensors_marked(self):
+        g = mlp_graph(2, 64, 32, 48)
+        weights = [t for t in g.tensors.values() if t.is_weight]
+        assert len(weights) == 4  # 2 weights + 2 biases
+
+    def test_mlp_output_named(self):
+        g = mlp_graph(3, 64, 32, 48)
+        assert g.output_tensors == ["Out"]
+
+    def test_lstm_structure(self):
+        g = lstm_cell_graph(16, 32)
+        assert sum(1 for op in g.ops if op.is_contraction) == 2
+        assert set(g.output_tensors) == {"CellOut", "Out"}
+
+    def test_lstm_default_input_size(self):
+        g = lstm_cell_graph(16, 32)
+        assert g.dims.size("k") == 32
+
+    def test_layernorm_affine_flag(self):
+        with_affine = layernorm_graph(8, 16, affine=True)
+        without = layernorm_graph(8, 16, affine=False)
+        assert len(with_affine.ops) > len(without.ops)
+
+    def test_mha_dims(self):
+        g = mha_graph(2, 4, 32, 24, 8)
+        assert g.dims.size("b") == 2
+        assert g.dims.size("h") == 4
+        assert g.dims.size("m") == 32
+        assert g.dims.size("l") == 24
+
+    def test_mha_mask_and_scale_ops(self):
+        plain = mha_graph(1, 1, 8, 8, 4, masked=False, scaled=False)
+        scaled = mha_graph(1, 1, 8, 8, 4, masked=False, scaled=True)
+        masked = mha_graph(1, 1, 8, 8, 4, masked=True, scaled=True)
+        assert len(scaled.ops) == len(plain.ops) + 1
+        assert len(masked.ops) == len(scaled.ops) + 1
+        assert "Mask" in masked.input_tensors
+
+    def test_mha_a2o_census(self):
+        # Section 2: 4 All-to-Ones in plain MHA.
+        assert count_all_to_ones(mha_graph(1, 1, 8, 8, 4, scaled=False)) == 4
+
+    def test_rmsnorm_single_reduction(self):
+        assert count_all_to_ones(rmsnorm_graph(8, 16)) == 1
+
+    def test_softmax_gemm_matches_fig2(self):
+        g = softmax_gemm_graph(16, 256, 64)
+        kinds = [op.kind for op in g.ops]
+        assert kinds[-1] == "matmul"
+        assert "reduce_max" in kinds and "reduce_sum" in kinds
+
+
+class TestTransformerPrograms:
+    CFG = TransformerConfig(name="tiny", num_layers=2, hidden=64, heads=4,
+                            intermediate=128)
+
+    def test_subprogram_sequence(self):
+        prog = build_transformer_program(self.CFG, batch=2, seq=16)
+        names = [s.graph.name.split(".")[-1] for s in prog.subprograms]
+        assert names == ["qkv", "split", "attn", "merge", "proj", "ffn"]
+
+    def test_occurrences_match_layers(self):
+        prog = build_transformer_program(self.CFG, batch=2, seq=16)
+        assert all(s.occurrences == 2 for s in prog.subprograms)
+
+    def test_barrier_subprograms_are_reshapes(self):
+        prog = build_transformer_program(self.CFG, batch=2, seq=16)
+        split = prog.subprograms[1].graph
+        assert all(op.is_barrier for op in split.ops)
+        assert len(split.ops) == 3  # Q, K, V head splits
+
+    def test_cross_attention_adds_subprograms(self):
+        cfg = TransformerConfig(name="xdec", num_layers=1, hidden=64,
+                                heads=4, intermediate=128, is_decoder=True,
+                                cross_attention=True)
+        prog = build_transformer_program(cfg, batch=1, seq=8)
+        assert len(prog.subprograms) == 8
+
+    def test_decoder_masks_attention(self):
+        cfg = TransformerConfig(name="dec", num_layers=1, hidden=64,
+                                heads=4, intermediate=128, is_decoder=True)
+        prog = build_transformer_program(cfg, batch=1, seq=8)
+        attn = prog.subprograms[2].graph
+        assert "Mask" in attn.input_tensors
+
+    def test_silu_gated_ffn(self):
+        cfg = TransformerConfig(name="gated", num_layers=1, hidden=64,
+                                heads=4, intermediate=128, norm="rmsnorm",
+                                activation="silu_gated")
+        prog = build_transformer_program(cfg, batch=1, seq=8)
+        ffn = prog.subprograms[5].graph
+        assert sum(1 for op in ffn.ops if op.is_contraction) == 3
+        assert any(op.kind == "silu" for op in ffn.ops)
+
+    def test_head_dim(self):
+        assert self.CFG.head_dim == 16
+
+
+class TestModelZoo:
+    def test_all_models_buildable(self):
+        for name in MODEL_CONFIGS:
+            prog = build_model(name, batch=1, seq=64)
+            assert prog.subprograms
+            assert prog.meta["model"] == name
+
+    def test_vit_sequence_length(self):
+        assert vit_sequence_length(224) == 197
+        assert vit_sequence_length(768) == 2305
+
+    def test_vit_uses_image_size(self):
+        prog = build_model("vit", batch=1, image_size=224)
+        assert prog.meta["seq"] == 197
+
+    def test_llama2_structure(self):
+        cfg = MODEL_CONFIGS["llama2"]
+        assert cfg.num_layers == 32
+        assert cfg.hidden == 4096
+        assert cfg.heads == 32
+        assert cfg.intermediate == 11008
+        assert cfg.activation == "silu_gated"
+
+    def test_t5_has_encoder_and_decoder(self):
+        prog = build_model("t5", batch=1, seq=32)
+        enc = [s for s in prog.subprograms if "t5enc" in s.graph.name]
+        dec = [s for s in prog.subprograms if "t5." in s.graph.name]
+        assert enc and dec
+
+    def test_albert_dedups_to_bert_like_structure(self):
+        prog = build_model("albert", batch=1, seq=64)
+        uniq = prog.unique_subprograms()
+        assert len(uniq) == 6
+        assert all(s.occurrences == 12 for s in uniq)

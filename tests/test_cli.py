@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, WORKLOADS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_inspect_args(self):
+        args = build_parser().parse_args(["inspect", "mha", "--dot"])
+        assert args.workload == "mha" and args.dot
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "resnet"])
+
+    def test_every_experiment_named(self):
+        for exp in ("fig11a", "fig13", "fig14", "table4", "table6"):
+            assert exp in EXPERIMENTS
+
+
+class TestCommands:
+    def test_inspect_prints_smg(self, capsys):
+        assert main(["inspect", "softmax-gemm"]) == 0
+        out = capsys.readouterr().out
+        assert "SMG" in out and "A2O chains" in out
+
+    def test_inspect_dot(self, capsys):
+        assert main(["inspect", "softmax-gemm", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_compile_reports_schedule(self, capsys):
+        assert main(["compile", "softmax-gemm", "--gpu", "volta"]) == 0
+        out = capsys.readouterr().out
+        assert "modelled cost" in out and "kernel" in out
+
+    def test_compile_pseudocode_flag(self, capsys):
+        assert main(["compile", "softmax-gemm", "--pseudocode"]) == 0
+        assert "parallel_for" in capsys.readouterr().out
+
+    def test_validate_passes(self, capsys):
+        assert main(["validate", "softmax-gemm", "--seed", "3"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_bench_runs_small_experiment(self, capsys):
+        assert main(["bench", "table4"]) == 0
+        assert "Compilation time" in capsys.readouterr().out
+
+    def test_all_workloads_buildable(self):
+        for fn in WORKLOADS.values():
+            graph = fn()
+            assert graph.ops

@@ -1,0 +1,70 @@
+"""Tests for the top-level pipeline wiring and the report generator."""
+
+import pytest
+
+from repro.bench.summary import generate_report
+from repro.core.compiler import FusionOptions
+from repro.hw import AMPERE, VOLTA
+from repro.ir import program_from_graph
+from repro.models import layernorm_graph, mha_graph
+from repro.pipeline import (
+    compile_for,
+    compile_model_for,
+    make_compiler,
+    simulate,
+    simulate_model,
+)
+
+
+class TestPipeline:
+    def test_make_compiler_carries_rc(self):
+        compiler = make_compiler(AMPERE)
+        assert compiler.rc.smem_per_block == AMPERE.smem_per_block
+
+    def test_make_compiler_options_passthrough(self):
+        options = FusionOptions(enable_temporal=False)
+        compiler = make_compiler(AMPERE, options)
+        assert compiler.options is options
+
+    def test_compile_for_different_gpus_differ(self, small_mha):
+        """Volta's smaller shared memory yields a different (or at least
+        not-larger) search space than Hopper-class budgets."""
+        a_sched, _ = compile_for(small_mha, AMPERE)
+        v_sched, _ = compile_for(small_mha, VOLTA)
+        assert a_sched.num_kernels >= 1 and v_sched.num_kernels >= 1
+
+    def test_simulate_accumulates_launches(self, small_mha):
+        sched, _ = compile_for(small_mha, AMPERE)
+        counters = simulate(sched, AMPERE)
+        assert counters.kernel_launches == sched.num_kernels
+
+    def test_simulate_model_scales_occurrences(self, small_ln):
+        from repro.ir import TensorProgram
+        prog = TensorProgram("p")
+        prog.add(small_ln, occurrences=5)
+        model = compile_model_for(prog, AMPERE)
+        one = simulate_model(model, AMPERE)
+        prog2 = TensorProgram("p2")
+        prog2.add(small_ln, occurrences=10)
+        model2 = compile_model_for(prog2, AMPERE)
+        two = simulate_model(model2, AMPERE)
+        assert two.time_s == pytest.approx(2 * one.time_s, rel=1e-6)
+
+    def test_cuda_graphs_flag_threads_through(self, small_mha):
+        from repro.baselines import schedule_unfused_primitive
+        sched = schedule_unfused_primitive(small_mha, AMPERE,
+                                           framework_overhead=False)
+        eager = simulate(sched, AMPERE, cuda_graphs=False)
+        graphs = simulate(sched, AMPERE, cuda_graphs=True)
+        assert graphs.time_s < eager.time_s
+
+
+class TestReportGenerator:
+    def test_quick_report_structure(self, tmp_path):
+        path = tmp_path / "REPORT.md"
+        text = generate_report(path=path, quick=True)
+        assert path.exists()
+        assert text.count("## ") >= 15           # every suite entry present
+        assert "paper:" in text
+        assert "fig13" in text and "table6" in text
+        assert "```" in text

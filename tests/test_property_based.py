@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The single most important invariant of the whole system: *any* schedule the
+compiler emits computes exactly what the unfused graph computes, for any
+shape and any block/tile configuration.  Alongside it: update-function
+algebra, slicing-bound arithmetic, and L2 byte accounting.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_smg
+from repro.core.schedule import KernelSchedule, ProgramSchedule, ScheduleConfig
+from repro.core.spaces import SlicedExtent
+from repro.core.temporal_slicer import plan_temporal_slice
+from repro.core.update_functions import NormFactor, UpdateFunction
+from repro.hw import AMPERE
+from repro.hw.memory import L2State
+from repro.ir import GraphBuilder
+from repro.pipeline import compile_for
+from repro.runtime.executor import execute_schedule
+from repro.runtime.kernels import execute_graph_reference, random_feeds
+
+_SETTINGS = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _mha(m, l, d):
+    b = GraphBuilder("mha_prop")
+    q = b.input("Q", [("m", m), ("dk", d)])
+    k = b.input("K", [("l", l), ("dk", d)])
+    v = b.input("V", [("l", l), ("dv", d)])
+    qk = b.matmul(q, k, reduce_dim="dk", out_name="QK")
+    p = b.softmax(qk, dim="l")
+    b.matmul(p, v, reduce_dim="l", out_name="Out")
+    return b.build()
+
+
+class TestFusedEqualsReference:
+    @_SETTINGS
+    @given(m=st.integers(2, 48), l=st.integers(2, 48), d=st.integers(1, 16),
+           block=st.integers(1, 48), tile=st.integers(1, 48),
+           seed=st.integers(0, 10_000))
+    def test_uta_attention_any_tiling(self, m, l, d, block, tile, seed):
+        graph = _mha(m, l, d)
+        smg = build_smg(graph)
+        plan = plan_temporal_slice(smg, "l")
+        kernel = KernelSchedule(
+            "k", smg, ("m",), plan,
+            config=ScheduleConfig(block=(("m", min(block, m)),),
+                                  tile=min(tile, l)))
+        feeds = random_feeds(graph, seed=seed)
+        ref = execute_graph_reference(graph, feeds)
+        env = execute_schedule(ProgramSchedule("p", [kernel]), feeds)
+        np.testing.assert_allclose(env["Out"], ref["Out"], atol=1e-8)
+
+    @_SETTINGS
+    @given(m=st.integers(1, 32), n=st.integers(2, 64),
+           block=st.integers(1, 32), tile=st.integers(1, 64),
+           seed=st.integers(0, 10_000))
+    def test_layernorm_any_tiling(self, m, n, block, tile, seed):
+        b = GraphBuilder("ln_prop")
+        x = b.input("X", [("m", m), ("n", n)])
+        b.layernorm(x, dim="n", out_name="Y")
+        graph = b.build()
+        smg = build_smg(graph)
+        plan = plan_temporal_slice(smg, "n")
+        kernel = KernelSchedule(
+            "k", smg, ("m",), plan,
+            config=ScheduleConfig(block=(("m", min(block, m)),),
+                                  tile=min(tile, n)))
+        feeds = random_feeds(graph, seed=seed)
+        ref = execute_graph_reference(graph, feeds)
+        env = execute_schedule(ProgramSchedule("p", [kernel]), feeds)
+        np.testing.assert_allclose(env["Y"], ref["Y"], atol=1e-8)
+
+    @_SETTINGS
+    @given(ops=st.lists(st.sampled_from(
+        ["exp", "relu", "tanh", "sigmoid", "square", "abs", "neg"]),
+        min_size=1, max_size=5),
+        m=st.integers(1, 16), n=st.integers(1, 16),
+        seed=st.integers(0, 1000))
+    def test_random_elementwise_chain_compiles_correctly(self, ops, m, n,
+                                                         seed):
+        b = GraphBuilder("chain")
+        cur = b.input("X", [("m", m), ("n", n)])
+        for kind in ops:
+            cur = b.unary(kind, cur)
+        graph = b.build()
+        sched, _ = compile_for(graph, AMPERE)
+        feeds = random_feeds(graph, seed=seed)
+        ref = execute_graph_reference(graph, feeds)
+        env = execute_schedule(sched, feeds)
+        out = graph.output_tensors[0]
+        np.testing.assert_allclose(env[out], ref[out], atol=1e-9)
+
+    @_SETTINGS
+    @given(m=st.integers(2, 24), n=st.integers(2, 40),
+           kind=st.sampled_from(["sum", "max", "min", "mean"]),
+           seed=st.integers(0, 1000))
+    def test_reduction_then_broadcast_compiles_correctly(self, m, n, kind,
+                                                         seed):
+        b = GraphBuilder("rb")
+        x = b.input("X", [("m", m), ("n", n)])
+        r = b.reduce(kind, x, dim="n")
+        b.binary("sub", x, r, out_name="Y")
+        graph = b.build()
+        sched, _ = compile_for(graph, AMPERE)
+        feeds = random_feeds(graph, seed=seed)
+        ref = execute_graph_reference(graph, feeds)
+        env = execute_schedule(sched, feeds)
+        np.testing.assert_allclose(env["Y"], ref["Y"], atol=1e-9)
+
+
+class TestUpdateFunctionAlgebra:
+    @_SETTINGS
+    @given(vals=st.lists(st.floats(-20, 20), min_size=2, max_size=40),
+           split=st.integers(1, 39))
+    def test_online_softmax_sum_invariant(self, vals, split):
+        """Two-chunk online accumulation equals the one-shot value for any
+        split point — the algebra the generated update functions encode."""
+        x = np.array(vals)
+        split = min(split, len(x) - 1)
+        x1, x2 = x[:split], x[split:]
+        upd = UpdateFunction("S", (NormFactor("M", "exp", -1),), ())
+        m1 = x1.max()
+        s1 = np.exp(x1 - m1).sum()
+        m2 = max(m1, x2.max())
+        s2 = upd.apply(np.array(s1), {"M": np.array(m1)},
+                       {"M": np.array(m2)}) + np.exp(x2 - m2).sum()
+        expected = np.exp(x - x.max()).sum()
+        np.testing.assert_allclose(s2, expected, rtol=1e-9)
+
+    @_SETTINGS
+    @given(old=st.floats(0.1, 100), a=st.floats(-5, 5), b=st.floats(-5, 5))
+    def test_update_roundtrip_is_identity(self, old, a, b):
+        """Applying an update and its inverse recovers the stored value."""
+        upd = UpdateFunction("S", (NormFactor("M", "exp", -1),), ())
+        forward = upd.apply(np.array(old), {"M": np.array(a)},
+                            {"M": np.array(b)})
+        back = upd.apply(forward, {"M": np.array(b)}, {"M": np.array(a)})
+        np.testing.assert_allclose(back, old, rtol=1e-9)
+
+
+class TestSlicingArithmetic:
+    @_SETTINGS
+    @given(size=st.integers(1, 1000), block=st.integers(1, 1000))
+    def test_slices_cover_exactly(self, size, block):
+        block = min(block, size)
+        ext = SlicedExtent("d", size, block)
+        covered = 0
+        prev_hi = 0
+        for i in range(ext.num_slices):
+            lo, hi = ext.slice_bounds(i)
+            assert lo == prev_hi
+            assert hi > lo
+            covered += hi - lo
+            prev_hi = hi
+        assert covered == size
+
+
+class TestL2Accounting:
+    @_SETTINGS
+    @given(inserts=st.lists(
+        st.tuples(st.sampled_from("abcdefgh"), st.integers(1, 600)),
+        max_size=30))
+    def test_capacity_never_exceeded(self, inserts):
+        l2 = L2State(1000)
+        for name, nbytes in inserts:
+            l2.insert(name, nbytes)
+            assert l2.used_bytes <= 1000
