@@ -1,68 +1,103 @@
-"""Serving workflow: compile once, cache on disk, execute generated kernels.
+"""Serving workflow: InferenceSession + FusionServer over the compile cache.
 
 An inference service compiles its model the first time it boots and never
-again: this example drives the on-disk schedule cache
-(`repro.core.serialize.ScheduleCache`), restores the schedule in a "second
-process", lowers it to executable Python kernels via the codegen backend,
-and serves a few batches — verifying every response against the unfused
-reference.
+again.  This example drives the full `repro.serve` stack:
+
+* boot #1 — an :class:`InferenceSession` cold-compiles through the
+  two-tier cache (memory LRU over the on-disk
+  `repro.core.serialize.ScheduleCache`);
+* boot #2 — a fresh session (a "second process") restores the schedule
+  from disk in milliseconds;
+* serving — a :class:`FusionServer` with dynamic batching answers
+  concurrent client requests, each verified against the unfused
+  reference;
+* the serve-stats report shows cache tiers, batch sizes and latencies.
 
 Run:  python examples/compile_cache_serving.py
 """
 
 import tempfile
+import threading
 import time
 
 import numpy as np
 
-from repro.codegen.python_backend import compile_program_to_python
-from repro.core.serialize import ScheduleCache, compile_cached
+from repro.core.serialize import ScheduleCache
 from repro.hw import AMPERE
 from repro.models import mha_graph
 from repro.runtime.kernels import execute_graph_reference, random_feeds
+from repro.serve import (
+    FusionServer,
+    InferenceSession,
+    ServeMetrics,
+    TieredScheduleCache,
+)
 
 
 def main() -> None:
     graph = mha_graph(2, 8, 256, 256, 64)
     cache_dir = tempfile.mkdtemp(prefix="repro-cache-")
-    cache = ScheduleCache(cache_dir)
 
     # --- boot #1: cold compile ----------------------------------------
+    metrics = ServeMetrics()
+    cache = TieredScheduleCache(disk=ScheduleCache(cache_dir),
+                                metrics=metrics)
     t0 = time.perf_counter()
-    schedule, stats = compile_cached(graph, AMPERE, cache)
+    session = InferenceSession(graph, AMPERE, cache=cache, metrics=metrics,
+                               eager=True)
     cold = time.perf_counter() - t0
     print(f"cold compile : {cold*1e3:7.1f} ms "
-          f"(analysis {sum(stats.phase_times.values())*1e3:.1f} ms, "
-          f"{stats.configs_evaluated} configs tuned)")
+          f"({len(session.kernels)} generated kernel(s), "
+          f"state={session.state})")
 
-    # --- boot #2: cache hit -------------------------------------------
+    # --- boot #2: warm restore from the disk tier ---------------------
+    metrics2 = ServeMetrics()
+    cache2 = TieredScheduleCache(disk=ScheduleCache(cache_dir),
+                                 metrics=metrics2)
     t0 = time.perf_counter()
-    restored, stats2 = compile_cached(graph, AMPERE, cache)
+    session2 = InferenceSession(graph, AMPERE, cache=cache2,
+                                metrics=metrics2, eager=True)
     warm = time.perf_counter() - t0
-    assert stats2 is None, "expected a cache hit"
     print(f"warm restore : {warm*1e3:7.1f} ms "
-          f"({cold/warm:.0f}x faster; {cache.hits} hit / "
-          f"{cache.misses} miss)")
+          f"({cold/warm:.0f}x faster; "
+          f"disk_hits={cache2.stats()['disk_hits']})")
+    assert cache2.stats()["compile_misses"] == 0, "expected a cache hit"
 
-    # --- lower to executable kernels -----------------------------------
-    kernels = compile_program_to_python(restored)
-    print(f"generated    : {len(kernels)} Python kernel(s), "
-          f"{sum(len(k.source.splitlines()) for k in kernels)} lines")
+    # --- serve concurrent traffic through the warm session ------------
+    server = FusionServer({"mha": session2}, max_batch=4, max_wait_ms=2.0,
+                          workers=2, metrics=metrics2)
+    n_clients, per_client = 3, 2
+    expected = {
+        seed: execute_graph_reference(graph, random_feeds(graph, seed=seed))
+        for seed in range(per_client)
+    }
+    failures = []
 
-    # --- serve ---------------------------------------------------------
-    for request in range(3):
-        feeds = random_feeds(graph, seed=100 + request)
-        env = {k: np.asarray(v) for k, v in feeds.items()}
-        t0 = time.perf_counter()
-        for gk in kernels:
-            gk(env)
-        served = time.perf_counter() - t0
-        expected = execute_graph_reference(graph, feeds)["Out"]
-        err = float(np.max(np.abs(env["Out"] - expected)))
-        print(f"request {request}: served in {served*1e3:6.1f} ms "
-              f"(host numpy), max err {err:.2e}")
-        assert err < 1e-9
+    def client(cid: int) -> None:
+        for seed in range(per_client):
+            feeds = random_feeds(graph, seed=seed)
+            reply = server.infer("mha", feeds)
+            err = float(np.max(np.abs(reply.outputs["Out"]
+                                      - expected[seed]["Out"])))
+            print(f"client {cid} request {seed}: "
+                  f"served in {reply.latency_s*1e3:6.1f} ms "
+                  f"(host numpy), max err {err:.2e}"
+                  + (" [degraded]" if reply.degraded else ""))
+            if err >= 1e-9:
+                failures.append((cid, seed, err))
+
+    with server:
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    assert not failures, failures
     print("all responses verified against the unfused reference")
+    print()
+    print(server.stats_report())
 
 
 if __name__ == "__main__":

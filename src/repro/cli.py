@@ -93,15 +93,95 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 def cmd_compile(args: argparse.Namespace) -> int:
     gpu = get_gpu(args.gpu)
     graph = WORKLOADS[args.workload]()
-    schedule, stats = compile_for(graph, gpu)
+    if args.cache_dir:
+        from .core.serialize import ScheduleCache, compile_cached
+
+        cache = ScheduleCache(args.cache_dir)
+        schedule, stats = compile_cached(graph, gpu, cache)
+        print(f"schedule cache: {'HIT' if stats is None else 'MISS'} "
+              f"({cache.hits} hit / {cache.misses} miss in {args.cache_dir})")
+    else:
+        schedule, stats = compile_for(graph, gpu)
     print(schedule_to_text(schedule))
     counters = simulate(schedule, gpu)
     print(f"\nmodelled cost on {gpu.name}: {counters.summary()}")
-    print(f"compile analysis: "
-          f"{ {k: f'{v*1e3:.2f}ms' for k, v in stats.phase_times.items()} }")
+    if stats is not None:
+        print(f"compile analysis: "
+              f"{ {k: f'{v*1e3:.2f}ms' for k, v in stats.phase_times.items()} }")
     if args.pseudocode:
         print("\n" + generate_program_pseudocode(schedule))
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serving demo: fire concurrent clients at a FusionServer, verify
+    every reply against the unfused reference, print the serve-stats
+    report."""
+    import threading
+
+    from .serve import (
+        FusionServer,
+        InferenceSession,
+        ServeMetrics,
+        TieredScheduleCache,
+    )
+
+    for name in ("requests", "clients", "workers", "max_batch"):
+        if getattr(args, name) < 1:
+            print(f"error: --{name.replace('_', '-')} must be >= 1",
+                  file=sys.stderr)
+            return 2
+
+    gpu = get_gpu(args.gpu)
+    graph = WORKLOADS[args.workload]()
+    metrics = ServeMetrics()
+    disk = None
+    if args.cache_dir:
+        from .core.serialize import ScheduleCache
+        disk = ScheduleCache(args.cache_dir)
+    cache = TieredScheduleCache(disk=disk, metrics=metrics)
+    session = InferenceSession(graph, gpu, cache=cache, metrics=metrics)
+    server = FusionServer({args.workload: session},
+                          max_batch=args.max_batch,
+                          max_wait_ms=args.max_wait_ms,
+                          workers=args.workers, metrics=metrics)
+
+    requests_per_client = max(1, args.requests // args.clients)
+    references = {
+        seed: execute_graph_reference(graph, random_feeds(graph, seed=seed))
+        for seed in range(requests_per_client)
+    }
+    wrong = [0]
+    wrong_lock = threading.Lock()
+
+    def client(cid: int) -> None:
+        for seed in range(requests_per_client):
+            feeds = random_feeds(graph, seed=seed)
+            reply = server.infer(args.workload, feeds,
+                                 timeout=args.timeout)
+            expected = references[seed]
+            err = max(
+                float(np.max(np.abs(reply.outputs[t] - expected[t])))
+                for t in expected
+            )
+            if err > 1e-8:
+                with wrong_lock:
+                    wrong[0] += 1
+
+    with server:
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(args.clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    total = args.clients * requests_per_client
+    print(f"served {total} requests from {args.clients} client(s) "
+          f"on {gpu.name}: {wrong[0]} wrong answer(s)")
+    print()
+    print(server.stats_report())
+    return 1 if wrong[0] else 0
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -158,7 +238,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arg(p)
     p.add_argument("--pseudocode", action="store_true",
                    help="also print generated kernel pseudocode")
+    p.add_argument("--cache-dir", default=None,
+                   help="compile through an on-disk schedule cache "
+                        "(prints HIT/MISS)")
     p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("serve",
+                       help="run the concurrent serving demo and print "
+                            "its serve-stats report")
+    _add_workload_arg(p)
+    p.add_argument("--requests", type=int, default=12,
+                   help="total requests across all clients (default: 12)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent client threads (default: 4)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="server worker threads (default: 2)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="dynamic batching: max coalesced batch (default: 8)")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="dynamic batching: max wait for stragglers "
+                        "(default: 2.0)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-request deadline in seconds (degrades to the "
+                        "unfused reference when compilation misses it)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent schedule cache directory")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("validate",
                        help="check fused execution against the reference")

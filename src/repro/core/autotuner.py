@@ -40,12 +40,20 @@ class TuneResult:
     timings: list[tuple[ScheduleConfig, float]] = field(default_factory=list)
 
 
-def tune_kernel(kernel: KernelSchedule,
-                timing_fn: Callable[[KernelSchedule, ScheduleConfig], float],
-                alpha: float = DEFAULT_ALPHA,
-                warmup_runs: int = WARMUP_RUNS,
-                measure_runs: int = MEASURE_RUNS) -> TuneResult:
-    """Search the kernel's config space and fix its best configuration."""
+def evaluate_search_space(
+        kernel: KernelSchedule,
+        timing_fn: Callable[[KernelSchedule, ScheduleConfig], float],
+        alpha: float = DEFAULT_ALPHA,
+        warmup_runs: int = WARMUP_RUNS,
+        measure_runs: int = MEASURE_RUNS) -> TuneResult:
+    """Run the tuning campaign over ``kernel.search_space`` without
+    mutating the kernel.
+
+    Pure with respect to the kernel, so concurrent workers (the parallel
+    compilation path in :mod:`repro.serve.parallel`) can evaluate kernels
+    that other threads hold references to; callers then commit the choice
+    with :func:`apply_tune_result` at a deterministic merge point.
+    """
     best_cfg: ScheduleConfig | None = None
     best_time = float("inf")
     wall = 0.0
@@ -73,7 +81,6 @@ def tune_kernel(kernel: KernelSchedule,
             best_time = t
             best_cfg = cfg
 
-    kernel.config = best_cfg
     return TuneResult(
         kernel=kernel,
         best_config=best_cfg,
@@ -83,6 +90,25 @@ def tune_kernel(kernel: KernelSchedule,
         tuning_wall_time=wall,
         timings=timings,
     )
+
+
+def apply_tune_result(result: TuneResult) -> KernelSchedule:
+    """Commit a tuning outcome: fix the kernel's chosen configuration."""
+    result.kernel.config = result.best_config
+    return result.kernel
+
+
+def tune_kernel(kernel: KernelSchedule,
+                timing_fn: Callable[[KernelSchedule, ScheduleConfig], float],
+                alpha: float = DEFAULT_ALPHA,
+                warmup_runs: int = WARMUP_RUNS,
+                measure_runs: int = MEASURE_RUNS) -> TuneResult:
+    """Search the kernel's config space and fix its best configuration."""
+    result = evaluate_search_space(kernel, timing_fn, alpha=alpha,
+                                   warmup_runs=warmup_runs,
+                                   measure_runs=measure_runs)
+    apply_tune_result(result)
+    return result
 
 
 def pick_best(results: list[TuneResult]) -> TuneResult:

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..ir.graph import DataflowGraph
-from ..ir.program import TensorProgram, partition_at_barriers
+from ..ir.program import Subprogram, TensorProgram, partition_at_barriers
 from .autotuner import DEFAULT_ALPHA, TuneResult, pick_best, tune_kernel
 from .builder import build_smg
 from .memory_planner import apply_memory_plan
@@ -201,18 +201,28 @@ class SpaceFusionCompiler:
             self._record_pattern(kernel.exec_graph, kernel)
         return schedule, stats
 
+    def compile_subprogram(self, sub: Subprogram) -> CompiledSubprogram:
+        """Compile one (possibly barrier) subprogram of a model program.
+
+        This is the unit of work :meth:`compile_model` performs per unique
+        subprogram; the parallel compilation path
+        (:func:`repro.serve.parallel.compile_model_parallel`) fans these
+        across a worker pool and merges the results deterministically.
+        """
+        if any(op.is_barrier for op in sub.graph.ops):
+            sched = self._barrier_schedule(sub.graph)
+            stats = CompileStats()
+        else:
+            sched, stats = self.compile_graph(sub.graph)
+        return CompiledSubprogram(sched, stats, sub.occurrences)
+
     def compile_model(self, program: TensorProgram) -> CompiledModel:
         """Compile a model program; repeated subprograms compile once."""
         total = CompileStats()
         compiled: list[CompiledSubprogram] = []
         for sub in program.unique_subprograms():
-            if any(op.is_barrier for op in sub.graph.ops):
-                sched = self._barrier_schedule(sub.graph)
-                stats = CompileStats()
-            else:
-                sched, stats = self.compile_graph(sub.graph)
-            total.merge(stats)
-            compiled.append(CompiledSubprogram(sched, stats, sub.occurrences))
+            compiled.append(self.compile_subprogram(sub))
+            total.merge(compiled[-1].stats)
         return CompiledModel(program.name, compiled, total)
 
     # ------------------------------------------------------------------

@@ -195,19 +195,41 @@ def schedule_to_json(schedule: ProgramSchedule) -> str:
 
 
 def schedule_from_json(text: str) -> ProgramSchedule:
-    payload = json.loads(text)
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializeError(f"malformed schedule JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SerializeError(
+            f"schedule payload must be an object, got {type(payload).__name__}")
     if payload.get("version") != FORMAT_VERSION:
         raise SerializeError(
-            f"unsupported schedule format version {payload.get('version')}")
-    sched = ProgramSchedule(payload["name"], meta=dict(payload["meta"]))
-    for kdata in payload["kernels"]:
-        sched.add(kernel_from_dict(kdata))
+            f"unsupported schedule format version {payload.get('version')} "
+            f"(expected {FORMAT_VERSION})")
+    try:
+        sched = ProgramSchedule(payload["name"], meta=dict(payload["meta"]))
+        for kdata in payload["kernels"]:
+            sched.add(kernel_from_dict(kdata))
+    except SerializeError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SerializeError(f"truncated or corrupt schedule: {exc!r}") from exc
     return sched
 
 
 # ----------------------------------------------------------------------
 # On-disk compile cache
 # ----------------------------------------------------------------------
+
+
+def cache_key(graph: DataflowGraph, gpu_name: str,
+              options_repr: str = "") -> str:
+    """Content hash identifying one (graph, GPU, options) compile."""
+    h = hashlib.sha256()
+    h.update(json.dumps(graph_to_dict(graph), sort_keys=True).encode())
+    h.update(gpu_name.encode())
+    h.update(options_repr.encode())
+    return h.hexdigest()[:24]
 
 
 class ScheduleCache:
@@ -221,20 +243,28 @@ class ScheduleCache:
 
     def _key(self, graph: DataflowGraph, gpu_name: str,
              options_repr: str) -> str:
-        h = hashlib.sha256()
-        h.update(json.dumps(graph_to_dict(graph), sort_keys=True).encode())
-        h.update(gpu_name.encode())
-        h.update(options_repr.encode())
-        return h.hexdigest()[:24]
+        return cache_key(graph, gpu_name, options_repr)
 
     def get(self, graph: DataflowGraph, gpu_name: str,
             options_repr: str = "") -> ProgramSchedule | None:
+        """Load a cached schedule, or None on a miss.
+
+        An unreadable, corrupt, or version-incompatible entry counts as a
+        miss (and is dropped) rather than poisoning every boot that hashes
+        onto it — :func:`compile_cached` then recompiles and overwrites it.
+        """
         path = self.directory / f"{self._key(graph, gpu_name, options_repr)}.json"
         if not path.exists():
             self.misses += 1
             return None
+        try:
+            schedule = schedule_from_json(path.read_text())
+        except (SerializeError, OSError):
+            self.misses += 1
+            path.unlink(missing_ok=True)
+            return None
         self.hits += 1
-        return schedule_from_json(path.read_text())
+        return schedule
 
     def put(self, graph: DataflowGraph, gpu_name: str,
             schedule: ProgramSchedule, options_repr: str = "") -> None:

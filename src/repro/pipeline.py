@@ -50,6 +50,22 @@ def compile_model_for(program: TensorProgram, gpu: GPUSpec,
     return make_compiler(gpu, options).compile_model(program)
 
 
+def compile_model_parallel_for(program: TensorProgram, gpu: GPUSpec,
+                               options: FusionOptions | None = None,
+                               max_workers: int | None = None,
+                               ) -> CompiledModel:
+    """Like :func:`compile_model_for` with subprograms tuned concurrently.
+
+    The merge is deterministic: chosen configurations and modelled kernel
+    times are identical to the serial path (see
+    :mod:`repro.serve.parallel`).
+    """
+    from .serve.parallel import compile_model_parallel
+
+    return compile_model_parallel(program, gpu, options,
+                                  max_workers=max_workers)
+
+
 def simulate(schedule: ProgramSchedule, gpu: GPUSpec,
              cuda_graphs: bool | None = None) -> PerfCounters:
     """Model the execution cost of a compiled schedule on ``gpu``."""

@@ -1,0 +1,45 @@
+"""repro.serve — the concurrent inference-serving subsystem.
+
+The layer that amortises SpaceFusion's compilation cost across traffic:
+
+* :class:`TieredScheduleCache` — in-memory LRU over the on-disk
+  :class:`~repro.core.serialize.ScheduleCache`, with single-flight
+  compilation;
+* :class:`InferenceSession` — owns one compiled workload (compile through
+  the cache, lower via codegen, execute requests, degrade gracefully);
+* :func:`compile_model_parallel` — per-subprogram parallel compilation
+  with a deterministic merge matching the serial path;
+* :class:`FusionServer` — thread-pooled front-end with dynamic batching
+  and per-request timeouts;
+* :class:`ServeMetrics` — the counters/histograms behind ``repro serve``'s
+  serve-stats report.
+"""
+
+from .batching import Request, RequestQueue, batch_key
+from .cache import TieredScheduleCache
+from .metrics import Histogram, ServeMetrics
+from .parallel import compile_model_parallel, default_max_workers
+from .server import FusionServer, ServerError
+from .session import (
+    InferenceSession,
+    SessionError,
+    SessionInfo,
+    SessionReply,
+)
+
+__all__ = [
+    "FusionServer",
+    "Histogram",
+    "InferenceSession",
+    "Request",
+    "RequestQueue",
+    "ServeMetrics",
+    "ServerError",
+    "SessionError",
+    "SessionInfo",
+    "SessionReply",
+    "TieredScheduleCache",
+    "batch_key",
+    "compile_model_parallel",
+    "default_max_workers",
+]

@@ -1,0 +1,149 @@
+"""Request queue and dynamic batcher for the fusion server.
+
+Requests carry a *batch key* (workload name + input shapes).  The batcher
+pops the oldest request and then coalesces further same-key requests into
+one batch, waiting up to ``max_wait_s`` for stragglers but never exceeding
+``max_batch`` — the classic dynamic-batching tradeoff between tail latency
+and dispatch amortisation.  Requests with other keys are left queued for
+the next dispatch round.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+_seq = itertools.count()
+
+
+def batch_key(workload: str, feeds: dict[str, np.ndarray]) -> tuple:
+    """Coalescing key: workload plus every input's shape."""
+    shapes = tuple(sorted((name, np.asarray(arr).shape)
+                          for name, arr in feeds.items()))
+    return (workload, shapes)
+
+
+@dataclass
+class Request:
+    """One in-flight inference request."""
+
+    workload: str
+    feeds: dict[str, np.ndarray]
+    timeout_s: float | None = None
+    seq: int = field(default_factory=lambda: next(_seq))
+    enqueued_at: float = field(default_factory=time.monotonic)
+    _done: threading.Event = field(default_factory=threading.Event,
+                                   repr=False)
+    reply: Any = None
+    error: Exception | None = None
+
+    @property
+    def key(self) -> tuple:
+        return batch_key(self.workload, self.feeds)
+
+    def remaining(self) -> float | None:
+        """Seconds left before this request's deadline (None = unbounded)."""
+        if self.timeout_s is None:
+            return None
+        return self.timeout_s - (time.monotonic() - self.enqueued_at)
+
+    # -- completion (server side) --------------------------------------
+
+    def resolve(self, reply) -> None:
+        self.reply = reply
+        self._done.set()
+
+    def fail(self, error: Exception) -> None:
+        self.error = error
+        self._done.set()
+
+    # -- waiting (client side) -----------------------------------------
+
+    def result(self, timeout: float | None = None):
+        """Block for the reply; raises the server-side error if any."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self.seq} for {self.workload!r} still pending")
+        if self.error is not None:
+            raise self.error
+        return self.reply
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+class RequestQueue:
+    """FIFO of requests with key-aware extraction under one condition."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._items: list[Request] = []
+        self._closed = False
+
+    def put(self, request: Request) -> int:
+        """Enqueue; returns the queue depth *after* insertion."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            self._items.append(request)
+            depth = len(self._items)
+            self._cond.notify()
+            return depth
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def drain_pending(self) -> list[Request]:
+        """Remove and return everything still queued (for abrupt stops)."""
+        with self._cond:
+            pending = list(self._items)
+            self._items.clear()
+            return pending
+
+    # ------------------------------------------------------------------
+    # Batch extraction
+    # ------------------------------------------------------------------
+
+    def take_batch(self, max_batch: int, max_wait_s: float,
+                   poll_s: float = 0.0005) -> list[Request]:
+        """Dequeue one dynamic batch (empty list once closed and drained).
+
+        Blocks for the first request; then keeps absorbing requests with
+        the same batch key until the batch is full or ``max_wait_s`` has
+        elapsed since the batch opened.
+        """
+        with self._cond:
+            while not self._items and not self._closed:
+                self._cond.wait()
+            if not self._items:
+                return []
+            head = self._items.pop(0)
+        batch = [head]
+        deadline = time.monotonic() + max_wait_s
+        while len(batch) < max_batch:
+            with self._cond:
+                matched = None
+                for i, req in enumerate(self._items):
+                    if req.key == head.key:
+                        matched = self._items.pop(i)
+                        break
+                closed = self._closed
+            if matched is not None:
+                batch.append(matched)
+                continue
+            if closed or time.monotonic() >= deadline:
+                break
+            time.sleep(poll_s)
+        return batch

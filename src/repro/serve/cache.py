@@ -1,0 +1,124 @@
+"""Two-tier compile cache: in-memory LRU over the on-disk schedule cache.
+
+Tier 1 is a bounded LRU of live :class:`~repro.core.schedule.ProgramSchedule`
+objects (no deserialisation cost on hit); tier 2 is the persistent
+:class:`~repro.core.serialize.ScheduleCache` shared across processes.  A
+miss in both tiers compiles under a per-key *single-flight* lock so that
+concurrent sessions racing on the same cold graph run one autotuning
+campaign, not N — the others block and reuse the winner's schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable
+
+from ..core.schedule import ProgramSchedule
+from ..core.serialize import ScheduleCache, cache_key
+from ..ir.graph import DataflowGraph
+from .metrics import ServeMetrics
+
+CompileFn = Callable[[], ProgramSchedule]
+
+
+class TieredScheduleCache:
+    """Thread-safe memory-LRU + disk compile cache."""
+
+    def __init__(self, capacity: int = 64,
+                 disk: ScheduleCache | None = None,
+                 metrics: ServeMetrics | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.disk = disk
+        self.metrics = metrics or ServeMetrics()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, ProgramSchedule]" = OrderedDict()
+        self._inflight: dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    # Key derivation (matches ScheduleCache's on-disk key inputs)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def key_for(graph: DataflowGraph, gpu_name: str,
+                options_repr: str = "") -> str:
+        return cache_key(graph, gpu_name, options_repr)
+
+    # ------------------------------------------------------------------
+    # Tier access
+    # ------------------------------------------------------------------
+
+    def _memory_get(self, key: str) -> ProgramSchedule | None:
+        with self._lock:
+            sched = self._entries.get(key)
+            if sched is not None:
+                self._entries.move_to_end(key)
+            return sched
+
+    def _memory_put(self, key: str, schedule: ProgramSchedule) -> None:
+        with self._lock:
+            self._entries[key] = schedule
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.metrics.inc("cache.memory_evictions")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # The cache protocol
+    # ------------------------------------------------------------------
+
+    def get_or_compile(self, graph: DataflowGraph, gpu_name: str,
+                       compile_fn: CompileFn,
+                       options_repr: str = "") -> ProgramSchedule:
+        """Return the schedule for ``graph`` on ``gpu_name``.
+
+        Resolution order: memory LRU, disk cache, ``compile_fn()`` (which
+        runs at most once per key at a time; losers of the race reuse the
+        winner's result).  Whatever tier resolves, the result is promoted
+        into every tier above it.
+        """
+        key = self.key_for(graph, gpu_name, options_repr)
+        sched = self._memory_get(key)
+        if sched is not None:
+            self.metrics.inc("cache.memory_hits")
+            return sched
+
+        # Single-flight: one compile (or disk load) per key at a time.
+        with self._lock:
+            flight = self._inflight.setdefault(key, threading.Lock())
+        with flight:
+            sched = self._memory_get(key)
+            if sched is not None:       # raced: the winner already filled it
+                self.metrics.inc("cache.memory_hits")
+                return sched
+            if self.disk is not None:
+                sched = self.disk.get(graph, gpu_name, options_repr)
+                if sched is not None:
+                    self.metrics.inc("cache.disk_hits")
+                    self._memory_put(key, sched)
+                    return sched
+            self.metrics.inc("cache.compile_misses")
+            t0 = time.perf_counter()
+            sched = compile_fn()
+            self.metrics.observe_compile(time.perf_counter() - t0)
+            if self.disk is not None:
+                self.disk.put(graph, gpu_name, sched, options_repr)
+            self._memory_put(key, sched)
+            return sched
+
+    def stats(self) -> dict[str, int]:
+        m = self.metrics
+        return {
+            "memory_hits": m.get("cache.memory_hits"),
+            "disk_hits": m.get("cache.disk_hits"),
+            "compile_misses": m.get("cache.compile_misses"),
+            "memory_evictions": m.get("cache.memory_evictions"),
+            "resident": len(self),
+        }

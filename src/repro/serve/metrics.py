@@ -1,0 +1,166 @@
+"""Serving metrics: counters and latency histograms for the runtime.
+
+Every component of :mod:`repro.serve` reports into one
+:class:`ServeMetrics` instance — compile cache tier hits and misses, queue
+depth at enqueue time, realised batch sizes, per-request latency, and
+fallback downgrades — so a single ``render_report()`` call gives the
+operator view (`repro serve` prints it when the demo drains).
+
+All mutation goes through one lock; the hot-path cost is a dict update,
+which is what a production counter library would also do per sample.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+#: Histogram bucket upper bounds in seconds (last bucket is +inf).
+LATENCY_BUCKETS_S = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with sum/count (Prometheus-style)."""
+
+    buckets: tuple[float, ...] = LATENCY_BUCKETS_S
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    samples: int = 0
+    max_seen: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        i = 0
+        while i < len(self.buckets) and value > self.buckets[i]:
+            i += 1
+        self.counts[i] += 1
+        self.total += value
+        self.samples += 1
+        self.max_seen = max(self.max_seen, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket bound containing the q-quantile sample."""
+        if not self.samples:
+            return 0.0
+        rank = q * self.samples
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return (self.buckets[i] if i < len(self.buckets)
+                        else self.max_seen)
+        return self.max_seen
+
+    def merge(self, other: "Histogram") -> None:
+        assert self.buckets == other.buckets
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.samples += other.samples
+        self.max_seen = max(self.max_seen, other.max_seen)
+
+
+class ServeMetrics:
+    """Thread-safe metrics registry for one serving process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: dict[str, int] = {}
+        self.request_latency = Histogram()
+        self.compile_latency = Histogram()
+        self.batch_sizes = Histogram(buckets=(1, 2, 4, 8, 16, 32, 64))
+        self.queue_depths = Histogram(buckets=(0, 1, 2, 4, 8, 16, 32, 64))
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self.counters.get(name, 0)
+
+    def observe_request(self, latency_s: float) -> None:
+        with self._lock:
+            self.counters["requests_served"] = \
+                self.counters.get("requests_served", 0) + 1
+            self.request_latency.observe(latency_s)
+
+    def observe_compile(self, latency_s: float) -> None:
+        with self._lock:
+            self.compile_latency.observe(latency_s)
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self.counters["batches_dispatched"] = \
+                self.counters.get("batches_dispatched", 0) + 1
+            self.batch_sizes.observe(size)
+
+    def observe_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depths.observe(depth)
+
+    def record_fallback(self, reason: str) -> None:
+        with self._lock:
+            self.counters["fallbacks"] = self.counters.get("fallbacks", 0) + 1
+            key = f"fallbacks.{reason}"
+            self.counters[key] = self.counters.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter plus histogram summaries."""
+        with self._lock:
+            snap = dict(self.counters)
+            for name, hist in (("request_latency", self.request_latency),
+                               ("compile_latency", self.compile_latency),
+                               ("batch_size", self.batch_sizes),
+                               ("queue_depth", self.queue_depths)):
+                snap[f"{name}.count"] = hist.samples
+                snap[f"{name}.mean"] = hist.mean
+                snap[f"{name}.p50"] = hist.quantile(0.50)
+                snap[f"{name}.p99"] = hist.quantile(0.99)
+                snap[f"{name}.max"] = hist.max_seen
+            return snap
+
+    def render_report(self) -> str:
+        """Human-readable serve-stats report (the `repro serve` epilogue)."""
+        snap = self.snapshot()
+        lines = ["serve-stats", "==========="]
+        lines.append("counters:")
+        for name in sorted(k for k in snap
+                           if isinstance(snap[k], int) and "." not in k):
+            lines.append(f"  {name:<24} {snap[name]}")
+        for key in (k for k in sorted(snap) if k.startswith("fallbacks.")):
+            lines.append(f"  {key:<24} {snap[key]}")
+        lines.append("latency (seconds):")
+        for name in ("request_latency", "compile_latency"):
+            lines.append(
+                f"  {name:<16} n={snap[f'{name}.count']:<5} "
+                f"mean={snap[f'{name}.mean']:.6f} "
+                f"p50<={snap[f'{name}.p50']:.6f} "
+                f"p99<={snap[f'{name}.p99']:.6f} "
+                f"max={snap[f'{name}.max']:.6f}")
+        lines.append("distributions:")
+        for name in ("batch_size", "queue_depth"):
+            lines.append(
+                f"  {name:<16} n={snap[f'{name}.count']:<5} "
+                f"mean={snap[f'{name}.mean']:.2f} "
+                f"p50<={snap[f'{name}.p50']:g} max={snap[f'{name}.max']:g}")
+        return "\n".join(lines)

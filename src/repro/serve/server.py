@@ -1,0 +1,172 @@
+"""FusionServer: the concurrent serving front-end.
+
+Clients ``submit()`` request feeds and get a future-like
+:class:`~repro.serve.batching.Request` back; worker threads drain the
+shared queue in dynamic batches and answer each request through its
+workload's :class:`~repro.serve.session.InferenceSession`.  The server
+never *errors* a request for compiler trouble: sessions degrade to the
+unfused reference kernels on compile failure or deadline pressure, and
+every downgrade is visible in the metrics report.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from .batching import Request, RequestQueue
+from .metrics import ServeMetrics
+from .session import InferenceSession, SessionReply
+
+
+class ServerError(Exception):
+    """Raised on invalid server usage (unknown workload, closed server)."""
+
+
+class FusionServer:
+    """Thread-pooled request server over one or more inference sessions."""
+
+    def __init__(self, sessions: dict[str, InferenceSession] | None = None,
+                 *, max_batch: int = 8, max_wait_ms: float = 2.0,
+                 workers: int = 2,
+                 metrics: ServeMetrics | None = None) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.sessions: dict[str, InferenceSession] = dict(sessions or {})
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_ms / 1e3
+        self.num_workers = max(1, workers)
+        self.metrics = metrics or ServeMetrics()
+        self.queue = RequestQueue()
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Session registry
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, session: InferenceSession) -> None:
+        self.sessions[name] = session
+
+    def session(self, name: str) -> InferenceSession:
+        try:
+            return self.sessions[name]
+        except KeyError:
+            raise ServerError(
+                f"unknown workload {name!r}; registered: "
+                f"{sorted(self.sessions)}") from None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "FusionServer":
+        if self._started:
+            return self
+        self._started = True
+        # Warm every session's compile in the background so the first
+        # requests overlap with (rather than wait serially on) tuning.
+        for session in self.sessions.values():
+            session.start_compile()
+        for i in range(self.num_workers):
+            t = threading.Thread(target=self._worker_loop,
+                                 name=f"serve-worker-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut down: close the queue and join workers.
+
+        With ``drain=True`` (default) queued requests are still answered;
+        with ``drain=False`` pending requests are failed immediately.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if not drain:
+            for req in self.queue.drain_pending():
+                req.fail(ServerError("server stopped before dispatch"))
+        self.queue.close()
+        for t in self._threads:
+            t.join(timeout=30.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "FusionServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+
+    def submit(self, workload: str, feeds: dict[str, np.ndarray],
+               timeout: float | None = None) -> Request:
+        """Enqueue one request; returns its future-like handle."""
+        if self._stopped:
+            raise ServerError("server is stopped")
+        self.session(workload)  # validate early, before enqueueing
+        request = Request(workload=workload, feeds=feeds, timeout_s=timeout)
+        depth = self.queue.put(request)
+        self.metrics.observe_queue_depth(depth)
+        return request
+
+    def infer(self, workload: str, feeds: dict[str, np.ndarray],
+              timeout: float | None = None) -> SessionReply:
+        """Synchronous convenience: submit and wait for the reply."""
+        return self.submit(workload, feeds, timeout=timeout).result()
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.queue.take_batch(self.max_batch, self.max_wait_s)
+            if not batch:
+                return  # queue closed and drained
+            self.metrics.observe_batch(len(batch))
+            session = self.sessions.get(batch[0].workload)
+            for request in batch:
+                self._answer(session, request)
+
+    def _answer(self, session: InferenceSession | None,
+                request: Request) -> None:
+        if session is None:
+            request.fail(ServerError(
+                f"workload {request.workload!r} was unregistered"))
+            return
+        try:
+            reply = session.execute(request.feeds,
+                                    timeout=request.remaining())
+            request.resolve(reply)
+        except Exception as exc:  # noqa: BLE001 — surface to the client
+            self.metrics.inc("request_errors")
+            request.fail(exc)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def stats_report(self) -> str:
+        """The serve-stats report: metrics plus per-session summaries."""
+        lines = [self.metrics.render_report(), "", "sessions:"]
+        for name in sorted(self.sessions):
+            info = self.sessions[name].info()
+            cache = info.meta.get("cache", {})
+            lines.append(
+                f"  {name}: state={info.state} kernels={info.kernels} "
+                f"requests={info.requests} degraded={info.degraded_requests}"
+                + (f" error={info.compile_error!r}"
+                   if info.compile_error else ""))
+            if cache:
+                lines.append(
+                    f"    cache: memory_hits={cache.get('memory_hits', 0)} "
+                    f"disk_hits={cache.get('disk_hits', 0)} "
+                    f"compile_misses={cache.get('compile_misses', 0)} "
+                    f"resident={cache.get('resident', 0)}")
+        return "\n".join(lines)

@@ -1,0 +1,205 @@
+"""Inference sessions: one compiled model serving many requests.
+
+An :class:`InferenceSession` owns everything needed to answer requests for
+one workload graph on one GPU: it compiles through the two-tier cache
+(:class:`~repro.serve.cache.TieredScheduleCache`), lowers the schedule to
+executable Python kernels via :mod:`repro.codegen.python_backend`, and
+executes request feeds.  Generated kernels are pure functions over a
+per-request environment dict, so any number of threads can execute
+concurrently on one session.
+
+Graceful degradation: if compilation fails, or a request's deadline
+expires before the compiled artifact is ready, the session serves the
+request through the unfused reference kernels
+(:func:`repro.runtime.kernels.execute_graph_reference`) and records the
+downgrade — a slow correct answer instead of an error.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..codegen.python_backend import GeneratedKernel, compile_program_to_python
+from ..core.compiler import FusionOptions
+from ..core.schedule import ProgramSchedule
+from ..hw.specs import GPUSpec
+from ..ir.graph import DataflowGraph
+from ..runtime.kernels import execute_graph_reference
+from .cache import TieredScheduleCache
+from .metrics import ServeMetrics
+
+#: Compile lifecycle states.
+PENDING, READY, FAILED = "pending", "ready", "failed"
+
+
+class SessionError(Exception):
+    """Raised on invalid session usage (not on degraded requests)."""
+
+
+@dataclass
+class SessionReply:
+    """One answered request: outputs plus how they were produced."""
+
+    outputs: dict[str, np.ndarray]
+    degraded: bool = False
+    reason: str | None = None
+    latency_s: float = 0.0
+
+
+@dataclass
+class SessionInfo:
+    """Introspection snapshot for reporting."""
+
+    workload: str
+    gpu: str
+    state: str
+    requests: int = 0
+    degraded_requests: int = 0
+    compile_error: str | None = None
+    kernels: int = 0
+    meta: dict = field(default_factory=dict)
+
+
+class InferenceSession:
+    """Serve one workload graph: compile once (cached), execute many."""
+
+    def __init__(self, graph: DataflowGraph, gpu: GPUSpec,
+                 options: FusionOptions | None = None,
+                 cache: TieredScheduleCache | None = None,
+                 metrics: ServeMetrics | None = None,
+                 compile_fn: Callable[[], ProgramSchedule] | None = None,
+                 eager: bool = False) -> None:
+        self.graph = graph
+        self.gpu = gpu
+        self.options = options
+        self.metrics = metrics or (cache.metrics if cache is not None
+                                   else ServeMetrics())
+        self.cache = cache if cache is not None else \
+            TieredScheduleCache(metrics=self.metrics)
+        self._compile_fn = compile_fn or self._default_compile
+        self._state = PENDING
+        self._ready = threading.Event()
+        self._compile_started = threading.Lock()
+        self._compile_thread: threading.Thread | None = None
+        self.compile_error: str | None = None
+        self.schedule: ProgramSchedule | None = None
+        self.kernels: list[GeneratedKernel] = []
+        self._requests = 0
+        self._degraded = 0
+        self._count_lock = threading.Lock()
+        if eager:
+            self.ensure_compiled()
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def _default_compile(self) -> ProgramSchedule:
+        from ..pipeline import compile_for
+        schedule, _stats = compile_for(self.graph, self.gpu, self.options)
+        return schedule
+
+    def _options_repr(self) -> str:
+        return repr(self.options) if self.options is not None else ""
+
+    def _compile_once(self) -> None:
+        try:
+            schedule = self.cache.get_or_compile(
+                self.graph, self.gpu.name, self._compile_fn,
+                self._options_repr())
+            kernels = compile_program_to_python(schedule)
+            self.schedule = schedule
+            self.kernels = kernels
+            self._state = READY
+        except Exception as exc:  # noqa: BLE001 — any compile failure degrades
+            self.compile_error = f"{type(exc).__name__}: {exc}"
+            self._state = FAILED
+            self.metrics.inc("compile_failures")
+        finally:
+            self._ready.set()
+
+    def start_compile(self) -> None:
+        """Kick off compilation in the background (idempotent)."""
+        with self._compile_started:
+            if self._compile_thread is None and not self._ready.is_set():
+                self._compile_thread = threading.Thread(
+                    target=self._compile_once,
+                    name=f"compile-{self.graph.name}", daemon=True)
+                self._compile_thread.start()
+
+    def ensure_compiled(self, timeout: float | None = None) -> bool:
+        """Wait until compilation settled; True iff the fused path is ready.
+
+        With a ``timeout`` the wait is bounded: returning False means the
+        caller should degrade to the reference path for *this* request
+        while compilation keeps running for future ones.
+        """
+        if self._state == READY:
+            return True
+        self.start_compile()
+        self._ready.wait(timeout)
+        return self._state == READY
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _execute_fused(self, feeds: dict[str, np.ndarray],
+                       ) -> dict[str, np.ndarray]:
+        env = {k: np.asarray(v, dtype=np.float64) for k, v in feeds.items()}
+        for gk in self.kernels:
+            gk(env)
+        return {t: env[t] for t in self.graph.output_tensors}
+
+    def _execute_reference(self, feeds: dict[str, np.ndarray],
+                           ) -> dict[str, np.ndarray]:
+        return execute_graph_reference(self.graph, feeds)
+
+    def execute(self, feeds: dict[str, np.ndarray],
+                timeout: float | None = None) -> SessionReply:
+        """Answer one request; degrade to the reference path when needed."""
+        t0 = time.perf_counter()
+        degraded_reason: str | None = None
+        if self.ensure_compiled(timeout):
+            outputs = self._execute_fused(feeds)
+        else:
+            degraded_reason = ("compile_failed" if self._state == FAILED
+                               else "compile_timeout")
+            self.metrics.record_fallback(degraded_reason)
+            outputs = self._execute_reference(feeds)
+        latency = time.perf_counter() - t0
+        with self._count_lock:
+            self._requests += 1
+            if degraded_reason is not None:
+                self._degraded += 1
+        self.metrics.observe_request(latency)
+        return SessionReply(outputs=outputs,
+                            degraded=degraded_reason is not None,
+                            reason=degraded_reason, latency_s=latency)
+
+    def __call__(self, feeds: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        return self.execute(feeds).outputs
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def info(self) -> SessionInfo:
+        with self._count_lock:
+            requests, degraded = self._requests, self._degraded
+        return SessionInfo(
+            workload=self.graph.name, gpu=self.gpu.name, state=self._state,
+            requests=requests, degraded_requests=degraded,
+            compile_error=self.compile_error,
+            kernels=len(self.kernels),
+            meta={"cache": self.cache.stats()},
+        )

@@ -1,0 +1,124 @@
+"""Auto-tuner edge cases: degenerate search spaces and extreme alpha.
+
+Complements test_autotuner_memory.py, which covers the common paths;
+here the concern is that TuneResult accounting (configs_quit_early,
+tuning_wall_time) stays consistent when the space is empty, a single
+point, or when alpha=0 makes the early-quit rule maximally aggressive.
+"""
+
+import math
+
+import pytest
+
+from repro.core.autotuner import (
+    MEASURE_RUNS,
+    WARMUP_RUNS,
+    apply_tune_result,
+    evaluate_search_space,
+    tune_kernel,
+)
+from repro.core.builder import build_smg
+from repro.core.schedule import KernelSchedule, ScheduleConfig
+from repro.core.temporal_slicer import plan_temporal_slice
+
+
+def _kernel(small_mha, n):
+    smg = build_smg(small_mha)
+    plan = plan_temporal_slice(smg, "l")
+    k = KernelSchedule("k", smg, ("m",), plan)
+    k.search_space = [ScheduleConfig(block=(("m", 8 * (i + 1)),), tile=16)
+                      for i in range(n)]
+    return k
+
+
+class TestEmptySpace:
+    def test_empty_space_accounting(self, small_mha):
+        kernel = _kernel(small_mha, 0)
+        res = tune_kernel(kernel, lambda k, c: 1.0)
+        assert res.best_config is None
+        assert math.isinf(res.best_time)
+        assert res.configs_evaluated == 0
+        assert res.configs_quit_early == 0
+        assert res.tuning_wall_time == 0.0
+        assert res.timings == []
+        assert kernel.config is None
+
+
+class TestSingleConfig:
+    def test_single_config_never_quits_early(self, small_mha):
+        kernel = _kernel(small_mha, 1)
+        res = tune_kernel(kernel, lambda k, c: 0.25)
+        assert res.best_config == kernel.search_space[0]
+        assert kernel.config == res.best_config
+        assert res.configs_evaluated == 1
+        assert res.configs_quit_early == 0
+        # The lone config pays the full campaign: warmup + measured runs.
+        assert res.tuning_wall_time == \
+            pytest.approx((WARMUP_RUNS + MEASURE_RUNS) * 0.25)
+
+
+class TestAlphaZero:
+    def test_alpha_zero_quits_every_later_config(self, small_mha):
+        kernel = _kernel(small_mha, 5)
+        times = {cfg: 1.0 + i
+                 for i, cfg in enumerate(kernel.search_space)}
+        res = tune_kernel(kernel, lambda k, c: times[c], alpha=0.0)
+        # First config measured in full, all later configs get the minimum
+        # one run before the zero budget cuts them off.
+        assert res.configs_evaluated == 5
+        assert res.configs_quit_early == 4
+        expected_wall = (WARMUP_RUNS + MEASURE_RUNS) * 1.0 + \
+            sum(times[c] for c in kernel.search_space[1:])
+        assert res.tuning_wall_time == pytest.approx(expected_wall)
+        assert res.best_config == kernel.search_space[0]
+
+    def test_alpha_zero_still_finds_later_better_config(self, small_mha):
+        kernel = _kernel(small_mha, 3)
+        times = dict(zip(kernel.search_space, (2.0, 3.0, 0.5)))
+        res = tune_kernel(kernel, lambda k, c: times[c], alpha=0.0)
+        # Early-quit shortens the campaign but never skips the timing, so
+        # the fastest config is still selected.
+        assert res.best_config == kernel.search_space[2]
+        assert res.best_time == 0.5
+
+
+class TestWallTimeConsistency:
+    def test_wall_time_equals_runs_times_cost(self, small_mha):
+        """Recompute the campaign from TuneResult.timings and match it."""
+        kernel = _kernel(small_mha, 6)
+        times = {cfg: [1.0, 0.4, 5.0, 0.2, 9.0, 0.1][i]
+                 for i, cfg in enumerate(kernel.search_space)}
+        alpha = 0.25
+        res = tune_kernel(kernel, lambda k, c: times[c], alpha=alpha)
+
+        wall = 0.0
+        best = None
+        quit_early = 0
+        for cfg, t in res.timings:
+            if best is None:
+                runs = WARMUP_RUNS + MEASURE_RUNS
+            else:
+                budget = alpha * (WARMUP_RUNS + MEASURE_RUNS) * best
+                if t * MEASURE_RUNS > budget:
+                    runs = min(WARMUP_RUNS + MEASURE_RUNS,
+                               max(1, int(budget / t)))
+                    if runs < WARMUP_RUNS + MEASURE_RUNS:
+                        quit_early += 1
+                else:
+                    runs = WARMUP_RUNS + MEASURE_RUNS
+            wall += runs * t
+            if best is None or t < best:
+                best = t
+        assert res.tuning_wall_time == pytest.approx(wall)
+        assert res.configs_quit_early == quit_early
+        assert res.best_time == min(times.values())
+
+
+class TestPureEvaluation:
+    def test_evaluate_does_not_mutate_kernel(self, small_mha):
+        kernel = _kernel(small_mha, 4)
+        assert kernel.config is None
+        res = evaluate_search_space(kernel, lambda k, c: 1.0)
+        assert kernel.config is None          # untouched by evaluation
+        apply_tune_result(res)
+        assert kernel.config == res.best_config

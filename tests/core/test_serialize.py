@@ -92,6 +92,23 @@ class TestScheduleRoundTrip:
             schedule_from_json('{"version": 99, "name": "x", "meta": {}, '
                                '"kernels": []}')
 
+    def test_missing_version_rejected(self):
+        with pytest.raises(SerializeError, match="version"):
+            schedule_from_json('{"name": "x", "meta": {}, "kernels": []}')
+
+    def test_malformed_json_raises_serialize_error(self):
+        with pytest.raises(SerializeError, match="malformed"):
+            schedule_from_json('{"version": 1, "name": ')
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(SerializeError, match="object"):
+            schedule_from_json('[1, 2, 3]')
+
+    def test_truncated_payload_raises_serialize_error(self):
+        with pytest.raises(SerializeError, match="truncated|corrupt"):
+            schedule_from_json('{"version": 1, "name": "x", "meta": {}, '
+                               '"kernels": [{"name": "k"}]}')
+
 
 class TestScheduleCache:
     def test_miss_then_hit(self, small_mha, tmp_path):
@@ -125,3 +142,49 @@ class TestScheduleCache:
         compile_cached(layernorm_graph(32, 64), AMPERE, cache)
         _s, stats = compile_cached(layernorm_graph(32, 128), AMPERE, cache)
         assert stats is not None
+
+
+class TestDoctoredCacheEntries:
+    """A poisoned on-disk entry must degrade to a miss, never a crash."""
+
+    def _doctor_entries(self, tmp_path, text):
+        entries = list(tmp_path.glob("*.json"))
+        assert entries, "cache should have written an entry"
+        for path in entries:
+            path.write_text(text)
+
+    def test_version_mismatch_is_a_miss(self, small_ln, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        compile_cached(small_ln, AMPERE, cache)
+        self._doctor_entries(
+            tmp_path, '{"version": 999, "name": "x", "meta": {}, '
+                      '"kernels": []}')
+        schedule, stats = compile_cached(small_ln, AMPERE, cache)
+        assert stats is not None              # recompiled, not crashed
+        assert cache.misses == 2              # cold boot + doctored entry
+        feeds = random_feeds(small_ln, seed=3)
+        ref = execute_graph_reference(small_ln, feeds)
+        env = execute_schedule(schedule, feeds)
+        np.testing.assert_allclose(env["Y"], ref["Y"], atol=1e-9)
+
+    def test_corrupt_json_is_a_miss(self, small_ln, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        compile_cached(small_ln, AMPERE, cache)
+        self._doctor_entries(tmp_path, "{definitely not json")
+        _schedule, stats = compile_cached(small_ln, AMPERE, cache)
+        assert stats is not None
+
+    def test_doctored_entry_is_replaced_on_disk(self, small_ln, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        compile_cached(small_ln, AMPERE, cache)
+        self._doctor_entries(tmp_path, '{"version": 999}')
+        compile_cached(small_ln, AMPERE, cache)
+        # The recompile overwrote the bad entry: next boot hits again.
+        _schedule, stats = compile_cached(small_ln, AMPERE, cache)
+        assert stats is None
+
+    def test_direct_get_raises_nothing(self, small_ln, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        compile_cached(small_ln, AMPERE, cache)
+        self._doctor_entries(tmp_path, '{"version": null}')
+        assert cache.get(small_ln, AMPERE.name) is None

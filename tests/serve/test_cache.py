@@ -1,0 +1,95 @@
+"""Tests for the two-tier (memory LRU + disk) compile cache."""
+
+import threading
+
+import pytest
+
+from repro.core.serialize import ScheduleCache
+from repro.hw import AMPERE
+from repro.models import layernorm_graph
+from repro.pipeline import compile_for
+from repro.serve import TieredScheduleCache
+
+
+def _compiler(graph, calls=None):
+    def fn():
+        if calls is not None:
+            calls.append(threading.get_ident())
+        schedule, _ = compile_for(graph, AMPERE)
+        return schedule
+    return fn
+
+
+class TestTiers:
+    def test_miss_compiles_then_memory_hits(self, small_ln):
+        cache = TieredScheduleCache()
+        calls = []
+        s1 = cache.get_or_compile(small_ln, AMPERE.name,
+                                  _compiler(small_ln, calls))
+        s2 = cache.get_or_compile(small_ln, AMPERE.name,
+                                  _compiler(small_ln, calls))
+        assert len(calls) == 1
+        assert s1 is s2                       # same live object from the LRU
+        stats = cache.stats()
+        assert stats["compile_misses"] == 1 and stats["memory_hits"] == 1
+
+    def test_disk_tier_survives_memory_eviction(self, small_ln, tmp_path):
+        disk = ScheduleCache(tmp_path)
+        cache = TieredScheduleCache(capacity=1, disk=disk)
+        other = layernorm_graph(16, 24, name="ln_other")
+        calls = []
+        cache.get_or_compile(small_ln, AMPERE.name, _compiler(small_ln, calls))
+        cache.get_or_compile(other, AMPERE.name, _compiler(other, calls))
+        assert len(cache) == 1                # small_ln evicted
+        cache.get_or_compile(small_ln, AMPERE.name, _compiler(small_ln, calls))
+        assert len(calls) == 2                # reloaded from disk, no compile
+        assert cache.stats()["disk_hits"] == 1
+        assert cache.stats()["memory_evictions"] >= 1
+
+    def test_different_gpu_is_different_key(self, small_ln):
+        from repro.hw import VOLTA
+        cache = TieredScheduleCache()
+        calls = []
+        cache.get_or_compile(small_ln, AMPERE.name, _compiler(small_ln, calls))
+        cache.get_or_compile(small_ln, VOLTA.name, _compiler(small_ln, calls))
+        assert len(calls) == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TieredScheduleCache(capacity=0)
+
+
+class TestSingleFlight:
+    def test_concurrent_cold_misses_compile_once(self, small_ln):
+        cache = TieredScheduleCache()
+        calls = []
+        started = threading.Barrier(6)
+        results = []
+
+        def hammer():
+            started.wait()
+            results.append(cache.get_or_compile(
+                small_ln, AMPERE.name, _compiler(small_ln, calls)))
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1                # one campaign for six racers
+        assert all(r is results[0] for r in results)
+
+    def test_corrupt_disk_entry_recompiles(self, small_ln, tmp_path):
+        disk = ScheduleCache(tmp_path)
+        cache = TieredScheduleCache(capacity=1, disk=disk)
+        calls = []
+        cache.get_or_compile(small_ln, AMPERE.name, _compiler(small_ln, calls))
+        # Doctor the on-disk entry and force a memory eviction.
+        for path in tmp_path.glob("*.json"):
+            path.write_text('{"version": 999}')
+        other = layernorm_graph(16, 24, name="ln_other")
+        cache.get_or_compile(other, AMPERE.name, _compiler(other, calls))
+        restored = cache.get_or_compile(small_ln, AMPERE.name,
+                                        _compiler(small_ln, calls))
+        assert len(calls) == 3                # recompiled, not crashed
+        assert restored.num_kernels >= 1

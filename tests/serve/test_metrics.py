@@ -1,0 +1,81 @@
+"""Tests for the serving metrics surface."""
+
+import threading
+
+from repro.serve import Histogram, ServeMetrics
+
+
+class TestHistogram:
+    def test_bucketing_and_summary(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 9.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.samples == 4
+        assert h.total == 14.0
+        assert h.mean == 3.5
+        assert h.max_seen == 9.0
+
+    def test_quantiles(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for _ in range(98):
+            h.observe(0.5)
+        h.observe(3.0)
+        h.observe(9.0)
+        assert h.quantile(0.50) == 1.0        # bucket upper bound
+        assert h.quantile(0.99) == 4.0
+        assert h.quantile(1.0) == 9.0         # overflow bucket -> max seen
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_merge(self):
+        a = Histogram(buckets=(1.0,))
+        b = Histogram(buckets=(1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.samples == 2 and a.counts == [1, 1] and a.max_seen == 2.0
+
+
+class TestServeMetrics:
+    def test_counters_threadsafe(self):
+        m = ServeMetrics()
+
+        def bump():
+            for _ in range(1000):
+                m.inc("x")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.get("x") == 8000
+
+    def test_fallback_reasons_tracked(self):
+        m = ServeMetrics()
+        m.record_fallback("compile_timeout")
+        m.record_fallback("compile_timeout")
+        m.record_fallback("compile_failed")
+        assert m.get("fallbacks") == 3
+        assert m.get("fallbacks.compile_timeout") == 2
+        assert m.get("fallbacks.compile_failed") == 1
+
+    def test_report_contains_every_surface(self):
+        m = ServeMetrics()
+        m.observe_request(0.002)
+        m.observe_compile(0.5)
+        m.observe_batch(3)
+        m.observe_queue_depth(1)
+        m.record_fallback("compile_failed")
+        report = m.render_report()
+        for needle in ("serve-stats", "requests_served", "fallbacks",
+                       "request_latency", "compile_latency", "batch_size",
+                       "queue_depth", "fallbacks.compile_failed"):
+            assert needle in report
+
+    def test_snapshot_is_detached(self):
+        m = ServeMetrics()
+        m.inc("x")
+        snap = m.snapshot()
+        m.inc("x")
+        assert snap["x"] == 1 and m.get("x") == 2

@@ -1,0 +1,82 @@
+"""Parallel compilation must match the serial path bit-for-bit.
+
+Acceptance criterion: the Transformer model program compiled through the
+worker pool yields the same chosen configurations and the same simulated
+kernel times as ``SpaceFusionCompiler.compile_model``.
+"""
+
+import pytest
+
+from repro.hw import AMPERE
+from repro.hw.simulator import DeviceSimulator
+from repro.models import TransformerConfig, build_transformer_program
+from repro.pipeline import compile_model_for, compile_model_parallel_for
+from repro.serve import compile_model_parallel, default_max_workers
+
+
+@pytest.fixture(scope="module")
+def tiny_transformer_program():
+    cfg = TransformerConfig(name="tiny", num_layers=2, hidden=32, heads=2,
+                            intermediate=64)
+    return build_transformer_program(cfg, batch=2, seq=8)
+
+
+@pytest.fixture(scope="module")
+def serial_model(tiny_transformer_program):
+    return compile_model_for(tiny_transformer_program, AMPERE)
+
+
+def _assert_models_equal(serial, parallel):
+    sim = DeviceSimulator(AMPERE)
+    assert len(serial.subprograms) == len(parallel.subprograms)
+    for a, b in zip(serial.subprograms, parallel.subprograms):
+        assert a.occurrences == b.occurrences
+        ka, kb = a.schedule.kernels, b.schedule.kernels
+        assert [k.name for k in ka] == [k.name for k in kb]
+        for x, y in zip(ka, kb):
+            assert x.config == y.config
+            assert x.spatial_dims == y.spatial_dims
+            assert x.memory_levels == y.memory_levels
+            if not x.meta.get("barrier"):
+                assert sim.kernel_time(x, x.effective_config()) == \
+                    sim.kernel_time(y, y.effective_config())
+
+
+class TestParallelCompile:
+    def test_transformer_matches_serial(self, tiny_transformer_program,
+                                        serial_model):
+        parallel = compile_model_parallel_for(
+            tiny_transformer_program, AMPERE, max_workers=4)
+        _assert_models_equal(serial_model, parallel)
+
+    def test_tuning_accounting_matches(self, tiny_transformer_program,
+                                       serial_model):
+        parallel = compile_model_parallel(
+            tiny_transformer_program, AMPERE, max_workers=4)
+        assert parallel.stats.configs_evaluated == \
+            serial_model.stats.configs_evaluated
+        assert parallel.stats.configs_quit_early == \
+            serial_model.stats.configs_quit_early
+        assert parallel.stats.tuning_wall_time == \
+            pytest.approx(serial_model.stats.tuning_wall_time, rel=0, abs=0)
+        assert parallel.stats.kernels == serial_model.stats.kernels
+        assert parallel.stats.partition_rounds == \
+            serial_model.stats.partition_rounds
+
+    def test_single_worker_degenerates_to_serial(self,
+                                                 tiny_transformer_program,
+                                                 serial_model):
+        parallel = compile_model_parallel(
+            tiny_transformer_program, AMPERE, max_workers=1)
+        _assert_models_equal(serial_model, parallel)
+
+    def test_expanded_schedule_equal_cost(self, tiny_transformer_program,
+                                          serial_model):
+        from repro.pipeline import simulate_model
+        parallel = compile_model_parallel_for(
+            tiny_transformer_program, AMPERE, max_workers=3)
+        assert simulate_model(parallel, AMPERE).time_s == \
+            simulate_model(serial_model, AMPERE).time_s
+
+    def test_default_worker_count_sane(self):
+        assert 1 <= default_max_workers() <= 8

@@ -1,0 +1,154 @@
+"""Integration tests for FusionServer: batching, concurrency, fallback.
+
+The deterministic integration test of the acceptance criteria lives here:
+>=4 concurrent client threads, zero wrong answers, and one forced
+fallback-to-unfused downgrade — all against precomputed references.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.hw import AMPERE
+from repro.runtime.kernels import execute_graph_reference, random_feeds
+from repro.serve import (
+    FusionServer,
+    InferenceSession,
+    Request,
+    RequestQueue,
+    ServeMetrics,
+    ServerError,
+    batch_key,
+)
+
+
+class TestQueueAndBatching:
+    def test_fifo_and_depth(self, small_ln):
+        q = RequestQueue()
+        f = random_feeds(small_ln, seed=0)
+        assert q.put(Request("w", f)) == 1
+        assert q.put(Request("w", f)) == 2
+        batch = q.take_batch(max_batch=8, max_wait_s=0.0)
+        assert len(batch) == 2 and batch[0].seq < batch[1].seq
+        assert q.depth() == 0
+
+    def test_max_batch_respected(self, small_ln):
+        q = RequestQueue()
+        f = random_feeds(small_ln, seed=0)
+        for _ in range(5):
+            q.put(Request("w", f))
+        assert len(q.take_batch(max_batch=3, max_wait_s=0.0)) == 3
+        assert q.depth() == 2
+
+    def test_only_same_key_coalesces(self, small_ln, small_mlp):
+        q = RequestQueue()
+        q.put(Request("ln", random_feeds(small_ln, seed=0)))
+        q.put(Request("mlp", random_feeds(small_mlp, seed=0)))
+        q.put(Request("ln", random_feeds(small_ln, seed=1)))
+        batch = q.take_batch(max_batch=8, max_wait_s=0.0)
+        assert [r.workload for r in batch] == ["ln", "ln"]
+        assert q.depth() == 1                  # the mlp request is untouched
+
+    def test_batch_key_tracks_shapes(self, small_ln, small_mlp):
+        assert batch_key("w", random_feeds(small_ln, seed=0)) == \
+            batch_key("w", random_feeds(small_ln, seed=9))
+        assert batch_key("w", random_feeds(small_ln, seed=0)) != \
+            batch_key("w", random_feeds(small_mlp, seed=0))
+
+    def test_closed_empty_queue_returns_empty_batch(self):
+        q = RequestQueue()
+        q.close()
+        assert q.take_batch(max_batch=4, max_wait_s=0.0) == []
+        with pytest.raises(RuntimeError):
+            q.put(Request("w", {}))
+
+
+class TestServerIntegration:
+    def test_concurrent_clients_zero_wrong_answers(self, small_mlp):
+        """Acceptance: 4 client threads through the full server stack."""
+        metrics = ServeMetrics()
+        session = InferenceSession(small_mlp, AMPERE, metrics=metrics)
+        seeds = list(range(12))
+        expected = {
+            s: execute_graph_reference(small_mlp,
+                                       random_feeds(small_mlp, seed=s))
+            for s in seeds
+        }
+        wrong = []
+
+        def client(chunk):
+            for seed in chunk:
+                reply = server.infer("mlp", random_feeds(small_mlp,
+                                                         seed=seed))
+                for name, arr in expected[seed].items():
+                    if not np.allclose(reply.outputs[name], arr, atol=1e-9):
+                        wrong.append(seed)
+
+        with FusionServer({"mlp": session}, max_batch=4, max_wait_ms=5.0,
+                          workers=2, metrics=metrics) as server:
+            threads = [threading.Thread(target=client,
+                                        args=(seeds[i::4],))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert wrong == []
+        assert metrics.get("requests_served") == len(seeds)
+        assert metrics.get("batches_dispatched") >= 1
+        snap = metrics.snapshot()
+        assert snap["request_latency.count"] == len(seeds)
+
+    def test_forced_fallback_downgrade(self, small_ln):
+        """Acceptance: one compile failure exercises the unfused path."""
+        def broken():
+            raise RuntimeError("no backend available")
+
+        metrics = ServeMetrics()
+        session = InferenceSession(small_ln, AMPERE, metrics=metrics,
+                                   compile_fn=broken)
+        feeds = random_feeds(small_ln, seed=2)
+        with FusionServer({"ln": session}, metrics=metrics) as server:
+            reply = server.infer("ln", feeds)
+        assert reply.degraded and reply.reason == "compile_failed"
+        expected = execute_graph_reference(small_ln, feeds)
+        for name, arr in expected.items():
+            np.testing.assert_allclose(reply.outputs[name], arr)
+        assert metrics.get("fallbacks") == 1
+        report = server.stats_report()
+        assert "fallbacks" in report and "state=failed" in report
+
+    def test_multi_workload_server(self, small_ln, small_mlp):
+        sessions = {
+            "ln": InferenceSession(small_ln, AMPERE),
+            "mlp": InferenceSession(small_mlp, AMPERE),
+        }
+        with FusionServer(sessions, workers=2) as server:
+            r_ln = server.submit("ln", random_feeds(small_ln, seed=1))
+            r_mlp = server.submit("mlp", random_feeds(small_mlp, seed=1))
+            out_ln = r_ln.result(timeout=120).outputs
+            out_mlp = r_mlp.result(timeout=120).outputs
+        ref_ln = execute_graph_reference(small_ln,
+                                         random_feeds(small_ln, seed=1))
+        ref_mlp = execute_graph_reference(small_mlp,
+                                          random_feeds(small_mlp, seed=1))
+        for name, arr in ref_ln.items():
+            np.testing.assert_allclose(out_ln[name], arr, atol=1e-9)
+        for name, arr in ref_mlp.items():
+            np.testing.assert_allclose(out_mlp[name], arr, atol=1e-9)
+
+    def test_unknown_workload_rejected_at_submit(self, small_ln):
+        with FusionServer({"ln": InferenceSession(small_ln, AMPERE)}) \
+                as server:
+            with pytest.raises(ServerError, match="unknown workload"):
+                server.submit("missing", {})
+
+    def test_stop_without_drain_fails_pending(self, small_ln):
+        session = InferenceSession(small_ln, AMPERE)
+        server = FusionServer({"ln": session})   # never started: no workers
+        req = server.submit("ln", random_feeds(small_ln, seed=0))
+        server.stop(drain=False)
+        with pytest.raises(ServerError, match="stopped before dispatch"):
+            req.result(timeout=1.0)

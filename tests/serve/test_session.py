@@ -1,0 +1,109 @@
+"""Tests for InferenceSession: correctness, concurrency, degradation."""
+
+import threading
+
+import numpy as np
+
+from repro.hw import AMPERE
+from repro.runtime.kernels import execute_graph_reference, random_feeds
+from repro.serve import InferenceSession, ServeMetrics, TieredScheduleCache
+
+
+class TestFusedServing:
+    def test_reply_matches_reference(self, small_ln):
+        session = InferenceSession(small_ln, AMPERE)
+        feeds = random_feeds(small_ln, seed=3)
+        reply = session.execute(feeds)
+        assert not reply.degraded and reply.reason is None
+        expected = execute_graph_reference(small_ln, feeds)
+        for name, arr in expected.items():
+            np.testing.assert_allclose(reply.outputs[name], arr, atol=1e-9)
+
+    def test_session_is_ready_after_first_request(self, small_ln):
+        session = InferenceSession(small_ln, AMPERE)
+        assert session.state == "pending"
+        session.execute(random_feeds(small_ln, seed=0))
+        assert session.state == "ready"
+        assert session.info().kernels >= 1
+
+    def test_concurrent_requests_identical_to_reference(self, small_mlp):
+        """Acceptance: >=4 threads, every reply equals the reference."""
+        session = InferenceSession(small_mlp, AMPERE)
+        seeds = list(range(8))
+        expected = {
+            s: execute_graph_reference(small_mlp,
+                                       random_feeds(small_mlp, seed=s))
+            for s in seeds
+        }
+        errors = []
+
+        def client(seed):
+            try:
+                reply = session.execute(random_feeds(small_mlp, seed=seed))
+                for name, arr in expected[seed].items():
+                    np.testing.assert_allclose(reply.outputs[name], arr,
+                                               atol=1e-9)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(s,)) for s in seeds]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        info = session.info()
+        assert info.requests == len(seeds) and info.degraded_requests == 0
+
+    def test_sessions_share_cache(self, small_ln):
+        cache = TieredScheduleCache()
+        a = InferenceSession(small_ln, AMPERE, cache=cache, eager=True)
+        b = InferenceSession(small_ln, AMPERE, cache=cache, eager=True)
+        assert a.schedule is b.schedule       # second session hit the LRU
+        assert cache.stats()["compile_misses"] == 1
+
+
+class TestGracefulDegradation:
+    def test_compile_failure_falls_back_to_reference(self, small_ln):
+        def broken_compile():
+            raise RuntimeError("injected compiler crash")
+
+        metrics = ServeMetrics()
+        session = InferenceSession(small_ln, AMPERE, metrics=metrics,
+                                   compile_fn=broken_compile)
+        feeds = random_feeds(small_ln, seed=5)
+        reply = session.execute(feeds)
+        assert reply.degraded and reply.reason == "compile_failed"
+        assert session.state == "failed"
+        assert "injected compiler crash" in session.compile_error
+        expected = execute_graph_reference(small_ln, feeds)
+        for name, arr in expected.items():
+            np.testing.assert_allclose(reply.outputs[name], arr)
+        assert metrics.get("fallbacks") == 1
+        assert metrics.get("fallbacks.compile_failed") == 1
+        assert metrics.get("compile_failures") == 1
+
+    def test_compile_timeout_degrades_then_recovers(self, small_ln):
+        from repro.pipeline import compile_for
+
+        release = threading.Event()
+
+        def slow_compile():
+            release.wait(10.0)
+            schedule, _ = compile_for(small_ln, AMPERE)
+            return schedule
+
+        session = InferenceSession(small_ln, AMPERE, compile_fn=slow_compile)
+        feeds = random_feeds(small_ln, seed=7)
+        reply = session.execute(feeds, timeout=0.05)
+        assert reply.degraded and reply.reason == "compile_timeout"
+        expected = execute_graph_reference(small_ln, feeds)
+        for name, arr in expected.items():
+            np.testing.assert_allclose(reply.outputs[name], arr)
+
+        release.set()                          # let compilation finish
+        assert session.ensure_compiled(timeout=10.0)
+        reply2 = session.execute(feeds)
+        assert not reply2.degraded
+        for name, arr in expected.items():
+            np.testing.assert_allclose(reply2.outputs[name], arr, atol=1e-9)

@@ -54,3 +54,34 @@ class TestCommands:
         for fn in WORKLOADS.values():
             graph = fn()
             assert graph.ops
+
+    def test_compile_cache_dir_miss_then_hit(self, capsys, tmp_path):
+        assert main(["compile", "layernorm",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "MISS" in capsys.readouterr().out
+        assert main(["compile", "layernorm",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "HIT" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_demo_reports_stats(self, capsys, tmp_path):
+        assert main(["serve", "layernorm", "--requests", "8",
+                     "--clients", "4", "--workers", "2",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 wrong answer(s)" in out
+        assert "serve-stats" in out
+        assert "requests_served" in out
+        assert "state=ready" in out
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "mlp"])
+        assert args.clients == 4 and args.max_batch == 8
+        assert args.fn is not None
+
+    def test_serve_rejects_nonpositive_knobs(self, capsys):
+        assert main(["serve", "mlp", "--clients", "0"]) == 2
+        assert "--clients" in capsys.readouterr().err
+        assert main(["serve", "mlp", "--max-batch", "0"]) == 2
+        assert "--max-batch" in capsys.readouterr().err
