@@ -11,8 +11,39 @@ from __future__ import annotations
 from ..baselines.engines import TRITON_JIT_SECONDS, modeled_compile_seconds
 from ..hw import ARCHITECTURES
 from ..models import build_model, mha_graph
+from ..obs import Tracer, use_tracer
 from ..pipeline import make_compiler
 from .reporting import ExperimentResult
+
+#: Analysis-phase span names emitted by the compile pipeline, in pipeline
+#: order (partition -> SMG build -> slicing -> config enumeration ->
+#: memory planning).  ``tuning`` is accounted separately — see
+#: :func:`compile_breakdown_from_trace`.
+ANALYSIS_PHASES = ("partitioning", "smg_build", "spatial_slice",
+                   "temporal_slice", "enum_cfg", "memory_plan")
+
+
+def compile_breakdown_from_trace(tracer: Tracer, schedule,
+                                 ) -> dict[str, float]:
+    """Per-phase compile-time breakdown (seconds) from collected spans.
+
+    Analysis phases are real wall-clock span durations; ``tuning`` is the
+    accounted campaign the paper's procedure would spend on silicon (one
+    JIT compile per surviving config plus the modeled test runs recorded
+    on each tuning span), matching Table 4's methodology.  The breakdown
+    is exhaustive: summing its values gives the compile wall time the
+    Table 4 benchmark reports.
+    """
+    totals = tracer.phase_totals(category="compile")
+    breakdown = {phase: totals[phase] for phase in ANALYSIS_PHASES
+                 if phase in totals}
+    jit_configs = sum(len(k.search_space) or 1
+                      for k in schedule.kernels
+                      if not k.meta.get("barrier"))
+    modeled = sum(sp.attrs.get("modeled_wall_s", 0.0)
+                  for sp in tracer.spans() if sp.name == "tuning")
+    breakdown["tuning"] = jit_configs * TRITON_JIT_SECONDS + modeled
+    return breakdown
 
 
 def table4_mha_breakdown(arch: str = "ampere",
@@ -24,6 +55,9 @@ def table4_mha_breakdown(arch: str = "ampere",
     Paper (MHA(32,1024)): TS.getPriorDim+TS.slice 17.31 ms, enumCfg 2.63 ms,
     SS.getDims+SS.slice 0.23 ms, tuning 33.04 s of a 36.33 s total — the
     tuning campaign dominates and the analysis itself is milliseconds.
+
+    The breakdown is assembled from the compile pipeline's trace spans
+    (the same data ``repro trace`` prints), not ad-hoc timers.
     """
     gpu = ARCHITECTURES[arch]
     result = ExperimentResult(
@@ -33,19 +67,17 @@ def table4_mha_breakdown(arch: str = "ampere",
     for batch, seq in cases:
         graph = mha_graph(batch, heads, seq, seq, head_dim)
         compiler = make_compiler(gpu)
-        schedule, stats = compiler.compile_graph(graph)
-        jit_configs = sum(len(k.search_space) or 1
-                          for k in schedule.kernels
-                          if not k.meta.get("barrier"))
-        tuning = jit_configs * TRITON_JIT_SECONDS + stats.tuning_wall_time
-        analysis = sum(stats.phase_times.values())
+        tracer = Tracer()
+        with use_tracer(tracer):
+            schedule, _stats = compiler.compile_graph(graph)
+        breakdown = compile_breakdown_from_trace(tracer, schedule)
         result.add_row(
             workload=f"MHA({batch},{seq})",
-            ts_slice_ms=stats.phase_times.get("temporal_slice", 0.0) * 1e3,
-            enum_cfg_ms=stats.phase_times.get("enum_cfg", 0.0) * 1e3,
-            ss_slice_ms=stats.phase_times.get("spatial_slice", 0.0) * 1e3,
-            tuning_s=tuning,
-            total_s=analysis + tuning)
+            ts_slice_ms=breakdown.get("temporal_slice", 0.0) * 1e3,
+            enum_cfg_ms=breakdown.get("enum_cfg", 0.0) * 1e3,
+            ss_slice_ms=breakdown.get("spatial_slice", 0.0) * 1e3,
+            tuning_s=breakdown["tuning"],
+            total_s=sum(breakdown.values()))
     return result
 
 

@@ -6,6 +6,8 @@ Commands:
   the temporal-slicing plan;
 * ``compile``  — auto-schedule a workload for a GPU and print the schedule
   report plus generated kernel pseudocode;
+* ``trace``    — compile a workload under the tracer and print the
+  per-phase breakdown (optionally exporting Chrome trace_event JSON);
 * ``bench``    — regenerate one paper experiment (``fig11a`` ... ``table6``);
 * ``validate`` — execute a compiled schedule numerically against the
   unfused reference and report the max error.
@@ -113,6 +115,54 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Compile a workload with tracing on; print the per-phase breakdown
+    (the same span data the Table 4 benchmark consumes) and optionally
+    export Chrome trace_event JSON for chrome://tracing / Perfetto."""
+    from .bench.compile_time import compile_breakdown_from_trace
+    from .obs import (
+        Tracer,
+        phase_table,
+        render_phase_table,
+        use_tracer,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    gpu = get_gpu(args.gpu)
+    graph = WORKLOADS[args.workload]()
+    tracer = Tracer()
+    with use_tracer(tracer):
+        schedule, _stats = compile_for(graph, gpu)
+
+    breakdown = compile_breakdown_from_trace(tracer, schedule)
+    span_counts = {name: count for name, count, _total in
+                   phase_table(tracer, category="compile")}
+    rows = [(phase, span_counts.get(phase, 1), seconds)
+            for phase, seconds in
+            sorted(breakdown.items(), key=lambda kv: -kv[1])]
+    print(render_phase_table(
+        rows, title=f"compile breakdown: {args.workload} on {gpu.name} "
+                    f"(tuning accounted, analysis wall-clock)"))
+    total = sum(breakdown.values())
+    print(f"\ntotal compile time: {total:.3f}s "
+          f"({schedule.num_kernels} kernel(s))")
+    print("\n" + render_phase_table(
+        phase_table(tracer, category="compile"),
+        title="raw span totals (wall-clock, nested spans overlap)"))
+    if args.chrome_trace:
+        trace = write_chrome_trace(args.chrome_trace, tracer)
+        problems = validate_chrome_trace(trace)
+        if problems:
+            for p in problems:
+                print(f"INVALID chrome trace: {p}", file=sys.stderr)
+            return 1
+        print(f"\nchrome trace written to {args.chrome_trace} "
+              f"({len(trace['traceEvents'])} events) — load it in "
+              f"chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serving demo: fire concurrent clients at a FusionServer, verify
     every reply against the unfused reference, print the serve-stats
@@ -181,6 +231,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"on {gpu.name}: {wrong[0]} wrong answer(s)")
     print()
     print(server.stats_report())
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(metrics.to_prometheus())
+        print(f"\nprometheus metrics written to {args.metrics_out}")
     return 1 if wrong[0] else 0
 
 
@@ -243,6 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "(prints HIT/MISS)")
     p.set_defaults(fn=cmd_compile)
 
+    p = sub.add_parser("trace",
+                       help="compile under the tracer and print the "
+                            "per-phase breakdown")
+    _add_workload_arg(p)
+    p.add_argument("--chrome-trace", default=None, metavar="OUT.json",
+                   help="also export Chrome trace_event JSON "
+                        "(chrome://tracing / Perfetto)")
+    p.set_defaults(fn=cmd_trace)
+
     p = sub.add_parser("serve",
                        help="run the concurrent serving demo and print "
                             "its serve-stats report")
@@ -263,6 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "unfused reference when compilation misses it)")
     p.add_argument("--cache-dir", default=None,
                    help="persistent schedule cache directory")
+    p.add_argument("--metrics-out", default=None, metavar="OUT.prom",
+                   help="write a Prometheus text-format metrics dump "
+                        "after the demo drains")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("validate",

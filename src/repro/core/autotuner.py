@@ -2,9 +2,14 @@
 
 SpaceFusion evaluates every configuration in the (deliberately small)
 search space by timing test runs — the median of 100 runs after 20 warm-up
-runs — and abandons a configuration once its accumulated test time exceeds
-a proportion alpha (0.25 in the paper) of the current best configuration's
-total test time.
+runs — and abandons a *losing* configuration once its accumulated test
+time exceeds a proportion alpha (0.25 in the paper) of the current best
+configuration's total test time.  A configuration that is beating the
+incumbent is never cut short — the budget exists to stop spending runs on
+losers — so the eventual winner always completed (and was billed for) its
+full campaign.  An abandoned configuration is out of the running: it never
+finished its measurement campaign, so it cannot be selected as the winner,
+only billed for the test runs it did consume.
 
 Here the per-run time comes from the device cost model instead of silicon,
 and the tuner *accounts* the wall-clock the paper's procedure would have
@@ -63,7 +68,12 @@ def evaluate_search_space(
     for cfg in kernel.search_space:
         t = timing_fn(kernel, cfg)
         timings.append((cfg, t))
-        if best_cfg is None:
+        abandoned = False
+        if best_cfg is None or t < best_time:
+            # A configuration on track to beat the incumbent is never cut
+            # short: the early-quit rule exists to stop wasting test runs
+            # on losers, and a winner must complete (and be billed for)
+            # its full measurement campaign.
             runs = warmup_runs + measure_runs
         else:
             # Early quit: stop measuring once accumulated test time passes
@@ -72,12 +82,16 @@ def evaluate_search_space(
             if t * measure_runs > budget:
                 allowed = max(1, int(budget / t))
                 runs = min(warmup_runs + measure_runs, allowed)
-                if runs < warmup_runs + measure_runs:
+                abandoned = runs < warmup_runs + measure_runs
+                if abandoned:
                     quit_early += 1
             else:
                 runs = warmup_runs + measure_runs
         wall += runs * t
-        if t < best_time:
+        # An abandoned configuration never had its full measurement
+        # campaign, so per section 6.5 it cannot become the winner — it
+        # only contributes its truncated test runs to the wall-clock.
+        if not abandoned and t < best_time:
             best_time = t
             best_cfg = cfg
 

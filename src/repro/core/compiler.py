@@ -19,11 +19,11 @@ pre-wired convenience entry points.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..ir.graph import DataflowGraph
+from ..obs import get_tracer, timed_phase
 from ..ir.program import Subprogram, TensorProgram, partition_at_barriers
 from .autotuner import DEFAULT_ALPHA, TuneResult, pick_best, tune_kernel
 from .builder import build_smg
@@ -166,7 +166,12 @@ def schedule_single_op_kernels(graph: DataflowGraph, rc: ResourceConfig,
             apply_memory_plan(kernel)
         kernel.meta["efficiency"] = efficiency
         if timing_fn is not None and len(kernel.search_space) > 1:
-            tune_kernel(kernel, timing_fn)
+            with get_tracer().span("tuning", category="compile",
+                                   kernel=kernel.name) as sp:
+                res = tune_kernel(kernel, timing_fn)
+                sp.note(modeled_wall_s=res.tuning_wall_time,
+                        configs=res.configs_evaluated,
+                        quit_early=res.configs_quit_early)
         else:
             kernel.config = kernel.search_space[0] if kernel.search_space \
                 else ScheduleConfig(block=())
@@ -195,7 +200,9 @@ class SpaceFusionCompiler:
         """Compile one barrier-free graph into a kernel sequence."""
         stats = CompileStats()
         schedule = ProgramSchedule(name or graph.name)
-        self._compile_region(graph, schedule, stats)
+        with get_tracer().span("compile", category="compile",
+                               workload=schedule.name):
+            self._compile_region(graph, schedule, stats)
         stats.kernels = len(schedule.kernels)
         for kernel in schedule.kernels:
             self._record_pattern(kernel.exec_graph, kernel)
@@ -276,11 +283,11 @@ class SpaceFusionCompiler:
 
         # Partition state (section 5.2).
         stats.partition_rounds += 1
-        t0 = time.perf_counter()
-        candidates = partition_round(
-            graph, self._is_schedulable,
-            explore_candidates=self.options.explore_partition_candidates)
-        stats.add_phase("partitioning", time.perf_counter() - t0)
+        with timed_phase("partitioning", stats.add_phase,
+                         category="compile", graph=graph.name):
+            candidates = partition_round(
+                graph, self._is_schedulable,
+                explore_candidates=self.options.explore_partition_candidates)
 
         if not candidates:
             kernels = schedule_single_op_kernels(
@@ -306,29 +313,40 @@ class SpaceFusionCompiler:
         schedule.kernels.extend(best_kernels)
         return best_time
 
-    def _try_slice(self, graph: DataflowGraph,
-                   stats: CompileStats) -> SlicingResult:
+    def _try_slice(self, graph: DataflowGraph, stats: CompileStats,
+                   trace: bool = True) -> SlicingResult:
         try:
-            smg = build_smg(graph)
+            with timed_phase("smg_build", stats.add_phase,
+                             category="compile", enabled=trace,
+                             graph=graph.name):
+                smg = build_smg(graph)
         except SMGError as exc:
             raise CompileError(str(exc)) from exc
         result = resource_aware_slicing(smg, self.rc,
-                                        self.options.slicing_options())
+                                        self.options.slicing_options(),
+                                        trace=trace)
         for phase, seconds in result.phase_times.items():
             stats.add_phase(phase, seconds)
         return result
 
     def _is_schedulable(self, graph: DataflowGraph) -> bool:
+        # A probe, not a phase: its wall time lands in the enclosing
+        # ``partitioning`` accounting, so it must not emit its own spans.
         throwaway = CompileStats()
-        return self._try_slice(graph, throwaway).scheduled
+        return self._try_slice(graph, throwaway, trace=False).scheduled
 
     def _tune_candidates(self, candidates: list[KernelSchedule],
                          stats: CompileStats) -> TuneResult:
         results = []
         for kernel in candidates:
             if self.options.auto_tune:
-                res = tune_kernel(kernel, self.timing_fn,
-                                  alpha=self.options.alpha)
+                with get_tracer().span("tuning", category="compile",
+                                       kernel=kernel.name) as sp:
+                    res = tune_kernel(kernel, self.timing_fn,
+                                      alpha=self.options.alpha)
+                    sp.note(modeled_wall_s=res.tuning_wall_time,
+                            configs=res.configs_evaluated,
+                            quit_early=res.configs_quit_early)
                 stats.tuning_wall_time += res.tuning_wall_time
                 stats.configs_evaluated += res.configs_evaluated
                 stats.configs_quit_early += res.configs_quit_early

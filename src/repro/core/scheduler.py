@@ -16,9 +16,9 @@ Given an SMG and a hardware resource configuration, the algorithm:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from ..obs import timed_phase
 from .memory_planner import apply_memory_plan
 from .resources import ResourceConfig, enumerate_configs
 from .schedule import KernelSchedule, ScheduleConfig
@@ -70,7 +70,8 @@ class SlicingResult:
 
 def resource_aware_slicing(smg: SMG, rc: ResourceConfig,
                            options: SlicingOptions | None = None,
-                           name: str | None = None) -> SlicingResult:
+                           name: str | None = None,
+                           trace: bool = True) -> SlicingResult:
     """Run Algorithm 1 on one SMG.
 
     Returns a :class:`SlicingResult`; ``scheduled`` is False exactly when
@@ -81,9 +82,9 @@ def resource_aware_slicing(smg: SMG, rc: ResourceConfig,
     result = SlicingResult()
     kernel_name = name or smg.name
 
-    t0 = time.perf_counter()
-    spatial = slice_spatial(smg)
-    result.add_time("spatial_slice", time.perf_counter() - t0)
+    with timed_phase("spatial_slice", result.add_time, category="compile",
+                     enabled=trace, smg=smg.name):
+        spatial = slice_spatial(smg)
     if spatial.empty:
         return result  # not parallelisable -> partition state
 
@@ -92,41 +93,46 @@ def resource_aware_slicing(smg: SMG, rc: ResourceConfig,
         name=f"{kernel_name}", smg=smg, spatial_dims=spatial.dims,
         meta={"slicing": "spatial"},
     )
-    t0 = time.perf_counter()
-    ss_cfgs = enumerate_configs(ss_kernel, rc, options.max_configs)
-    result.add_time("enum_cfg", time.perf_counter() - t0)
+    with timed_phase("enum_cfg", result.add_time, category="compile",
+                     enabled=trace, smg=smg.name):
+        ss_cfgs = enumerate_configs(ss_kernel, rc, options.max_configs)
     if ss_cfgs:
         ss_kernel.search_space = ss_cfgs
-        apply_memory_plan(ss_kernel)
+        with timed_phase("memory_plan", result.add_time,
+                         category="compile", enabled=trace, smg=smg.name):
+            apply_memory_plan(ss_kernel)
         result.candidates.append(ss_kernel)
 
     # Temporal slicing on the highest-priority remaining dimension
     # (lines 9-14) — attempted whether or not spatial slicing fit.
     if options.enable_temporal:
         excluded = set(spatial.dims)
-        t0 = time.perf_counter()
         plan: AggregationPlan | None = None
-        for dim in temporal_dim_candidates(smg, excluded):
-            try:
-                plan = plan_temporal_slice(smg, dim)
-            except TemporalSliceError:
-                continue
-            if plan.uses_uta and not options.enable_uta:
-                plan = None
-                continue
-            break  # only the highest-priority feasible dimension is sliced
-        result.add_time("temporal_slice", time.perf_counter() - t0)
+        with timed_phase("temporal_slice", result.add_time,
+                         category="compile", enabled=trace, smg=smg.name):
+            for dim in temporal_dim_candidates(smg, excluded):
+                try:
+                    plan = plan_temporal_slice(smg, dim)
+                except TemporalSliceError:
+                    continue
+                if plan.uses_uta and not options.enable_uta:
+                    plan = None
+                    continue
+                break  # only the highest-priority feasible dim is sliced
         if plan is not None:
             ts_kernel = KernelSchedule(
                 name=f"{kernel_name}", smg=smg, spatial_dims=spatial.dims,
                 plan=plan, meta={"slicing": "spatial+temporal"},
             )
-            t0 = time.perf_counter()
-            ts_cfgs = enumerate_configs(ts_kernel, rc, options.max_configs)
-            result.add_time("enum_cfg", time.perf_counter() - t0)
+            with timed_phase("enum_cfg", result.add_time,
+                             category="compile", enabled=trace, smg=smg.name):
+                ts_cfgs = enumerate_configs(ts_kernel, rc,
+                                            options.max_configs)
             if ts_cfgs:
                 ts_kernel.search_space = ts_cfgs
-                apply_memory_plan(ts_kernel)
+                with timed_phase("memory_plan", result.add_time,
+                                 category="compile", enabled=trace, smg=smg.name):
+                    apply_memory_plan(ts_kernel)
                 result.candidates.append(ts_kernel)
 
     return result

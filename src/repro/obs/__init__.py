@@ -1,0 +1,59 @@
+"""repro.obs — structured observability for the compiler and the server.
+
+Where the compile time goes is a first-class result of the paper (Tables
+4/5: the tuning campaign dominates, the analysis is milliseconds), and
+the serving subsystem lives or dies by its latency distribution — this
+package makes both observable:
+
+* :class:`Tracer` / :class:`Span` — context-manager spans with per-thread
+  nesting and a thread-safe collector; the ambient tracer defaults to
+  :data:`NULL_TRACER`, so instrumentation costs nothing until enabled;
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — Chrome
+  ``trace_event`` JSON for ``chrome://tracing`` / Perfetto
+  (schema-checked by :func:`validate_chrome_trace`);
+* :func:`phase_table` / :func:`render_phase_table` — the flat per-phase
+  breakdown behind ``repro trace`` and the Table 4 benchmark.
+
+Latency histograms and the Prometheus text dump live with the serving
+metrics (:class:`repro.serve.ServeMetrics`), which the trace spans
+complement rather than replace.
+"""
+
+from .export import (
+    phase_table,
+    render_phase_table,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    event,
+    get_tracer,
+    set_tracer,
+    span,
+    timed_phase,
+    use_tracer,
+)
+from .validate import TraceValidationError, validate_chrome_trace
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceValidationError",
+    "Tracer",
+    "event",
+    "get_tracer",
+    "phase_table",
+    "render_phase_table",
+    "set_tracer",
+    "span",
+    "timed_phase",
+    "to_chrome_trace",
+    "use_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,117 @@
+"""Exporters for collected spans.
+
+Two views of the same span data:
+
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` JSON format
+  (object form, ``{"traceEvents": [...]}``), loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev.  Completed spans
+  become complete ("X") events; instantaneous events become instant
+  ("i") events; thread names are attached as metadata ("M") events.
+* :func:`phase_table` / :func:`render_phase_table` — a flat per-phase
+  aggregation (count, total seconds, share) for terminal output; the
+  ``repro trace`` command prints it and the Table 4 benchmark derives
+  its compile-time breakdown from the same spans.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .tracer import Span, Tracer
+
+__all__ = [
+    "phase_table",
+    "render_phase_table",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _span_list(tracer_or_spans: Tracer | Iterable[Span]) -> list[Span]:
+    if hasattr(tracer_or_spans, "spans"):
+        return tracer_or_spans.spans()
+    return list(tracer_or_spans)
+
+
+def to_chrome_trace(tracer_or_spans: Tracer | Iterable[Span],
+                    pid: int = 1) -> dict:
+    """Render spans as a Chrome ``trace_event`` JSON object.
+
+    Timestamps are microseconds rebased to the earliest span start, per
+    the format's convention that only deltas are meaningful.
+    """
+    spans = _span_list(tracer_or_spans)
+    base = min((sp.start_s for sp in spans), default=0.0)
+    thread_names: dict[int, str] = {}
+    events: list[dict] = []
+    for sp in sorted(spans, key=lambda s: (s.start_s, s.span_id)):
+        thread_names.setdefault(sp.thread_id, sp.thread_name)
+        args = {k: _json_safe(v) for k, v in sp.attrs.items()}
+        ts = (sp.start_s - base) * 1e6
+        if sp.end_s is not None and sp.end_s == sp.start_s:
+            events.append({"name": sp.name, "cat": sp.category, "ph": "i",
+                           "ts": ts, "pid": pid, "tid": sp.thread_id,
+                           "s": "t", "args": args})
+        else:
+            events.append({"name": sp.name, "cat": sp.category, "ph": "X",
+                           "ts": ts, "dur": max(sp.duration_s, 0.0) * 1e6,
+                           "pid": pid, "tid": sp.thread_id, "args": args})
+    metadata = [
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+         "args": {"name": name}}
+        for tid, name in sorted(thread_names.items())
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracer_or_spans: Tracer | Iterable[Span],
+                       pid: int = 1) -> dict:
+    """Write the Chrome trace JSON to ``path``; returns the object."""
+    trace = to_chrome_trace(tracer_or_spans, pid=pid)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=1)
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Flat per-phase table
+# ----------------------------------------------------------------------
+
+def phase_table(tracer_or_spans: Tracer | Iterable[Span],
+                category: str | None = None,
+                ) -> list[tuple[str, int, float]]:
+    """Aggregate spans into ``(name, count, total_seconds)`` rows.
+
+    Rows are sorted by total duration, largest first.  Nested spans each
+    contribute their full duration, so filter by ``category`` (or pick
+    leaf names) when summing across rows.
+    """
+    counts: dict[str, int] = {}
+    totals: dict[str, float] = {}
+    for sp in _span_list(tracer_or_spans):
+        if category is not None and sp.category != category:
+            continue
+        counts[sp.name] = counts.get(sp.name, 0) + 1
+        totals[sp.name] = totals.get(sp.name, 0.0) + sp.duration_s
+    return sorted(((name, counts[name], totals[name]) for name in counts),
+                  key=lambda row: -row[2])
+
+
+def render_phase_table(rows: list[tuple[str, int, float]],
+                       title: str = "phase timings") -> str:
+    """Format :func:`phase_table` rows (or any ``name, count, seconds``
+    triples — the ``repro trace`` breakdown reuses this) as text."""
+    grand = sum(r[2] for r in rows) or 1.0
+    lines = [title, "=" * len(title),
+             f"{'phase':<20} {'count':>5} {'total':>12} {'share':>7}"]
+    for name, count, total in rows:
+        lines.append(f"{name:<20} {count:>5} {total:>11.6f}s "
+                     f"{100.0 * total / grand:>6.1f}%")
+    return "\n".join(lines)

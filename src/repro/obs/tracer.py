@@ -1,0 +1,263 @@
+"""Structured tracing: nested spans, a thread-safe collector, zero-cost off.
+
+The compile pipeline (Figure 9: partition -> SMG build -> slicing ->
+tuning -> memory planning -> codegen) and the serving path both report
+into one ambient :class:`Tracer`.  A span is a named, timed region opened
+with a context manager; spans nest per thread (the enclosing span becomes
+the parent), and any number of threads can record concurrently — the
+collector serialises appends under one lock while the per-thread nesting
+stacks stay lock-free.
+
+Tracing is **off by default**: the ambient tracer is :data:`NULL_TRACER`,
+whose ``span()`` returns a shared no-op handle — no allocation, no lock,
+no clock read — so instrumented code pays nothing until an operator
+installs a real tracer (``repro trace`` does, tests use
+:func:`use_tracer`).
+
+Durations use ``time.perf_counter`` throughout; exporters
+(:mod:`repro.obs.export`) rebase timestamps so only deltas matter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "event",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "timed_phase",
+    "use_tracer",
+]
+
+
+@dataclass
+class Span:
+    """One timed region (or instantaneous event when ``end_s == start_s``)."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    thread_id: int
+    thread_name: str
+    start_s: float
+    end_s: float | None = None
+    category: str = "phase"
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0 if self.end_s is None else self.end_s - self.start_s
+
+    def note(self, **attrs) -> None:
+        """Attach attributes to this span (visible in every exporter)."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """Shared no-op span handle: the entire cost of disabled tracing."""
+
+    __slots__ = ()
+
+    def note(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op returning empty data."""
+
+    enabled = False
+
+    def span(self, name: str, category: str = "phase", **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, category: str = "event", **attrs) -> None:
+        pass
+
+    def spans(self) -> list[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def phase_totals(self, category: str | None = None) -> dict[str, float]:
+        return {}
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects completed spans from any number of threads."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._ids = itertools.count(1)
+        self._tls = threading.local()
+        #: Wall-clock epoch paired with the perf_counter origin, so
+        #: exporters can stamp absolute times if they want to.
+        self.created_at = time.time()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _new_span(self, name: str, category: str, attrs: dict) -> Span:
+        thread = threading.current_thread()
+        stack = self._stack()
+        return Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=stack[-1].span_id if stack else None,
+            thread_id=thread.ident or 0,
+            thread_name=thread.name,
+            start_s=time.perf_counter(),
+            category=category,
+            attrs=dict(attrs),
+        )
+
+    @contextmanager
+    def span(self, name: str, category: str = "phase", **attrs):
+        """Open a nested span; it is collected when the block exits."""
+        sp = self._new_span(name, category, attrs)
+        stack = self._stack()
+        stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.end_s = time.perf_counter()
+            stack.pop()
+            with self._lock:
+                self._spans.append(sp)
+
+    def event(self, name: str, category: str = "event", **attrs) -> None:
+        """Record an instantaneous event at the current nesting level."""
+        sp = self._new_span(name, category, attrs)
+        sp.end_s = sp.start_s
+        with self._lock:
+            self._spans.append(sp)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Snapshot of every *completed* span, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def phase_totals(self, category: str | None = None) -> dict[str, float]:
+        """Total duration per span name (optionally one category only).
+
+        Nested spans each contribute their own full duration; pick leaf
+        phase names (as the compile breakdown does) to avoid double
+        counting a parent and its children.
+        """
+        totals: dict[str, float] = {}
+        for sp in self.spans():
+            if category is not None and sp.category != category:
+                continue
+            totals[sp.name] = totals.get(sp.name, 0.0) + sp.duration_s
+        return totals
+
+
+# ----------------------------------------------------------------------
+# The ambient tracer
+# ----------------------------------------------------------------------
+
+_current: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The tracer instrumented code reports to (NULL_TRACER by default)."""
+    return _current
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` ambiently (``None`` restores the null tracer)."""
+    global _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return _current
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer):
+    """Scope ``tracer`` as the ambient tracer, restoring the previous one.
+
+    The ambient tracer is process-global (worker threads spawned inside
+    the scope report to it too); scoping concurrent *different* tracers
+    from multiple threads is not supported.
+    """
+    global _current
+    previous = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = previous
+
+
+def span(name: str, category: str = "phase", **attrs):
+    """Open a span on the ambient tracer (no-op when tracing is off)."""
+    return _current.span(name, category=category, **attrs)
+
+
+def event(name: str, category: str = "event", **attrs) -> None:
+    """Record an instantaneous event on the ambient tracer."""
+    _current.event(name, category=category, **attrs)
+
+
+@contextmanager
+def timed_phase(name: str, record=None, category: str = "phase",
+                enabled: bool = True, **attrs):
+    """Span *and* wall-clock accounting in one context manager.
+
+    ``record(name, seconds)`` is always called (even with tracing off and
+    even when the block raises), so compile phases keep feeding
+    ``CompileStats.phase_times`` / ``SlicingResult.add_time`` from the
+    same timer that produces the span.  ``enabled=False`` keeps the
+    timing but skips the span — used for schedulability *probes*, whose
+    work is already covered by the enclosing ``partitioning`` span and
+    would otherwise double-count in the phase breakdown.
+    """
+    t0 = time.perf_counter()
+    try:
+        if enabled:
+            with _current.span(name, category=category, **attrs):
+                yield
+        else:
+            yield
+    finally:
+        if record is not None:
+            record(name, time.perf_counter() - t0)

@@ -1,0 +1,95 @@
+"""Chrome ``trace_event`` JSON schema validation.
+
+CI runs ``repro trace`` on a tiny workload and pipes the emitted file
+through this module (``python -m repro.obs.validate out.json``) to catch
+exporter regressions before anyone loads a broken trace into Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+__all__ = ["TraceValidationError", "validate_chrome_trace"]
+
+#: Event phases the exporter may emit (complete, instant, metadata, plus
+#: the begin/end pair for forward compatibility with streaming export).
+_ALLOWED_PHASES = {"X", "i", "M", "B", "E"}
+
+
+class TraceValidationError(ValueError):
+    """Raised by :func:`validate_chrome_trace` when strict and invalid."""
+
+
+def validate_chrome_trace(trace, strict: bool = False) -> list[str]:
+    """Check ``trace`` against the trace_event object format.
+
+    Returns the list of problems found (empty means valid).  With
+    ``strict=True`` the first problem raises :class:`TraceValidationError`
+    instead.
+    """
+    problems: list[str] = []
+
+    def problem(msg: str) -> None:
+        if strict:
+            raise TraceValidationError(msg)
+        problems.append(msg)
+
+    if not isinstance(trace, dict):
+        problem(f"top level must be an object, got {type(trace).__name__}")
+        return problems
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        problem("'traceEvents' must be a list")
+        return problems
+    if not events:
+        problem("'traceEvents' is empty")
+
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problem(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _ALLOWED_PHASES:
+            problem(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problem(f"{where}: missing event name")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problem(f"{where}: {key!r} must be an integer")
+        if ph == "M":
+            continue                    # metadata events carry no timestamp
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problem(f"{where}: 'ts' must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problem(f"{where}: 'dur' must be a non-negative number")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problem(f"{where}: 'args' must be an object")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate <trace.json>",
+              file=sys.stderr)
+        return 2
+    with open(argv[0], encoding="utf-8") as fh:
+        trace = json.load(fh)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}", file=sys.stderr)
+        return 1
+    n = len(trace["traceEvents"])
+    print(f"OK: {argv[0]} is valid trace_event JSON ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

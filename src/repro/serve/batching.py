@@ -14,7 +14,7 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -78,13 +78,20 @@ class Request:
 
 
 class RequestQueue:
-    """FIFO of requests with key-aware extraction under one condition."""
+    """FIFO of requests with key-aware extraction under one condition.
 
-    def __init__(self) -> None:
+    ``on_expired`` (optional) is called — with the queue lock held, after
+    the request has been failed with :class:`TimeoutError` — for every
+    request whose deadline passed before it could be dispatched.
+    """
+
+    def __init__(self, on_expired: Callable[[Request], None] | None = None,
+                 ) -> None:
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._items: list[Request] = []
         self._closed = False
+        self._on_expired = on_expired
 
     def put(self, request: Request) -> int:
         """Enqueue; returns the queue depth *after* insertion."""
@@ -93,7 +100,10 @@ class RequestQueue:
                 raise RuntimeError("queue is closed")
             self._items.append(request)
             depth = len(self._items)
-            self._cond.notify()
+            # notify_all, not notify: a single wake-up could land on a
+            # coalescing worker whose batch key doesn't match while an
+            # idle worker (who could dispatch this request) sleeps on.
+            self._cond.notify_all()
             return depth
 
     def close(self) -> None:
@@ -116,34 +126,63 @@ class RequestQueue:
     # Batch extraction
     # ------------------------------------------------------------------
 
+    def _expire(self, request: Request) -> None:
+        """Fail a request whose deadline passed while it sat queued."""
+        request.fail(TimeoutError(
+            f"request {request.seq} for {request.workload!r} expired "
+            f"after {request.timeout_s:.3g}s before dispatch"))
+        if self._on_expired is not None:
+            self._on_expired(request)
+
+    def _pop_live(self, key: tuple | None = None) -> Request | None:
+        """Pop the oldest non-expired request (same-``key`` only if given).
+
+        Expired requests encountered during the scan are failed and
+        dropped so a dead deadline is never dispatched.  Caller must hold
+        the lock.
+        """
+        i = 0
+        while i < len(self._items):
+            req = self._items[i]
+            remaining = req.remaining()
+            if remaining is not None and remaining <= 0:
+                del self._items[i]
+                self._expire(req)
+                continue
+            if key is None or req.key == key:
+                del self._items[i]
+                return req
+            i += 1
+        return None
+
     def take_batch(self, max_batch: int, max_wait_s: float,
-                   poll_s: float = 0.0005) -> list[Request]:
+                   ) -> list[Request]:
         """Dequeue one dynamic batch (empty list once closed and drained).
 
-        Blocks for the first request; then keeps absorbing requests with
-        the same batch key until the batch is full or ``max_wait_s`` has
-        elapsed since the batch opened.
+        Blocks on the condition for the first live request — requests
+        whose deadline already passed are failed with ``TimeoutError`` at
+        dequeue, never dispatched — then keeps absorbing same-key
+        requests until the batch is full or ``max_wait_s`` has elapsed
+        since the batch opened.  All waiting happens in
+        ``Condition.wait``: enqueues wake coalescers immediately and idle
+        workers burn no CPU.
         """
         with self._cond:
-            while not self._items and not self._closed:
+            head = self._pop_live()
+            while head is None:
+                if self._closed:
+                    return []
                 self._cond.wait()
-            if not self._items:
-                return []
-            head = self._items.pop(0)
-        batch = [head]
-        deadline = time.monotonic() + max_wait_s
-        while len(batch) < max_batch:
-            with self._cond:
-                matched = None
-                for i, req in enumerate(self._items):
-                    if req.key == head.key:
-                        matched = self._items.pop(i)
-                        break
-                closed = self._closed
-            if matched is not None:
-                batch.append(matched)
-                continue
-            if closed or time.monotonic() >= deadline:
-                break
-            time.sleep(poll_s)
+                head = self._pop_live()
+            batch = [head]
+            deadline = time.monotonic() + max_wait_s
+            while len(batch) < max_batch and not self._closed:
+                matched = self._pop_live(key=head.key)
+                if matched is not None:
+                    batch.append(matched)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
         return batch

@@ -18,9 +18,26 @@ from typing import Callable
 from ..core.schedule import ProgramSchedule
 from ..core.serialize import ScheduleCache, cache_key
 from ..ir.graph import DataflowGraph
+from ..obs import span as obs_span
 from .metrics import ServeMetrics
 
 CompileFn = Callable[[], ProgramSchedule]
+
+
+class _Flight:
+    """Per-key single-flight state: a lock plus a waiter refcount.
+
+    The refcount lets the *last* thread through drop the registry entry —
+    without it, one lock per unique key would leak forever; dropping the
+    entry eagerly instead would let a late waiter race a fresh lock while
+    the original holders still serialize on the old one.
+    """
+
+    __slots__ = ("lock", "waiters")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.waiters = 0
 
 
 class TieredScheduleCache:
@@ -36,7 +53,7 @@ class TieredScheduleCache:
         self.metrics = metrics or ServeMetrics()
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, ProgramSchedule]" = OrderedDict()
-        self._inflight: dict[str, threading.Lock] = {}
+        self._inflight: dict[str, _Flight] = {}
 
     # ------------------------------------------------------------------
     # Key derivation (matches ScheduleCache's on-disk key inputs)
@@ -85,33 +102,61 @@ class TieredScheduleCache:
         into every tier above it.
         """
         key = self.key_for(graph, gpu_name, options_repr)
-        sched = self._memory_get(key)
-        if sched is not None:
-            self.metrics.inc("cache.memory_hits")
-            return sched
-
-        # Single-flight: one compile (or disk load) per key at a time.
-        with self._lock:
-            flight = self._inflight.setdefault(key, threading.Lock())
-        with flight:
+        with obs_span("cache_lookup", category="serve",
+                      workload=graph.name) as sp:
             sched = self._memory_get(key)
-            if sched is not None:       # raced: the winner already filled it
+            if sched is not None:
                 self.metrics.inc("cache.memory_hits")
+                sp.note(tier="memory")
                 return sched
-            if self.disk is not None:
-                sched = self.disk.get(graph, gpu_name, options_repr)
-                if sched is not None:
-                    self.metrics.inc("cache.disk_hits")
-                    self._memory_put(key, sched)
-                    return sched
-            self.metrics.inc("cache.compile_misses")
-            t0 = time.perf_counter()
-            sched = compile_fn()
-            self.metrics.observe_compile(time.perf_counter() - t0)
-            if self.disk is not None:
-                self.disk.put(graph, gpu_name, sched, options_repr)
-            self._memory_put(key, sched)
+
+            # Single-flight: one compile (or disk load) per key at a time.
+            with self._lock:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = self._inflight[key] = _Flight()
+                flight.waiters += 1
+            try:
+                with flight.lock:
+                    return self._resolve_cold(key, graph, gpu_name,
+                                              compile_fn, options_repr, sp)
+            finally:
+                with self._lock:
+                    flight.waiters -= 1
+                    if (flight.waiters == 0
+                            and self._inflight.get(key) is flight):
+                        del self._inflight[key]
+
+    def _resolve_cold(self, key: str, graph: DataflowGraph, gpu_name: str,
+                      compile_fn: CompileFn, options_repr: str,
+                      sp) -> ProgramSchedule:
+        """Resolve a memory miss while holding the key's flight lock."""
+        sched = self._memory_get(key)
+        if sched is not None:           # raced: the winner already filled it
+            self.metrics.inc("cache.memory_hits")
+            sp.note(tier="memory")
             return sched
+        if self.disk is not None:
+            sched = self.disk.get(graph, gpu_name, options_repr)
+            if sched is not None:
+                self.metrics.inc("cache.disk_hits")
+                sp.note(tier="disk")
+                self._memory_put(key, sched)
+                return sched
+        self.metrics.inc("cache.compile_misses")
+        sp.note(tier="compile")
+        t0 = time.perf_counter()
+        sched = compile_fn()
+        self.metrics.observe_compile(time.perf_counter() - t0)
+        if self.disk is not None:
+            self.disk.put(graph, gpu_name, sched, options_repr)
+        self._memory_put(key, sched)
+        return sched
+
+    def inflight_keys(self) -> int:
+        """Live single-flight registry size (0 whenever nothing compiles)."""
+        with self._lock:
+            return len(self._inflight)
 
     def stats(self) -> dict[str, int]:
         m = self.metrics
@@ -121,4 +166,5 @@ class TieredScheduleCache:
             "compile_misses": m.get("cache.compile_misses"),
             "memory_evictions": m.get("cache.memory_evictions"),
             "resident": len(self),
+            "inflight": self.inflight_keys(),
         }

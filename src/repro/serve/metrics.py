@@ -79,8 +79,16 @@ class ServeMetrics:
         self.counters: dict[str, int] = {}
         self.request_latency = Histogram()
         self.compile_latency = Histogram()
+        self.queue_wait = Histogram()
         self.batch_sizes = Histogram(buckets=(1, 2, 4, 8, 16, 32, 64))
         self.queue_depths = Histogram(buckets=(0, 1, 2, 4, 8, 16, 32, 64))
+
+    def _histograms(self) -> tuple[tuple[str, Histogram], ...]:
+        return (("request_latency", self.request_latency),
+                ("compile_latency", self.compile_latency),
+                ("queue_wait", self.queue_wait),
+                ("batch_size", self.batch_sizes),
+                ("queue_depth", self.queue_depths))
 
     # ------------------------------------------------------------------
     # Recording
@@ -114,6 +122,10 @@ class ServeMetrics:
         with self._lock:
             self.queue_depths.observe(depth)
 
+    def observe_queue_wait(self, wait_s: float) -> None:
+        with self._lock:
+            self.queue_wait.observe(wait_s)
+
     def record_fallback(self, reason: str) -> None:
         with self._lock:
             self.counters["fallbacks"] = self.counters.get("fallbacks", 0) + 1
@@ -128,13 +140,11 @@ class ServeMetrics:
         """Point-in-time copy of every counter plus histogram summaries."""
         with self._lock:
             snap = dict(self.counters)
-            for name, hist in (("request_latency", self.request_latency),
-                               ("compile_latency", self.compile_latency),
-                               ("batch_size", self.batch_sizes),
-                               ("queue_depth", self.queue_depths)):
+            for name, hist in self._histograms():
                 snap[f"{name}.count"] = hist.samples
                 snap[f"{name}.mean"] = hist.mean
                 snap[f"{name}.p50"] = hist.quantile(0.50)
+                snap[f"{name}.p95"] = hist.quantile(0.95)
                 snap[f"{name}.p99"] = hist.quantile(0.99)
                 snap[f"{name}.max"] = hist.max_seen
             return snap
@@ -142,19 +152,22 @@ class ServeMetrics:
     def render_report(self) -> str:
         """Human-readable serve-stats report (the `repro serve` epilogue)."""
         snap = self.snapshot()
+        counter_keys = sorted(
+            k for k in snap
+            if isinstance(snap[k], int)
+            and ("." not in k
+                 or k.startswith(("fallbacks.", "requests.", "cache."))))
         lines = ["serve-stats", "==========="]
         lines.append("counters:")
-        for name in sorted(k for k in snap
-                           if isinstance(snap[k], int) and "." not in k):
+        for name in counter_keys:
             lines.append(f"  {name:<24} {snap[name]}")
-        for key in (k for k in sorted(snap) if k.startswith("fallbacks.")):
-            lines.append(f"  {key:<24} {snap[key]}")
         lines.append("latency (seconds):")
-        for name in ("request_latency", "compile_latency"):
+        for name in ("request_latency", "compile_latency", "queue_wait"):
             lines.append(
                 f"  {name:<16} n={snap[f'{name}.count']:<5} "
                 f"mean={snap[f'{name}.mean']:.6f} "
                 f"p50<={snap[f'{name}.p50']:.6f} "
+                f"p95<={snap[f'{name}.p95']:.6f} "
                 f"p99<={snap[f'{name}.p99']:.6f} "
                 f"max={snap[f'{name}.max']:.6f}")
         lines.append("distributions:")
@@ -164,3 +177,38 @@ class ServeMetrics:
                 f"mean={snap[f'{name}.mean']:.2f} "
                 f"p50<={snap[f'{name}.p50']:g} max={snap[f'{name}.max']:g}")
         return "\n".join(lines)
+
+    #: ``report()`` is the documented operator entry point; ``render_report``
+    #: remains for callers from before the observability layer.
+    report = render_report
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text-exposition dump of every counter and histogram.
+
+        Counter names are sanitised (dots become underscores); histograms
+        follow the convention of cumulative ``_bucket{le=...}`` series
+        plus ``_sum`` and ``_count``.
+        """
+        def sanitize(name: str) -> str:
+            return "".join(c if c.isalnum() or c == "_" else "_"
+                           for c in name)
+
+        lines: list[str] = []
+        with self._lock:
+            for name in sorted(self.counters):
+                metric = f"{prefix}_{sanitize(name)}"
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {self.counters[name]}")
+            for name, hist in self._histograms():
+                metric = f"{prefix}_{sanitize(name)}"
+                lines.append(f"# TYPE {metric} histogram")
+                cumulative = 0
+                for bound, count in zip(hist.buckets, hist.counts):
+                    cumulative += count
+                    lines.append(
+                        f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+                cumulative += hist.counts[-1]
+                lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{metric}_sum {hist.total:g}")
+                lines.append(f"{metric}_count {hist.samples}")
+        return "\n".join(lines) + "\n"

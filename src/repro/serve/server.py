@@ -12,9 +12,11 @@ every downgrade is visible in the metrics report.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
+from ..obs import span as obs_span
 from .batching import Request, RequestQueue
 from .metrics import ServeMetrics
 from .session import InferenceSession, SessionReply
@@ -38,7 +40,7 @@ class FusionServer:
         self.max_wait_s = max_wait_ms / 1e3
         self.num_workers = max(1, workers)
         self.metrics = metrics or ServeMetrics()
-        self.queue = RequestQueue()
+        self.queue = RequestQueue(on_expired=self._on_expired)
         self._threads: list[threading.Thread] = []
         self._started = False
         self._stopped = False
@@ -82,17 +84,25 @@ class FusionServer:
 
         With ``drain=True`` (default) queued requests are still answered;
         with ``drain=False`` pending requests are failed immediately.
+        Either way nothing is left unanswered: any request still queued
+        after the workers exit (a submit racing the drain, or a server
+        that was never started and so has no workers) is failed too, so
+        no client can block forever in ``Request.result()``.
         """
         if self._stopped:
             return
         self._stopped = True
         if not drain:
-            for req in self.queue.drain_pending():
-                req.fail(ServerError("server stopped before dispatch"))
+            self._fail_pending()
         self.queue.close()
         for t in self._threads:
             t.join(timeout=30.0)
         self._threads.clear()
+        self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        for req in self.queue.drain_pending():
+            req.fail(ServerError("server stopped before dispatch"))
 
     def __enter__(self) -> "FusionServer":
         return self.start()
@@ -124,9 +134,16 @@ class FusionServer:
     # Worker side
     # ------------------------------------------------------------------
 
+    def _on_expired(self, request: Request) -> None:
+        """Queue callback: a deadline passed before dispatch."""
+        self.metrics.inc("requests.expired")
+
     def _worker_loop(self) -> None:
         while True:
-            batch = self.queue.take_batch(self.max_batch, self.max_wait_s)
+            with obs_span("batch_assembly", category="serve") as asp:
+                batch = self.queue.take_batch(self.max_batch,
+                                              self.max_wait_s)
+                asp.note(batch=len(batch))
             if not batch:
                 return  # queue closed and drained
             self.metrics.observe_batch(len(batch))
@@ -136,13 +153,20 @@ class FusionServer:
 
     def _answer(self, session: InferenceSession | None,
                 request: Request) -> None:
+        queue_wait_s = time.monotonic() - request.enqueued_at
+        self.metrics.observe_queue_wait(queue_wait_s)
         if session is None:
             request.fail(ServerError(
                 f"workload {request.workload!r} was unregistered"))
             return
         try:
-            reply = session.execute(request.feeds,
-                                    timeout=request.remaining())
+            with obs_span("request", category="serve",
+                          workload=request.workload,
+                          seq=request.seq) as sp:
+                sp.note(queue_wait_s=queue_wait_s)
+                reply = session.execute(request.feeds,
+                                        timeout=request.remaining())
+                sp.note(degraded=reply.degraded, reason=reply.reason)
             request.resolve(reply)
         except Exception as exc:  # noqa: BLE001 — surface to the client
             self.metrics.inc("request_errors")

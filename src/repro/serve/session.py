@@ -29,6 +29,7 @@ from ..core.compiler import FusionOptions
 from ..core.schedule import ProgramSchedule
 from ..hw.specs import GPUSpec
 from ..ir.graph import DataflowGraph
+from ..obs import span as obs_span
 from ..runtime.kernels import execute_graph_reference
 from .cache import TieredScheduleCache
 from .metrics import ServeMetrics
@@ -109,10 +110,14 @@ class InferenceSession:
 
     def _compile_once(self) -> None:
         try:
-            schedule = self.cache.get_or_compile(
-                self.graph, self.gpu.name, self._compile_fn,
-                self._options_repr())
-            kernels = compile_program_to_python(schedule)
+            with obs_span("session_compile", category="compile",
+                          workload=self.graph.name, gpu=self.gpu.name):
+                schedule = self.cache.get_or_compile(
+                    self.graph, self.gpu.name, self._compile_fn,
+                    self._options_repr())
+            with obs_span("codegen", category="compile",
+                          workload=self.graph.name):
+                kernels = compile_program_to_python(schedule)
             self.schedule = schedule
             self.kernels = kernels
             self._state = READY
@@ -169,13 +174,17 @@ class InferenceSession:
         """Answer one request; degrade to the reference path when needed."""
         t0 = time.perf_counter()
         degraded_reason: str | None = None
-        if self.ensure_compiled(timeout):
-            outputs = self._execute_fused(feeds)
-        else:
-            degraded_reason = ("compile_failed" if self._state == FAILED
-                               else "compile_timeout")
-            self.metrics.record_fallback(degraded_reason)
-            outputs = self._execute_reference(feeds)
+        with obs_span("execute", category="serve",
+                      workload=self.graph.name) as sp:
+            if self.ensure_compiled(timeout):
+                outputs = self._execute_fused(feeds)
+            else:
+                degraded_reason = ("compile_failed" if self._state == FAILED
+                                   else "compile_timeout")
+                self.metrics.record_fallback(degraded_reason)
+                outputs = self._execute_reference(feeds)
+            sp.note(degraded=degraded_reason is not None,
+                    reason=degraded_reason)
         latency = time.perf_counter() - t0
         with self._count_lock:
             self._requests += 1

@@ -73,13 +73,23 @@ class TestAlphaZero:
         assert res.best_config == kernel.search_space[0]
 
     def test_alpha_zero_still_finds_later_better_config(self, small_mha):
+        """Regression (section 6.5): a config beating the incumbent is
+        never cut short — even a zero budget only trims losers.  The old
+        rule abandoned the faster config mid-campaign yet still crowned
+        it, leaving quit_early and the wall-clock inconsistent with the
+        winner having been measured in full.
+        """
         kernel = _kernel(small_mha, 3)
         times = dict(zip(kernel.search_space, (2.0, 3.0, 0.5)))
         res = tune_kernel(kernel, lambda k, c: times[c], alpha=0.0)
-        # Early-quit shortens the campaign but never skips the timing, so
-        # the fastest config is still selected.
         assert res.best_config == kernel.search_space[2]
         assert res.best_time == 0.5
+        # Only the slower middle config is abandoned (one token run);
+        # the winner pays its full campaign.
+        assert res.configs_quit_early == 1
+        assert res.tuning_wall_time == pytest.approx(
+            (WARMUP_RUNS + MEASURE_RUNS) * 2.0 + 1 * 3.0
+            + (WARMUP_RUNS + MEASURE_RUNS) * 0.5)
 
 
 class TestWallTimeConsistency:
@@ -95,23 +105,29 @@ class TestWallTimeConsistency:
         best = None
         quit_early = 0
         for cfg, t in res.timings:
-            if best is None:
+            abandoned = False
+            if best is None or t < best:
+                # Beating the incumbent: never cut short.
                 runs = WARMUP_RUNS + MEASURE_RUNS
             else:
                 budget = alpha * (WARMUP_RUNS + MEASURE_RUNS) * best
                 if t * MEASURE_RUNS > budget:
                     runs = min(WARMUP_RUNS + MEASURE_RUNS,
                                max(1, int(budget / t)))
-                    if runs < WARMUP_RUNS + MEASURE_RUNS:
+                    abandoned = runs < WARMUP_RUNS + MEASURE_RUNS
+                    if abandoned:
                         quit_early += 1
                 else:
                     runs = WARMUP_RUNS + MEASURE_RUNS
             wall += runs * t
-            if best is None or t < best:
+            if not abandoned and (best is None or t < best):
                 best = t
         assert res.tuning_wall_time == pytest.approx(wall)
         assert res.configs_quit_early == quit_early
         assert res.best_time == min(times.values())
+        # For this walk only the losers (5.0 and 9.0) are cut short; the
+        # improving configs 0.4, 0.2, 0.1 each complete a full campaign.
+        assert res.configs_quit_early == 2
 
 
 class TestPureEvaluation:

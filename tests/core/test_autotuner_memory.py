@@ -34,6 +34,20 @@ class TestAutotuner:
         assert res.best_config == kernel.search_space[-1]
         assert kernel.config == res.best_config
 
+    def test_winner_always_completes_full_campaign(self, small_mha):
+        """Regression (section 6.5): a 2x-better config lands inside the
+        old rule's abandonment window (t * MEASURE_RUNS > budget), which
+        abandoned it mid-campaign yet still crowned it — the winner was
+        counted quit-early and billed a truncated campaign.  A config
+        beating the incumbent must instead complete its full campaign.
+        """
+        kernel = _kernel_with_space(small_mha, n=2)
+        times = dict(zip(kernel.search_space, (1.0, 0.5)))
+        res = tune_kernel(kernel, lambda k, c: times[c], alpha=0.25)
+        assert res.best_config == kernel.search_space[1]
+        assert res.configs_quit_early == 0
+        assert res.tuning_wall_time == pytest.approx(120 * 1.0 + 120 * 0.5)
+
     def test_early_quit_counts(self, small_mha):
         kernel = _kernel_with_space(small_mha)
         # First config is fast; the rest are 100x slower -> quit early.

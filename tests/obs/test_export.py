@@ -1,0 +1,110 @@
+"""Tests for the span exporters and Chrome-trace validation."""
+
+import json
+
+from repro.obs import (
+    Tracer,
+    phase_table,
+    render_phase_table,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _traced():
+    tr = Tracer()
+    with tr.span("compile", category="compile", workload="mha"):
+        with tr.span("tuning", category="compile") as sp:
+            sp.note(modeled_wall_s=1.5, shape=(2, 3))
+    tr.event("cache_hit", tier="memory")
+    return tr
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        trace = to_chrome_trace(_traced())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        phases = {ev["ph"] for ev in trace["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+        complete = [ev for ev in trace["traceEvents"] if ev["ph"] == "X"]
+        assert {ev["name"] for ev in complete} == {"compile", "tuning"}
+        for ev in complete:
+            assert ev["ts"] >= 0.0 and ev["dur"] >= 0.0
+
+    def test_timestamps_rebased_and_nested(self):
+        trace = to_chrome_trace(_traced())
+        by_name = {ev["name"]: ev for ev in trace["traceEvents"]
+                   if ev["ph"] == "X"}
+        outer, inner = by_name["compile"], by_name["tuning"]
+        assert outer["ts"] == 0.0                    # earliest span is base
+        assert inner["ts"] >= outer["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1.0
+
+    def test_thread_metadata(self):
+        trace = to_chrome_trace(_traced())
+        meta = [ev for ev in trace["traceEvents"] if ev["ph"] == "M"]
+        assert meta and meta[0]["name"] == "thread_name"
+        assert meta[0]["args"]["name"]
+
+    def test_args_json_safe(self):
+        trace = to_chrome_trace(_traced())
+        tuning = next(ev for ev in trace["traceEvents"]
+                      if ev["name"] == "tuning")
+        assert tuning["args"]["modeled_wall_s"] == 1.5
+        assert tuning["args"]["shape"] == "(2, 3)"    # repr'd, not dropped
+        json.dumps(trace)                             # round-trips
+
+    def test_write_and_validate(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(path, _traced())
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(written))
+        assert validate_chrome_trace(loaded) == []
+
+    def test_empty_trace_flagged(self):
+        # An empty trace is structurally fine but flagged: `repro trace`
+        # emitting zero events means the instrumentation broke.
+        errors = validate_chrome_trace(to_chrome_trace(Tracer()))
+        assert errors == ["'traceEvents' is empty"]
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2, 3])
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({"displayTimeUnit": "ms"})
+
+    def test_rejects_bad_phase(self):
+        trace = {"traceEvents": [{"name": "x", "ph": "Z", "pid": 1,
+                                  "tid": 1, "ts": 0.0}]}
+        errors = validate_chrome_trace(trace)
+        assert errors and any("ph" in e for e in errors)
+
+    def test_rejects_bad_field_types(self):
+        trace = {"traceEvents": [{"name": 42, "ph": "X", "pid": 1,
+                                  "tid": 1, "ts": "zero", "dur": 1.0}]}
+        assert validate_chrome_trace(trace)
+
+
+class TestPhaseTable:
+    def test_rows_sorted_by_total(self):
+        rows = phase_table(_traced(), category="compile")
+        names = [name for name, _count, _total in rows]
+        assert set(names) == {"compile", "tuning"}
+        totals = [total for _name, _count, total in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_counts_aggregate(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("tuning", category="compile"):
+                pass
+        ((name, count, total),) = phase_table(tr, category="compile")
+        assert name == "tuning" and count == 3 and total >= 0.0
+
+    def test_render(self):
+        text = render_phase_table(phase_table(_traced()), title="breakdown")
+        assert text.startswith("breakdown")
+        assert "tuning" in text and "%" in text

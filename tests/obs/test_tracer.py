@@ -1,0 +1,198 @@
+"""Tests for the structured tracer: nesting, threads, zero-cost off."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    timed_phase,
+    use_tracer,
+)
+
+
+class TestNesting:
+    def test_parent_child_ids(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        by_name = {sp.name: sp for sp in tr.spans()}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_siblings_share_parent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("a"):
+                pass
+            with tr.span("b"):
+                pass
+        by_name = {sp.name: sp for sp in tr.spans()}
+        assert by_name["a"].parent_id == by_name["b"].parent_id \
+            == by_name["outer"].span_id
+
+    def test_stack_unwinds_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("failing"):
+                raise RuntimeError("boom")
+        with tr.span("after"):
+            pass
+        by_name = {sp.name: sp for sp in tr.spans()}
+        assert by_name["failing"].end_s is not None   # still collected
+        assert by_name["after"].parent_id is None     # not under "failing"
+
+    def test_durations_and_order(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        inner, outer = tr.spans()                     # completion order
+        assert inner.name == "inner" and outer.name == "outer"
+        assert outer.duration_s >= inner.duration_s >= 0.0
+        assert outer.start_s <= inner.start_s
+        assert outer.end_s >= inner.end_s
+
+    def test_attrs_and_note(self):
+        tr = Tracer()
+        with tr.span("tuning", category="compile", kernel="mha") as sp:
+            sp.note(configs=7)
+        (collected,) = tr.spans()
+        assert collected.category == "compile"
+        assert collected.attrs == {"kernel": "mha", "configs": 7}
+
+    def test_event_is_instant(self):
+        tr = Tracer()
+        tr.event("cache_hit", tier="memory")
+        (ev,) = tr.spans()
+        assert ev.end_s == ev.start_s and ev.duration_s == 0.0
+        assert ev.attrs == {"tier": "memory"}
+
+    def test_phase_totals_filters_category(self):
+        tr = Tracer()
+        with tr.span("tuning", category="compile"):
+            pass
+        with tr.span("tuning", category="compile"):
+            pass
+        with tr.span("request", category="serve"):
+            pass
+        totals = tr.phase_totals(category="compile")
+        assert set(totals) == {"tuning"}
+        assert totals["tuning"] > 0.0
+
+    def test_clear(self):
+        tr = Tracer()
+        with tr.span("x"):
+            pass
+        tr.clear()
+        assert tr.spans() == []
+
+
+class TestThreads:
+    def test_concurrent_threads_nest_independently(self):
+        tr = Tracer()
+        n_threads, per_thread = 4, 25
+        barrier = threading.Barrier(n_threads)
+
+        def work(i):
+            barrier.wait()
+            for j in range(per_thread):
+                with tr.span(f"outer-{i}"):
+                    with tr.span(f"inner-{i}"):
+                        pass
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tr.spans()
+        assert len(spans) == n_threads * per_thread * 2
+        by_id = {sp.span_id: sp for sp in spans}
+        for sp in spans:
+            if sp.name.startswith("inner"):
+                parent = by_id[sp.parent_id]
+                # Parents never cross threads.
+                assert parent.thread_id == sp.thread_id
+                assert parent.name == sp.name.replace("inner", "outer")
+
+
+class TestAmbient:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_null_tracer_is_free_no_op(self):
+        handle = NULL_TRACER.span("anything", category="compile", k=1)
+        with handle as sp:
+            sp.note(ignored=True)
+        # One shared handle, never any data.
+        assert NULL_TRACER.span("other") is handle
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.phase_totals() == {}
+
+    def test_use_tracer_scopes_and_restores(self):
+        tr = Tracer()
+        with use_tracer(tr):
+            assert get_tracer() is tr
+            with span("inside"):
+                pass
+        assert get_tracer() is NULL_TRACER
+        assert [sp.name for sp in tr.spans()] == ["inside"]
+
+    def test_use_tracer_restores_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with use_tracer(tr):
+                raise ValueError("boom")
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_restores_null(self):
+        tr = Tracer()
+        set_tracer(tr)
+        try:
+            assert get_tracer() is tr
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+
+class TestTimedPhase:
+    def test_records_and_spans(self):
+        tr = Tracer()
+        recorded = {}
+        with use_tracer(tr):
+            with timed_phase("spatial_slice", recorded.__setitem__,
+                             category="compile", smg="g"):
+                pass
+        assert recorded["spatial_slice"] >= 0.0
+        (sp,) = tr.spans()
+        assert sp.name == "spatial_slice" and sp.category == "compile"
+        # The record wraps the span, so it can only be >= the span time.
+        assert recorded["spatial_slice"] >= sp.duration_s
+
+    def test_disabled_records_without_span(self):
+        tr = Tracer()
+        recorded = {}
+        with use_tracer(tr):
+            with timed_phase("probe", recorded.__setitem__, enabled=False):
+                pass
+        assert "probe" in recorded
+        assert tr.spans() == []
+
+    def test_records_even_when_body_raises(self):
+        recorded = {}
+        with pytest.raises(RuntimeError):
+            with timed_phase("failing", recorded.__setitem__):
+                raise RuntimeError("boom")
+        assert "failing" in recorded
+
+    def test_record_optional(self):
+        with timed_phase("unrecorded"):
+            pass

@@ -79,6 +79,33 @@ class TestSingleFlight:
         assert len(calls) == 1                # one campaign for six racers
         assert all(r is results[0] for r in results)
 
+    def test_inflight_registry_does_not_leak(self, small_ln):
+        """Regression: the single-flight registry used to keep one lock
+        per unique key forever; entries must vanish once the flight
+        lands."""
+        cache = TieredScheduleCache()
+        graphs = [layernorm_graph(16, 24, name=f"ln_{i}") for i in range(5)]
+        for graph in graphs:
+            cache.get_or_compile(graph, AMPERE.name, _compiler(graph))
+            cache.get_or_compile(graph, AMPERE.name, _compiler(graph))
+        assert cache.inflight_keys() == 0
+        assert cache.stats()["inflight"] == 0
+
+    def test_inflight_empty_after_concurrent_racers(self, small_ln):
+        cache = TieredScheduleCache()
+        started = threading.Barrier(6)
+
+        def hammer():
+            started.wait()
+            cache.get_or_compile(small_ln, AMPERE.name, _compiler(small_ln))
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.inflight_keys() == 0
+
     def test_corrupt_disk_entry_recompiles(self, small_ln, tmp_path):
         disk = ScheduleCache(tmp_path)
         cache = TieredScheduleCache(capacity=1, disk=disk)

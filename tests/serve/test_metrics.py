@@ -79,3 +79,61 @@ class TestServeMetrics:
         snap = m.snapshot()
         m.inc("x")
         assert snap["x"] == 1 and m.get("x") == 2
+
+    def test_snapshot_has_percentiles(self):
+        m = ServeMetrics()
+        for v in (0.0002, 0.002, 0.02, 0.2):
+            m.observe_request(v)
+        m.observe_queue_wait(0.001)
+        snap = m.snapshot()
+        for name in ("request_latency", "compile_latency", "queue_wait",
+                     "batch_size", "queue_depth"):
+            for q in ("p50", "p95", "p99"):
+                assert f"{name}.{q}" in snap
+        assert snap["request_latency.p50"] <= snap["request_latency.p95"] \
+            <= snap["request_latency.p99"]
+
+    def test_report_has_percentiles_and_queue_wait(self):
+        m = ServeMetrics()
+        m.observe_request(0.002)
+        m.observe_queue_wait(0.0005)
+        m.inc("requests.expired")
+        report = m.report()
+        for needle in ("p50<=", "p95<=", "p99<=", "queue_wait",
+                       "requests.expired"):
+            assert needle in report
+
+    def test_report_alias(self):
+        assert ServeMetrics.report is ServeMetrics.render_report
+
+
+class TestPrometheus:
+    def test_counters_and_histograms_exported(self):
+        m = ServeMetrics()
+        m.inc("requests.expired", 2)
+        m.record_fallback("compile_failed")
+        m.observe_request(0.002)
+        m.observe_request(0.3)
+        text = m.to_prometheus()
+        assert "# TYPE repro_requests_expired counter" in text
+        assert "repro_requests_expired 2" in text
+        assert "repro_fallbacks_compile_failed 1" in text
+        assert "# TYPE repro_request_latency histogram" in text
+        assert "repro_request_latency_count 2" in text
+        assert 'repro_request_latency_bucket{le="+Inf"} 2' in text
+        assert text.endswith("\n")
+
+    def test_buckets_cumulative(self):
+        m = ServeMetrics()
+        for v in (0.00005, 0.0002, 1.8):
+            m.observe_request(v)
+        lines = [ln for ln in m.to_prometheus().splitlines()
+                 if ln.startswith("repro_request_latency_bucket")]
+        counts = [int(ln.rsplit(" ", 1)[1]) for ln in lines]
+        assert counts == sorted(counts)          # monotone non-decreasing
+        assert counts[-1] == 3                   # +Inf sees every sample
+
+    def test_custom_prefix(self):
+        m = ServeMetrics()
+        m.inc("x")
+        assert "serve_x 1" in m.to_prometheus(prefix="serve")

@@ -6,6 +6,7 @@ fallback-to-unfused downgrade — all against precomputed references.
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -62,6 +63,50 @@ class TestQueueAndBatching:
         assert q.take_batch(max_batch=4, max_wait_s=0.0) == []
         with pytest.raises(RuntimeError):
             q.put(Request("w", {}))
+
+    def test_take_batch_blocks_until_put(self, small_ln):
+        """Idle workers sleep on the condition (no busy-poll) and wake as
+        soon as a request lands."""
+        q = RequestQueue()
+        out = []
+        t = threading.Thread(
+            target=lambda: out.append(q.take_batch(4, 0.0)))
+        t.start()
+        time.sleep(0.05)
+        assert t.is_alive() and not out       # parked, not returned empty
+        q.put(Request("w", random_feeds(small_ln, seed=0)))
+        t.join(timeout=5.0)
+        assert not t.is_alive() and len(out[0]) == 1
+
+    def test_close_wakes_blocked_take_batch(self):
+        q = RequestQueue()
+        out = []
+        t = threading.Thread(
+            target=lambda: out.append(q.take_batch(4, 0.0)))
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive() and out == [[]]
+
+    def test_expired_request_failed_at_dequeue(self, small_ln):
+        """Regression: a request whose deadline passed while queued must
+        never be dispatched — it is failed with TimeoutError and the
+        ``on_expired`` hook fires."""
+        expired = []
+        q = RequestQueue(on_expired=expired.append)
+        dead = Request("w", random_feeds(small_ln, seed=0), timeout_s=0.001)
+        live = Request("w", random_feeds(small_ln, seed=1))
+        q.put(dead)
+        q.put(live)
+        time.sleep(0.01)                      # dead's deadline passes
+        batch = q.take_batch(max_batch=8, max_wait_s=0.0)
+        assert [r.seq for r in batch] == [live.seq]
+        assert len(expired) == 1 and expired[0] is dead
+        assert dead.done()
+        with pytest.raises(TimeoutError, match="expired"):
+            dead.result(timeout=0)
+        assert q.depth() == 0
 
 
 class TestServerIntegration:
@@ -152,3 +197,47 @@ class TestServerIntegration:
         server.stop(drain=False)
         with pytest.raises(ServerError, match="stopped before dispatch"):
             req.result(timeout=1.0)
+
+    def test_stop_without_drain_fails_every_queued_request(self, small_ln):
+        """Regression: nothing queued survives an abrupt stop — every
+        pending request is failed, none can block its client forever."""
+        server = FusionServer({"ln": InferenceSession(small_ln, AMPERE)})
+        reqs = [server.submit("ln", random_feeds(small_ln, seed=i))
+                for i in range(3)]
+        server.stop(drain=False)
+        for req in reqs:
+            with pytest.raises(ServerError, match="stopped before dispatch"):
+                req.result(timeout=1.0)
+        assert server.queue.depth() == 0
+
+    def test_stop_with_drain_on_never_started_server(self, small_ln):
+        """drain=True on a server with no workers still leaves nothing
+        unanswered: the post-join sweep fails what nobody will serve."""
+        server = FusionServer({"ln": InferenceSession(small_ln, AMPERE)})
+        req = server.submit("ln", random_feeds(small_ln, seed=0))
+        server.stop()                            # drain=True, zero workers
+        with pytest.raises(ServerError, match="stopped before dispatch"):
+            req.result(timeout=1.0)
+
+    def test_expired_request_counted_and_reported(self, small_ln):
+        """Acceptance: an expired request raises TimeoutError, bumps
+        ``requests.expired``, and the report carries p50/p95/p99."""
+        metrics = ServeMetrics()
+        session = InferenceSession(small_ln, AMPERE, metrics=metrics)
+        server = FusionServer({"ln": session}, metrics=metrics)
+        # Enqueue before any worker exists, so the deadline reliably
+        # passes while the request sits in the queue.
+        expired = server.submit("ln", random_feeds(small_ln, seed=0),
+                                timeout=0.005)
+        time.sleep(0.02)
+        server.start()
+        with pytest.raises(TimeoutError, match="expired"):
+            expired.result(timeout=10.0)
+        live = server.infer("ln", random_feeds(small_ln, seed=1))
+        server.stop()
+        assert not live.degraded
+        assert metrics.get("requests.expired") == 1
+        report = metrics.report()
+        assert "requests.expired" in report
+        for needle in ("p50<=", "p95<=", "p99<=", "queue_wait"):
+            assert needle in report

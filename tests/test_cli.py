@@ -64,6 +64,49 @@ class TestCommands:
         assert "HIT" in capsys.readouterr().out
 
 
+class TestTraceCommand:
+    def test_trace_prints_breakdown(self, capsys):
+        assert main(["trace", "layernorm"]) == 0
+        out = capsys.readouterr().out
+        assert "compile breakdown" in out
+        assert "tuning" in out
+        assert "total compile time" in out
+        assert "raw span totals" in out
+
+    def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
+        """Acceptance: the exported file is loadable trace_event JSON and
+        its per-phase durations sum to the reported compile wall time."""
+        import json
+        import re
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "mlp", "--chrome-trace", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "chrome trace written" in out
+        trace = json.loads(out_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        assert any(ev["ph"] == "X" for ev in trace["traceEvents"])
+        # Tuning dominates the printed breakdown, and the phase rows sum
+        # to the reported total (the breakdown is exhaustive).
+        total = float(re.search(r"total compile time: ([0-9.]+)s", out)
+                      .group(1))
+        breakdown_block = out.split("raw span totals")[0]
+        rows = re.findall(r"^(\w+)\s+\d+\s+([0-9.]+)s", breakdown_block,
+                          re.M)
+        phase_sum = sum(float(s) for _name, s in rows)
+        assert phase_sum == pytest.approx(total, rel=0.05)
+        tuning = next(float(s) for name, s in rows if name == "tuning")
+        assert tuning > 0.5 * total
+
+    def test_trace_parser(self):
+        args = build_parser().parse_args(
+            ["trace", "mha", "--chrome-trace", "/tmp/t.json"])
+        assert args.workload == "mha" and args.chrome_trace == "/tmp/t.json"
+        assert args.fn is not None
+
+
 class TestServeCommand:
     def test_serve_demo_reports_stats(self, capsys, tmp_path):
         assert main(["serve", "layernorm", "--requests", "8",
@@ -74,6 +117,17 @@ class TestServeCommand:
         assert "serve-stats" in out
         assert "requests_served" in out
         assert "state=ready" in out
+        assert "p95<=" in out                 # percentiles in the report
+
+    def test_serve_metrics_out_writes_prometheus(self, capsys, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        assert main(["serve", "layernorm", "--requests", "4",
+                     "--clients", "2", "--cache-dir", str(tmp_path / "c"),
+                     "--metrics-out", str(prom)]) == 0
+        text = prom.read_text()
+        assert "# TYPE repro_requests_served counter" in text
+        assert "# TYPE repro_request_latency histogram" in text
+        assert 'repro_request_latency_bucket{le="+Inf"}' in text
 
     def test_serve_parser_defaults(self):
         args = build_parser().parse_args(["serve", "mlp"])
