@@ -1,0 +1,48 @@
+"""Runtime engines: schedule interpreter vs compiled execution.
+
+Not a paper figure — this tracks the repo's own execution engine: the
+compiled engine (lower once, cache the plan, vectorize the block grid)
+must beat the interpreter on every Fig. 11–13 serving workload while
+staying bitwise identical to it.  Alongside the rendered table, writes
+``results/BENCH_runtime.json`` so the speedup trajectory is diffable
+across commits.
+"""
+
+import json
+import pathlib
+
+from repro.bench import bench_runtime, geomean
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_runtime_engines(report):
+    result = report(lambda: bench_runtime(iters=3), float_fmt="{:.3f}")
+
+    # Parity is non-negotiable: same dtype, same bits, and both engines
+    # within float tolerance of the unfused reference.
+    assert all(result.column("bitwise_equal"))
+    assert all(err <= 1e-8 for err in result.column("max_abs_err"))
+
+    # Perf: never slower per workload (generous noise slack), >=2x geomean.
+    assert all(s > 0.8 for s in result.column("speedup"))
+    gm = geomean(result.column("speedup"))
+    assert gm >= 2.0, f"geomean speedup {gm:.2f}x below the 2x floor"
+
+    payload = {
+        "experiment": "bench_runtime",
+        "gpu": "ampere",
+        "iters": 3,
+        "workloads": {
+            row["workload"]: {
+                "interpreter_ms": row["interpreter_ms"],
+                "compiled_ms": row["compiled_ms"],
+                "speedup": row["speedup"],
+            }
+            for row in result.rows
+        },
+        "geomean_speedup": gm,
+    }
+    out = RESULTS_DIR / "BENCH_runtime.json"
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"\ngeomean speedup: {gm:.2f}x -> {out}")

@@ -47,8 +47,8 @@ def main() -> None:
                                eager=True)
     cold = time.perf_counter() - t0
     print(f"cold compile : {cold*1e3:7.1f} ms "
-          f"({len(session.kernels)} generated kernel(s), "
-          f"state={session.state})")
+          f"({session.num_kernels} lowered kernel(s), "
+          f"engine={session.engine}, state={session.state})")
 
     # --- boot #2: warm restore from the disk tier ---------------------
     metrics2 = ServeMetrics()

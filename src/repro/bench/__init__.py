@@ -17,6 +17,7 @@ from .end_to_end import (
 )
 from .patterns import evaluation_suite, table6_fusion_patterns
 from .reporting import ExperimentResult, geomean
+from .runtime_bench import RUNTIME_WORKLOADS, bench_runtime
 from .subgraphs import (
     fig11a_mlp,
     fig11b_lstm,
@@ -27,7 +28,9 @@ from .subgraphs import (
 
 __all__ = [
     "ExperimentResult",
+    "RUNTIME_WORKLOADS",
     "ablation_candidate_depth",
+    "bench_runtime",
     "decode_attention",
     "ablation_early_quit",
     "ablation_uta_vs_split",

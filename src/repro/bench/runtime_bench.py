@@ -1,0 +1,98 @@
+"""Runtime engine benchmark: interpreter vs compiled execution.
+
+Measures wall-clock execution time of the schedule interpreter
+(:func:`repro.runtime.execute_schedule`) against the compiled execution
+engine (:mod:`repro.runtime.compiled`) on the Fig. 11–13 subgraph
+workloads — MLP (11a), LSTM cell (11b), LayerNorm (12) and MHA (13) —
+at serving-representative sizes, where per-request overhead is what a
+server actually pays.  Parity is asserted on every run: both engines'
+outputs must agree bitwise (same dtype, same arithmetic), so the speedup
+is never bought with a numerics change.
+
+Backs the ``repro bench-runtime`` CLI and the ``BENCH_runtime.json``
+trajectory file under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..hw import ARCHITECTURES
+from ..models import (
+    layernorm_graph,
+    lstm_cell_graph,
+    mha_graph,
+    mlp_graph,
+)
+from ..pipeline import compile_for
+from ..runtime import (
+    compile_schedule,
+    execute_graph_reference,
+    execute_schedule,
+    random_feeds,
+)
+from .reporting import ExperimentResult, geomean
+
+#: Fig. 11–13 workloads at serving-representative sizes.  The decode
+#: variant (seq-1 query) is the canonical inference hot path.
+RUNTIME_WORKLOADS = {
+    "mlp": lambda: mlp_graph(8, 256, 64, 64),
+    "lstm": lambda: lstm_cell_graph(64, 128),
+    "layernorm": lambda: layernorm_graph(256, 256),
+    "mha": lambda: mha_graph(1, 8, 128, 128, 64),
+    "mha-decode": lambda: mha_graph(1, 8, 1, 128, 64),
+}
+
+
+def _best_of(fn, iters: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, iters)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_runtime(workloads=None, iters: int = 5,
+                  arch: str = "ampere") -> ExperimentResult:
+    """Interpreter-vs-compiled exec time per workload, plus parity checks.
+
+    Each row reports the best-of-``iters`` wall-clock time for both
+    engines, the resulting speedup, whether the two engines' outputs are
+    bitwise identical, and the max abs error against the unfused
+    reference.
+    """
+    gpu = ARCHITECTURES[arch]
+    names = list(workloads) if workloads else list(RUNTIME_WORKLOADS)
+    result = ExperimentResult(
+        "bench_runtime",
+        f"schedule interpreter vs compiled engine on {gpu.name} "
+        f"(best of {iters})",
+        ["workload", "interpreter_ms", "compiled_ms", "speedup",
+         "bitwise_equal", "max_abs_err"])
+    for name in names:
+        graph = RUNTIME_WORKLOADS[name]()
+        schedule, _stats = compile_for(graph, gpu)
+        feeds = random_feeds(graph, seed=0)
+        program = compile_schedule(schedule)
+
+        env_i = execute_schedule(schedule, feeds)
+        env_c = program.execute(feeds)
+        ref = execute_graph_reference(graph, feeds)
+        bitwise = all(np.array_equal(env_c[t], env_i[t]) for t in ref)
+        err = max(float(np.max(np.abs(env_c[t] - ref[t]))) for t in ref)
+
+        t_interp = _best_of(lambda: execute_schedule(schedule, feeds), iters)
+        t_compiled = _best_of(lambda: program.execute(feeds), iters)
+        result.add_row(
+            workload=name,
+            interpreter_ms=t_interp * 1e3,
+            compiled_ms=t_compiled * 1e3,
+            speedup=t_interp / t_compiled,
+            bitwise_equal=bitwise,
+            max_abs_err=err)
+    result.notes.append(
+        f"geomean speedup: {geomean(result.column('speedup')):.2f}x")
+    return result

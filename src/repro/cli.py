@@ -9,6 +9,8 @@ Commands:
 * ``trace``    — compile a workload under the tracer and print the
   per-phase breakdown (optionally exporting Chrome trace_event JSON);
 * ``bench``    — regenerate one paper experiment (``fig11a`` ... ``table6``);
+* ``bench-runtime`` — time the schedule interpreter against the compiled
+  execution engine on the Fig. 11–13 workloads and report the speedup;
 * ``validate`` — execute a compiled schedule numerically against the
   unfused reference and report the max error.
 """
@@ -190,7 +192,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from .core.serialize import ScheduleCache
         disk = ScheduleCache(args.cache_dir)
     cache = TieredScheduleCache(disk=disk, metrics=metrics)
-    session = InferenceSession(graph, gpu, cache=cache, metrics=metrics)
+    session = InferenceSession(graph, gpu, cache=cache, metrics=metrics,
+                               engine=args.engine)
     server = FusionServer({args.workload: session},
                           max_batch=args.max_batch,
                           max_wait_ms=args.max_wait_ms,
@@ -238,13 +241,64 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 1 if wrong[0] else 0
 
 
+def cmd_bench_runtime(args: argparse.Namespace) -> int:
+    """Interpreter vs compiled engine: per-workload exec time + speedup.
+
+    With ``--check X`` the command fails unless the geomean speedup is at
+    least X — CI uses this as the perf smoke for the compiled engine.
+    """
+    from .bench import bench_runtime, geomean
+
+    result = bench_runtime(workloads=args.workloads or None,
+                           iters=args.iters, arch=args.gpu)
+    print(result.render(float_fmt="{:.3f}"))
+    if any(not ok for ok in result.column("bitwise_equal")):
+        print("FAILED: engines disagree bitwise", file=sys.stderr)
+        return 1
+    if any(err > 1e-8 for err in result.column("max_abs_err")):
+        print("FAILED: compiled engine diverged from the reference",
+              file=sys.stderr)
+        return 1
+    gm = geomean(result.column("speedup"))
+    if args.json:
+        import json
+
+        payload = {
+            "experiment": "bench_runtime",
+            "gpu": args.gpu,
+            "iters": args.iters,
+            "workloads": {
+                row["workload"]: {
+                    "interpreter_ms": row["interpreter_ms"],
+                    "compiled_ms": row["compiled_ms"],
+                    "speedup": row["speedup"],
+                }
+                for row in result.rows
+            },
+            "geomean_speedup": gm,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+        print(f"\njson written to {args.json}")
+    if args.check is not None and gm < args.check:
+        print(f"FAILED: geomean speedup {gm:.2f}x < required "
+              f"{args.check:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     gpu = get_gpu(args.gpu)
     graph = WORKLOADS[args.workload]()
     schedule, _ = compile_for(graph, gpu)
     feeds = random_feeds(graph, seed=args.seed)
     ref = execute_graph_reference(graph, feeds)
-    env = execute_schedule(schedule, feeds)
+    if args.engine == "compiled":
+        from .runtime import execute_compiled
+
+        env = execute_compiled(schedule, feeds)
+    else:
+        env = execute_schedule(schedule, feeds)
     worst = 0.0
     for name, expected in ref.items():
         worst = max(worst, float(np.max(np.abs(env[name] - expected))))
@@ -329,17 +383,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="OUT.prom",
                    help="write a Prometheus text-format metrics dump "
                         "after the demo drains")
+    p.add_argument("--engine", default="compiled",
+                   choices=["compiled", "interpreter"],
+                   help="execution engine for the sessions "
+                        "(default: compiled)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("validate",
                        help="check fused execution against the reference")
     _add_workload_arg(p)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", default="interpreter",
+                   choices=["compiled", "interpreter"],
+                   help="engine to validate (default: interpreter)")
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser("bench", help="regenerate a paper experiment")
     p.add_argument("experiment", choices=sorted(EXPERIMENTS))
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("bench-runtime",
+                       help="time the interpreter vs the compiled engine "
+                            "and report the speedup")
+    p.add_argument("--workloads", nargs="*", default=None,
+                   metavar="NAME",
+                   choices=sorted(bench_mod.RUNTIME_WORKLOADS),
+                   help="subset of runtime workloads (default: all of "
+                        "mlp, lstm, layernorm, mha, mha-decode)")
+    p.add_argument("--iters", type=int, default=5,
+                   help="timing iterations per engine, best-of (default: 5)")
+    p.add_argument("--gpu", default="ampere",
+                   choices=sorted(ARCHITECTURES),
+                   help="target architecture (default: ampere)")
+    p.add_argument("--check", type=float, default=None, metavar="X",
+                   help="exit non-zero unless the geomean speedup is >= X")
+    p.add_argument("--json", default=None, metavar="OUT.json",
+                   help="also write the rows as JSON (BENCH_runtime format)")
+    p.set_defaults(fn=cmd_bench_runtime)
 
     p = sub.add_parser("report",
                        help="run every experiment into one markdown report")

@@ -346,7 +346,8 @@ def generate_python_kernel(kernel: KernelSchedule) -> GeneratedKernel:
     return _finalise(kernel.name, source)
 
 
-def _finalise(name: str, source: str) -> GeneratedKernel:
+def kernel_namespace(extra: dict | None = None) -> dict:
+    """The exec namespace generated kernels run in (np + erf + extras)."""
     namespace: dict = {}
     try:
         from scipy.special import erf as _erf
@@ -355,8 +356,29 @@ def _finalise(name: str, source: str) -> GeneratedKernel:
         _erf = np.vectorize(_m_erf)
     namespace["_erf"] = _erf
     namespace["np"] = np
+    if extra:
+        namespace.update(extra)
+    return namespace
+
+
+def compile_kernel_source(name: str, source: str,
+                          extra_namespace: dict | None = None,
+                          ) -> GeneratedKernel:
+    """exec-compile kernel source into a callable ``kernel(env)``."""
+    namespace = kernel_namespace(extra_namespace)
     exec(compile(source, f"<generated:{name}>", "exec"), namespace)
     return GeneratedKernel(name=name, source=source, fn=namespace["kernel"])
+
+
+def _finalise(name: str, source: str) -> GeneratedKernel:
+    return compile_kernel_source(name, source)
+
+
+#: Public aliases for reuse by the compiled execution engine
+#: (:mod:`repro.runtime.compiled`), which lowers whole-tensor kernels
+#: through the same op-expression vocabulary.
+op_expr = _op_expr
+var_name = _var
 
 
 def compile_program_to_python(program: ProgramSchedule,

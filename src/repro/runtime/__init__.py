@@ -1,5 +1,19 @@
-"""Runtime: numpy reference kernels and the schedule interpreter."""
+"""Runtime: reference kernels, the schedule interpreter (parity oracle),
+and the compiled execution engine (lower once, execute many)."""
 
+from .compiled import (
+    CompiledProgram,
+    LoweredKernel,
+    LoweringError,
+    PlanCache,
+    compile_schedule,
+    default_plan_cache,
+    execute_compiled,
+    lower_kernel,
+    lower_program,
+    plan_key,
+    schedule_fingerprint,
+)
 from .executor import ExecutionError, ScheduleExecutor, execute_schedule
 from .kernels import (
     KernelError,
@@ -9,11 +23,22 @@ from .kernels import (
 )
 
 __all__ = [
+    "CompiledProgram",
     "ExecutionError",
     "KernelError",
+    "LoweredKernel",
+    "LoweringError",
+    "PlanCache",
     "ScheduleExecutor",
+    "compile_schedule",
+    "default_plan_cache",
     "evaluate_op",
+    "execute_compiled",
     "execute_graph_reference",
     "execute_schedule",
+    "lower_kernel",
+    "lower_program",
+    "plan_key",
     "random_feeds",
+    "schedule_fingerprint",
 ]

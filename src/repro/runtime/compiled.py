@@ -1,0 +1,406 @@
+"""Compiled execution engine: lower a schedule once, execute it many times.
+
+The schedule interpreter (:mod:`repro.runtime.executor`) re-derives the
+spatial grid, re-slices every operand, and walks Python loops over blocks
+and tiles on *every* call — fine for a correctness oracle, hopeless for a
+serving hot path.  This module is the reproduction's analogue of handing
+SMG schedules to Triton: each :class:`~repro.core.schedule.KernelSchedule`
+is **lowered once** into an executable artifact and reused for every
+subsequent request.
+
+Lowering picks the fastest correct strategy per kernel:
+
+* ``vector`` — kernels with no temporal plan compute each output point
+  independently per spatial block, so the block grid *collapses*: the
+  whole loop nest becomes straight-line whole-tensor numpy expressions
+  (reusing :mod:`repro.codegen.python_backend`'s op lowering),
+  ``exec``-compiled into a callable.
+* ``loopnest`` — temporally sliced kernels (online-softmax/LayerNorm
+  aggregation) reuse the codegen backend's generated loop nest with the
+  update functions inlined as arithmetic — no per-op interpreter dispatch.
+* ``whole`` — plan-free kernels with an op the expression lowerer cannot
+  handle still run whole-tensor (grid collapsed), op-by-op via
+  :func:`~repro.runtime.kernels.evaluate_op`.
+* ``barrier`` / ``interp`` — reshape/transpose glue, and a per-kernel
+  interpreter fallback for non-float64 temporal kernels, where the
+  generated loop nest would silently upcast.
+
+A :class:`PlanCache` bounds the set of live :class:`CompiledProgram`
+artifacts with an LRU keyed by **(schedule fingerprint, dtype, dim
+sizes)**; lowering, cache hits/misses, and execution are all visible as
+:mod:`repro.obs` spans (category ``runtime``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..codegen.python_backend import (
+    CodegenError,
+    compile_kernel_source,
+    generate_python_kernel,
+    op_expr,
+    var_name,
+)
+from ..core.schedule import KernelSchedule, ProgramSchedule, ScheduleConfig
+from ..obs import span as obs_span
+from .executor import ExecutionError, ScheduleExecutor
+from .kernels import KernelError, evaluate_op
+
+
+class LoweringError(Exception):
+    """Raised when a schedule cannot be lowered to an executable plan."""
+
+
+# ----------------------------------------------------------------------
+# Plan keys
+# ----------------------------------------------------------------------
+
+
+def schedule_fingerprint(program: ProgramSchedule) -> str:
+    """Content hash of a program schedule (graphs, plans, configs)."""
+    from ..core.serialize import schedule_to_json
+
+    return hashlib.sha256(schedule_to_json(program).encode()).hexdigest()[:24]
+
+
+def plan_key(program: ProgramSchedule, dtype=np.float64,
+             ) -> tuple[str, str, tuple]:
+    """(schedule fingerprint, dtype, dim sizes) — the plan-cache key."""
+    dims: set[tuple[str, int]] = set()
+    for kernel in program.kernels:
+        dims.update(kernel.exec_graph.dims.items())
+    return (schedule_fingerprint(program), np.dtype(dtype).name,
+            tuple(sorted(dims)))
+
+
+# ----------------------------------------------------------------------
+# Kernel lowering
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LoweredKernel:
+    """One executable kernel artifact: a callable mutating the tensor env."""
+
+    name: str
+    kind: str  # "vector" | "loopnest" | "whole" | "barrier" | "interp"
+    fn: Callable[[dict], None]
+    source: str | None = None
+    #: spatial blocks the interpreted schedule would have launched; the
+    #: vector/whole strategies collapse them into one whole-tensor call.
+    grid_blocks: int = 1
+
+    def __call__(self, env: dict) -> None:
+        self.fn(env)
+
+
+def _grid_blocks(kernel: KernelSchedule) -> int:
+    try:
+        return kernel.grid_size()
+    except ValueError:
+        return 1
+
+
+def _vector_source(kernel: KernelSchedule) -> str:
+    """Whole-tensor straight-line source for a plan-free kernel.
+
+    Every op's result is cast through ``_cast`` exactly as the interpreter
+    casts per-op results, so both engines produce identical arrays.
+    """
+    graph = kernel.exec_graph
+    lines = ["def kernel(env):"]
+    available: set[str] = set()
+    for op in graph.topological_ops():
+        for t in op.inputs:
+            if t not in available:
+                lines.append(f"    {var_name(t)} = env[{t!r}]")
+                available.add(t)
+        lines.append(f"    {var_name(op.output)} = "
+                     f"_cast({op_expr(graph, op)})")
+        available.add(op.output)
+    for t in graph.output_tensors:
+        if t not in available:
+            raise LoweringError(
+                f"kernel {kernel.name!r}: output tensor {t!r} is never "
+                f"produced by any op")
+        lines.append(f"    env[{t!r}] = {var_name(t)}")
+    return "import numpy as np\n" + "\n".join(lines) + "\n"
+
+
+def _lower_barrier(kernel: KernelSchedule) -> LoweredKernel:
+    graph = kernel.exec_graph
+    op = graph.ops[0]
+    src, dst = op.inputs[0], op.output
+    if op.kind == "reshape":
+        shape = tuple(graph.dims.size(d) for d in op.output_axes)
+
+        def fn(env: dict) -> None:
+            env[dst] = env[src].reshape(shape)
+    elif op.kind == "transpose":
+        perm = tuple(op.attrs["perm"])
+
+        def fn(env: dict) -> None:
+            env[dst] = np.transpose(env[src], perm)
+    else:  # layout_cast / identity glue
+
+        def fn(env: dict) -> None:
+            env[dst] = env[src]
+
+    return LoweredKernel(name=kernel.name, kind="barrier", fn=fn)
+
+
+def _lower_whole(kernel: KernelSchedule, dtype) -> LoweredKernel:
+    """Grid-collapsed op-by-op fallback for non-expressible plain kernels."""
+    graph = kernel.exec_graph
+    ops = graph.topological_ops()
+    sizes = {d: graph.dims.size(d) for d in graph.dims.names()}
+    outputs = list(graph.output_tensors)
+    producible = set(graph.input_tensors) | {op.output for op in ops}
+    for t in outputs:
+        if t not in producible:
+            raise LoweringError(
+                f"kernel {kernel.name!r}: output tensor {t!r} is never "
+                f"produced by any op")
+
+    def fn(env: dict) -> None:
+        local = {t: env[t] for t in graph.input_tensors}
+        for op in ops:
+            try:
+                local[op.output] = np.asarray(
+                    evaluate_op(op, local, sizes), dtype=dtype)
+            except KernelError as exc:
+                raise ExecutionError(f"op {op.name!r}: {exc}") from exc
+        for t in outputs:
+            env[t] = local[t]
+
+    return LoweredKernel(name=kernel.name, kind="whole", fn=fn,
+                         grid_blocks=_grid_blocks(kernel))
+
+
+def lower_kernel(kernel: KernelSchedule, dtype=np.float64) -> LoweredKernel:
+    """Lower one kernel schedule into its executable artifact."""
+    dtype = np.dtype(dtype)
+    if kernel.meta.get("barrier"):
+        return _lower_barrier(kernel)
+
+    if kernel.plan is None:
+        try:
+            source = _vector_source(kernel)
+        except CodegenError:
+            return _lower_whole(kernel, dtype)
+
+        def _cast(arr, _dt=dtype):
+            return np.asarray(arr, dtype=_dt)
+
+        gk = compile_kernel_source(kernel.name, source,
+                                   extra_namespace={"_cast": _cast})
+        return LoweredKernel(name=kernel.name, kind="vector", fn=gk.fn,
+                             source=source,
+                             grid_blocks=_grid_blocks(kernel))
+
+    if dtype == np.float64:
+        # The codegen loop nest computes in float64; reusing it keeps the
+        # update functions inlined as arithmetic instead of interpreted.
+        # Spatial blocks are independent, so the grid collapses to one
+        # whole-axis block: the tile loop (which carries the SA/UTA
+        # aggregation semantics) is preserved at the tuned tile size,
+        # giving per-spatial-point arithmetic identical to the
+        # interpreter's.
+        cfg = kernel.effective_config()
+        collapsed = ScheduleConfig(
+            block=tuple((d, kernel.smg.dim_size(d))
+                        for d in kernel.spatial_dims),
+            tile=cfg.tile)
+        clone = KernelSchedule(
+            name=kernel.name, smg=kernel.smg,
+            spatial_dims=kernel.spatial_dims, plan=kernel.plan,
+            config=collapsed, memory_levels=kernel.memory_levels,
+            meta=kernel.meta)
+        gk = generate_python_kernel(clone)
+        return LoweredKernel(name=kernel.name, kind="loopnest", fn=gk.fn,
+                             source=gk.source,
+                             grid_blocks=_grid_blocks(kernel))
+
+    executor = ScheduleExecutor(dtype=dtype)
+
+    def fn(env: dict) -> None:
+        executor.execute_kernel(kernel, env)
+
+    return LoweredKernel(name=kernel.name, kind="interp", fn=fn,
+                         grid_blocks=_grid_blocks(kernel))
+
+
+# ----------------------------------------------------------------------
+# Programs
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CompiledProgram:
+    """A fully lowered program schedule, ready for repeated execution."""
+
+    name: str
+    key: tuple[str, str, tuple]
+    kernels: list[LoweredKernel]
+    dtype: np.dtype
+    lower_time_s: float = 0.0
+    _executions: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    @property
+    def executions(self) -> int:
+        with self._lock:
+            return self._executions
+
+    def execute(self, feeds: dict[str, np.ndarray],
+                ) -> dict[str, np.ndarray]:
+        """Run every kernel in order; returns the global tensor env
+        (the same contract as :func:`repro.runtime.execute_schedule`)."""
+        with obs_span("compiled_execute", category="runtime",
+                      program=self.name, kernels=len(self.kernels)):
+            env = {k: np.asarray(v, dtype=self.dtype)
+                   for k, v in feeds.items()}
+            try:
+                for lk in self.kernels:
+                    lk.fn(env)
+            except KeyError as exc:
+                raise ExecutionError(
+                    f"program {self.name!r}: missing global tensor "
+                    f"{exc.args[0]!r}") from exc
+        with self._lock:
+            self._executions += 1
+        return env
+
+    def __call__(self, feeds: dict[str, np.ndarray],
+                 ) -> dict[str, np.ndarray]:
+        return self.execute(feeds)
+
+    def kind_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for lk in self.kernels:
+            counts[lk.kind] = counts.get(lk.kind, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        lines = [f"compiled program {self.name}: {len(self.kernels)} "
+                 f"kernel(s), dtype={self.dtype.name}, "
+                 f"lowered in {self.lower_time_s * 1e3:.2f}ms"]
+        for lk in self.kernels:
+            collapsed = (f" (collapsed {lk.grid_blocks} blocks)"
+                         if lk.kind in ("vector", "whole")
+                         and lk.grid_blocks > 1 else "")
+            lines.append(f"  {lk.name}: {lk.kind}{collapsed}")
+        return "\n".join(lines)
+
+
+def lower_program(program: ProgramSchedule, dtype=np.float64,
+                  key: tuple | None = None) -> CompiledProgram:
+    """Lower every kernel of a program schedule (uncached)."""
+    dtype = np.dtype(dtype)
+    t0 = time.perf_counter()
+    with obs_span("lower", category="runtime", program=program.name,
+                  kernels=program.num_kernels, dtype=dtype.name):
+        kernels = [lower_kernel(k, dtype) for k in program.kernels]
+    return CompiledProgram(
+        name=program.name,
+        key=key if key is not None else plan_key(program, dtype),
+        kernels=kernels, dtype=dtype,
+        lower_time_s=time.perf_counter() - t0)
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+
+
+class PlanCache:
+    """Bounded LRU of :class:`CompiledProgram` artifacts.
+
+    Keys are ``plan_key`` tuples, so the same schedule lowered for two
+    dtypes (or re-instantiated at different dim sizes) occupies distinct
+    entries.  Concurrent misses on the same key may lower twice (lowering
+    is milliseconds); the insert is last-writer-wins and both callers get
+    a correct artifact.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, CompiledProgram]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_lower(self, program: ProgramSchedule, dtype=np.float64,
+                     ) -> CompiledProgram:
+        key = plan_key(program, dtype)
+        with obs_span("plan_cache_lookup", category="runtime",
+                      program=program.name) as sp:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+            sp.note(hit=cached is not None)
+        if cached is not None:
+            return cached
+        compiled = lower_program(program, dtype, key=key)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return compiled
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "resident": len(self._entries),
+                    "capacity": self.capacity}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+_DEFAULT_CACHE = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide plan cache used when no explicit cache is given."""
+    return _DEFAULT_CACHE
+
+
+def compile_schedule(program: ProgramSchedule, dtype=np.float64,
+                     cache: PlanCache | None = None) -> CompiledProgram:
+    """Lower (or fetch the cached lowering of) a program schedule."""
+    if cache is None:  # NOT `or`: an empty PlanCache is falsy (len == 0)
+        cache = _DEFAULT_CACHE
+    return cache.get_or_lower(program, dtype)
+
+
+def execute_compiled(program: ProgramSchedule,
+                     feeds: dict[str, np.ndarray], dtype=np.float64,
+                     cache: PlanCache | None = None,
+                     ) -> dict[str, np.ndarray]:
+    """Convenience wrapper mirroring :func:`execute_schedule`: lower
+    through the plan cache, then execute ``feeds``."""
+    return compile_schedule(program, dtype, cache).execute(feeds)

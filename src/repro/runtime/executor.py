@@ -77,6 +77,13 @@ class ScheduleExecutor:
             for t in graph.output_tensors
         }
 
+        # Hoist the dtype conversion of global operands: one np.asarray per
+        # kernel instead of one per (tensor, grid block) in _fetch.
+        genv = {
+            name: np.asarray(arr, dtype=self.dtype)
+            for name, arr in env.items() if name in graph.tensors
+        }
+
         cfg = kernel.effective_config()
         grid_axes: list[list[tuple[int, int]]] = []
         for dim in kernel.spatial_dims:
@@ -91,9 +98,9 @@ class ScheduleExecutor:
         for combo in itertools.product(*grid_axes) if grid_axes else [()]:
             ctx = dict(zip(kernel.spatial_dims, combo))
             if kernel.plan is not None:
-                self._run_temporal_block(kernel, ctx, env, outputs, sizes)
+                self._run_temporal_block(kernel, ctx, genv, outputs, sizes)
             else:
-                self._run_plain_block(kernel, ctx, env, outputs, sizes)
+                self._run_plain_block(kernel, ctx, genv, outputs, sizes)
 
         env.update(outputs)
 
@@ -108,8 +115,7 @@ class ScheduleExecutor:
             return local[name]
         if name in env:
             spec = graph.tensors[name]
-            arr = _slice_array(np.asarray(env[name], dtype=self.dtype),
-                               spec.dims, ctx)
+            arr = _slice_array(env[name], spec.dims, ctx)
             local[name] = arr
             return arr
         raise ExecutionError(f"tensor {name!r} unavailable during execution")
@@ -140,9 +146,12 @@ class ScheduleExecutor:
         for op in graph.topological_ops():
             local[op.output] = self._eval(op, graph, local, env, ctx, sizes)
         for t, arr in outputs.items():
-            if t in local:
-                spec = graph.tensors[t]
-                _slice_array(arr, spec.dims, ctx)[...] = local[t]
+            if t not in local:
+                raise ExecutionError(
+                    f"kernel {kernel.name!r}: output tensor {t!r} was never "
+                    f"produced by any op (would return stale zeros)")
+            spec = graph.tensors[t]
+            _slice_array(arr, spec.dims, ctx)[...] = local[t]
 
     def _run_temporal_block(self, kernel: KernelSchedule,
                             ctx: dict[str, tuple[int, int]],

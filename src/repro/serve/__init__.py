@@ -6,7 +6,8 @@ The layer that amortises SpaceFusion's compilation cost across traffic:
   :class:`~repro.core.serialize.ScheduleCache`, with single-flight
   compilation;
 * :class:`InferenceSession` — owns one compiled workload (compile through
-  the cache, lower via codegen, execute requests, degrade gracefully);
+  the cache, lower once via the compiled execution engine — or interpret
+  with ``engine="interpreter"`` — execute requests, degrade gracefully);
 * :func:`compile_model_parallel` — per-subprogram parallel compilation
   with a deterministic merge matching the serial path;
 * :class:`FusionServer` — thread-pooled front-end with dynamic batching
@@ -21,6 +22,9 @@ from .metrics import Histogram, ServeMetrics
 from .parallel import compile_model_parallel, default_max_workers
 from .server import FusionServer, ServerError
 from .session import (
+    ENGINE_COMPILED,
+    ENGINE_INTERPRETER,
+    ENGINES,
     InferenceSession,
     SessionError,
     SessionInfo,
@@ -28,6 +32,9 @@ from .session import (
 )
 
 __all__ = [
+    "ENGINES",
+    "ENGINE_COMPILED",
+    "ENGINE_INTERPRETER",
     "FusionServer",
     "Histogram",
     "InferenceSession",

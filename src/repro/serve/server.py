@@ -183,7 +183,8 @@ class FusionServer:
             info = self.sessions[name].info()
             cache = info.meta.get("cache", {})
             lines.append(
-                f"  {name}: state={info.state} kernels={info.kernels} "
+                f"  {name}: state={info.state} engine={info.engine} "
+                f"kernels={info.kernels} "
                 f"requests={info.requests} degraded={info.degraded_requests}"
                 + (f" error={info.compile_error!r}"
                    if info.compile_error else ""))

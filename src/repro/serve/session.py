@@ -2,11 +2,19 @@
 
 An :class:`InferenceSession` owns everything needed to answer requests for
 one workload graph on one GPU: it compiles through the two-tier cache
-(:class:`~repro.serve.cache.TieredScheduleCache`), lowers the schedule to
-executable Python kernels via :mod:`repro.codegen.python_backend`, and
-executes request feeds.  Generated kernels are pure functions over a
-per-request environment dict, so any number of threads can execute
-concurrently on one session.
+(:class:`~repro.serve.cache.TieredScheduleCache`), lowers the schedule
+through the plan cache of the compiled execution engine
+(:mod:`repro.runtime.compiled`), and executes request feeds.  Lowered
+programs are pure functions over a per-request environment dict, so any
+number of threads can execute concurrently on one session.
+
+Two engines are available (``engine=`` constructor argument):
+
+* ``"compiled"`` (default) — the lower-once engine: vectorized
+  whole-tensor kernels, cached :class:`~repro.runtime.compiled.CompiledProgram`
+  artifacts shared across sessions via the process-wide plan cache;
+* ``"interpreter"`` — the schedule interpreter, kept as the always-correct
+  fallback and as the parity oracle the compiled engine is tested against.
 
 Graceful degradation: if compilation fails, or a request's deadline
 expires before the compiled artifact is ready, the session serves the
@@ -24,18 +32,27 @@ from typing import Callable
 
 import numpy as np
 
-from ..codegen.python_backend import GeneratedKernel, compile_program_to_python
 from ..core.compiler import FusionOptions
 from ..core.schedule import ProgramSchedule
 from ..hw.specs import GPUSpec
 from ..ir.graph import DataflowGraph
 from ..obs import span as obs_span
+from ..runtime.compiled import (
+    CompiledProgram,
+    PlanCache,
+    compile_schedule,
+)
+from ..runtime.executor import ScheduleExecutor
 from ..runtime.kernels import execute_graph_reference
 from .cache import TieredScheduleCache
 from .metrics import ServeMetrics
 
 #: Compile lifecycle states.
 PENDING, READY, FAILED = "pending", "ready", "failed"
+
+#: Execution engines a session can run on.
+ENGINE_COMPILED, ENGINE_INTERPRETER = "compiled", "interpreter"
+ENGINES = (ENGINE_COMPILED, ENGINE_INTERPRETER)
 
 
 class SessionError(Exception):
@@ -59,6 +76,7 @@ class SessionInfo:
     workload: str
     gpu: str
     state: str
+    engine: str = ENGINE_COMPILED
     requests: int = 0
     degraded_requests: int = 0
     compile_error: str | None = None
@@ -74,10 +92,17 @@ class InferenceSession:
                  cache: TieredScheduleCache | None = None,
                  metrics: ServeMetrics | None = None,
                  compile_fn: Callable[[], ProgramSchedule] | None = None,
-                 eager: bool = False) -> None:
+                 eager: bool = False,
+                 engine: str = ENGINE_COMPILED,
+                 plan_cache: PlanCache | None = None) -> None:
+        if engine not in ENGINES:
+            raise SessionError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.graph = graph
         self.gpu = gpu
         self.options = options
+        self.engine = engine
+        self.plan_cache = plan_cache
         self.metrics = metrics or (cache.metrics if cache is not None
                                    else ServeMetrics())
         self.cache = cache if cache is not None else \
@@ -89,7 +114,8 @@ class InferenceSession:
         self._compile_thread: threading.Thread | None = None
         self.compile_error: str | None = None
         self.schedule: ProgramSchedule | None = None
-        self.kernels: list[GeneratedKernel] = []
+        self.program: CompiledProgram | None = None
+        self._interpreter: ScheduleExecutor | None = None
         self._requests = 0
         self._degraded = 0
         self._count_lock = threading.Lock()
@@ -115,11 +141,14 @@ class InferenceSession:
                 schedule = self.cache.get_or_compile(
                     self.graph, self.gpu.name, self._compile_fn,
                     self._options_repr())
-            with obs_span("codegen", category="compile",
-                          workload=self.graph.name):
-                kernels = compile_program_to_python(schedule)
+            with obs_span("session_lower", category="compile",
+                          workload=self.graph.name, engine=self.engine):
+                if self.engine == ENGINE_COMPILED:
+                    self.program = compile_schedule(
+                        schedule, cache=self.plan_cache)
+                else:
+                    self._interpreter = ScheduleExecutor()
             self.schedule = schedule
-            self.kernels = kernels
             self._state = READY
         except Exception as exc:  # noqa: BLE001 — any compile failure degrades
             self.compile_error = f"{type(exc).__name__}: {exc}"
@@ -154,15 +183,26 @@ class InferenceSession:
     def state(self) -> str:
         return self._state
 
+    @property
+    def num_kernels(self) -> int:
+        if self.program is not None:
+            return len(self.program.kernels)
+        if self.schedule is not None:
+            return self.schedule.num_kernels
+        return 0
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
     def _execute_fused(self, feeds: dict[str, np.ndarray],
                        ) -> dict[str, np.ndarray]:
-        env = {k: np.asarray(v, dtype=np.float64) for k, v in feeds.items()}
-        for gk in self.kernels:
-            gk(env)
+        if self.engine == ENGINE_COMPILED:
+            assert self.program is not None
+            env = self.program.execute(feeds)
+        else:
+            assert self._interpreter is not None and self.schedule is not None
+            env = self._interpreter.execute_program(self.schedule, feeds)
         return {t: env[t] for t in self.graph.output_tensors}
 
     def _execute_reference(self, feeds: dict[str, np.ndarray],
@@ -175,7 +215,7 @@ class InferenceSession:
         t0 = time.perf_counter()
         degraded_reason: str | None = None
         with obs_span("execute", category="serve",
-                      workload=self.graph.name) as sp:
+                      workload=self.graph.name, engine=self.engine) as sp:
             if self.ensure_compiled(timeout):
                 outputs = self._execute_fused(feeds)
             else:
@@ -205,10 +245,14 @@ class InferenceSession:
     def info(self) -> SessionInfo:
         with self._count_lock:
             requests, degraded = self._requests, self._degraded
+        meta = {"cache": self.cache.stats()}
+        if self.program is not None:
+            meta["plan_kinds"] = self.program.kind_counts()
         return SessionInfo(
             workload=self.graph.name, gpu=self.gpu.name, state=self._state,
+            engine=self.engine,
             requests=requests, degraded_requests=degraded,
             compile_error=self.compile_error,
-            kernels=len(self.kernels),
-            meta={"cache": self.cache.stats()},
+            kernels=self.num_kernels,
+            meta=meta,
         )

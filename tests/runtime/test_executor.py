@@ -162,3 +162,58 @@ class TestExecutorErrors:
                  random_feeds(small_mha, seed=0).items()}
         with pytest.raises(ExecutionError, match="lacks block"):
             ScheduleExecutor().execute_kernel(kernel, feeds)
+
+    def test_never_produced_output_raises_not_stale_zeros(self):
+        """A declared output no op produces must raise and name the tensor,
+        not be silently returned as its zero-initialised buffer."""
+        from repro.ir import GraphBuilder
+
+        b = GraphBuilder("phantom")
+        x = b.input("X", [("m", 8), ("n", 8)])
+        b.unary("exp", x, out_name="Y")
+        graph = b.build()
+        graph.tensors["Z"] = type(graph.tensors["Y"])(
+            "Z", ("m", "n"), "fp16", False)
+        graph.declared_outputs = ["Y", "Z"]
+        smg = build_smg(graph)
+        kernel = KernelSchedule("k", smg, ("m",),
+                                config=ScheduleConfig(block=(("m", 8),)))
+        feeds = {"X": np.ones((8, 8))}
+        with pytest.raises(ExecutionError, match="'Z'.*never"):
+            ScheduleExecutor().execute_kernel(kernel, feeds)
+
+
+class TestOperandConversionHoist:
+    def test_integer_feeds_converted_once_without_mutation(self, small_ln):
+        """execute_kernel converts globals to the executor dtype up front;
+        the caller's arrays keep their dtype and contents."""
+        sched, _ = compile_for(small_ln, AMPERE)
+        feeds = random_feeds(small_ln, seed=4)
+        int_feeds = {k: (v * 100).astype(np.int64) for k, v in feeds.items()}
+        originals = {k: v.copy() for k, v in int_feeds.items()}
+
+        env = dict(int_feeds)
+        executor = ScheduleExecutor()
+        for kernel in sched.kernels:
+            executor.execute_kernel(kernel, env)
+
+        out = small_ln.output_tensors[0]
+        assert env[out].dtype == np.float64
+        expected = execute_schedule(
+            sched, {k: v.astype(np.float64) for k, v in int_feeds.items()})
+        np.testing.assert_array_equal(env[out], expected[out])
+        for k, orig in originals.items():
+            assert int_feeds[k].dtype == np.int64
+            np.testing.assert_array_equal(int_feeds[k], orig)
+
+    def test_unrelated_env_entries_ignored(self, small_ln):
+        """Entries in the environment that are not kernel tensors must not
+        be touched by the hoisted conversion."""
+        sched, _ = compile_for(small_ln, AMPERE)
+        env = {k: np.asarray(v) for k, v in
+               random_feeds(small_ln, seed=0).items()}
+        sentinel = np.array(["not", "a", "tensor"])
+        env["__aux__"] = sentinel
+        for kernel in sched.kernels:
+            ScheduleExecutor().execute_kernel(kernel, env)
+        assert env["__aux__"] is sentinel

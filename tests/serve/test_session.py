@@ -3,10 +3,18 @@
 import threading
 
 import numpy as np
+import pytest
 
 from repro.hw import AMPERE
 from repro.runtime.kernels import execute_graph_reference, random_feeds
-from repro.serve import InferenceSession, ServeMetrics, TieredScheduleCache
+from repro.serve import (
+    ENGINE_COMPILED,
+    ENGINE_INTERPRETER,
+    InferenceSession,
+    ServeMetrics,
+    TieredScheduleCache,
+)
+from repro.serve.session import SessionError
 
 
 class TestFusedServing:
@@ -61,6 +69,43 @@ class TestFusedServing:
         b = InferenceSession(small_ln, AMPERE, cache=cache, eager=True)
         assert a.schedule is b.schedule       # second session hit the LRU
         assert cache.stats()["compile_misses"] == 1
+
+
+class TestExecutionEngines:
+    def test_default_engine_is_compiled(self, small_ln):
+        session = InferenceSession(small_ln, AMPERE)
+        assert session.engine == ENGINE_COMPILED
+        session.execute(random_feeds(small_ln, seed=0))
+        assert session.info().engine == ENGINE_COMPILED
+
+    def test_interpreter_engine_bitwise_matches_compiled(self, small_mha):
+        feeds = random_feeds(small_mha, seed=11)
+        compiled = InferenceSession(small_mha, AMPERE,
+                                    engine=ENGINE_COMPILED)
+        interp = InferenceSession(small_mha, AMPERE,
+                                  engine=ENGINE_INTERPRETER)
+        r_c = compiled.execute(feeds)
+        r_i = interp.execute(feeds)
+        assert not r_c.degraded and not r_i.degraded
+        for name, arr in r_i.outputs.items():
+            np.testing.assert_array_equal(r_c.outputs[name], arr)
+
+    def test_unknown_engine_rejected(self, small_ln):
+        with pytest.raises(SessionError, match="engine"):
+            InferenceSession(small_ln, AMPERE, engine="jit")
+
+    def test_sessions_share_plan_cache(self, small_ln):
+        from repro.runtime import PlanCache
+
+        plans = PlanCache()
+        a = InferenceSession(small_ln, AMPERE, plan_cache=plans, eager=True)
+        b = InferenceSession(small_ln, AMPERE, plan_cache=plans, eager=True)
+        feeds = random_feeds(small_ln, seed=1)
+        a.execute(feeds)
+        b.execute(feeds)
+        stats = plans.stats()
+        assert stats["misses"] == 1 and stats["hits"] >= 1
+        assert a.program is b.program
 
 
 class TestGracefulDegradation:
