@@ -11,6 +11,9 @@ Commands:
 * ``bench``    — regenerate one paper experiment (``fig11a`` ... ``table6``);
 * ``bench-runtime`` — time the schedule interpreter against the compiled
   execution engine on the Fig. 11–13 workloads and report the speedup;
+* ``chaos``    — run a seeded fault schedule against a live FusionServer
+  and assert the resilience invariants (exactly-once answers, finite
+  reference-equal outputs, clean drain);
 * ``validate`` — execute a compiled schedule numerically against the
   unfused reference and report the max error.
 """
@@ -287,6 +290,27 @@ def cmd_bench_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos harness: inject a seeded fault schedule into a live server,
+    check every resilience invariant, write the robustness report."""
+    from .resilience.chaos import ChaosError, load_fault_plan, run_chaos
+
+    try:
+        plan = load_fault_plan(args.faults) if args.faults else None
+        report = run_chaos(seed=args.seed, requests=args.requests,
+                           workload=args.workload, fault_plan=plan,
+                           queue_depth=args.queue_depth,
+                           workers=args.workers,
+                           report_path=args.report)
+    except ChaosError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.report:
+        print(f"\nreport written to {args.report}")
+    return 0 if report.ok else 1
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     gpu = get_gpu(args.gpu)
     graph = WORKLOADS[args.workload]()
@@ -388,6 +412,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution engine for the sessions "
                         "(default: compiled)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("chaos",
+                       help="inject a seeded fault schedule into a live "
+                            "server and assert resilience invariants")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the fault schedule RNG (default: 0)")
+    p.add_argument("--requests", type=int, default=200,
+                   help="total request budget across all phases "
+                        "(default: 200)")
+    p.add_argument("--workload", default="mlp",
+                   choices=["mlp", "layernorm"],
+                   help="chaos workload (small by design; default: mlp)")
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="fault plan JSON (default: the canned plan that "
+                        "exercises every registered failpoint)")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="admission-control queue bound (default: 8)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="server worker threads (default: 2)")
+    p.add_argument("--report", default="BENCH_robustness.json",
+                   metavar="OUT.json",
+                   help="where to write the robustness report "
+                        "(default: BENCH_robustness.json; '' to skip)")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("validate",
                        help="check fused execution against the reference")

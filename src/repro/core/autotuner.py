@@ -23,12 +23,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..resilience import faults as _faults
 from .schedule import KernelSchedule, ScheduleConfig
 
 #: Paper's tuning procedure constants.
 WARMUP_RUNS = 20
 MEASURE_RUNS = 100
 DEFAULT_ALPHA = 0.25
+
+#: Failpoint at the head of every tuning campaign: a per-candidate
+#: compile/measure failure in the real system aborts the kernel's
+#: campaign, which the serving cache's retry policy then absorbs.
+FP_TUNE = _faults.register("compile.autotune")
 
 
 @dataclass
@@ -59,6 +65,7 @@ def evaluate_search_space(
     that other threads hold references to; callers then commit the choice
     with :func:`apply_tune_result` at a deterministic merge point.
     """
+    _faults.fire(FP_TUNE)
     best_cfg: ScheduleConfig | None = None
     best_time = float("inf")
     wall = 0.0

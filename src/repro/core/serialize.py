@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
+import tempfile
 
 from ..ir.graph import DataflowGraph
 from ..ir.ops import Op
@@ -268,8 +270,23 @@ class ScheduleCache:
 
     def put(self, graph: DataflowGraph, gpu_name: str,
             schedule: ProgramSchedule, options_repr: str = "") -> None:
+        """Store atomically: write a temp file in the same directory and
+        ``os.replace`` it over the entry, so a crash mid-write can never
+        leave a truncated JSON file for a later boot to trip on."""
         path = self.directory / f"{self._key(graph, gpu_name, options_repr)}.json"
-        path.write_text(schedule_to_json(schedule))
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory,
+                                        prefix=path.stem + ".",
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(schedule_to_json(schedule))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
 
 def compile_cached(graph: DataflowGraph, gpu, cache: ScheduleCache,

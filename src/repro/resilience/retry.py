@@ -1,0 +1,194 @@
+"""Retry with backoff, and circuit breaking, for the serving stack.
+
+:class:`RetryPolicy` wraps an operation that may fail transiently (a
+compile attempt, a plan lowering) in capped exponential backoff with
+seeded jitter and a total sleep budget, so a flaky dependency costs
+bounded extra latency instead of an error.
+
+:class:`CircuitBreaker` is the classic closed → open → half-open state
+machine: after ``failure_threshold`` *consecutive* failures the breaker
+opens and callers stop attempting the protected path (the session routes
+requests straight to the reference fallback); after ``reset_timeout_s``
+one probe is allowed through (half-open) — success closes the breaker,
+failure re-opens it.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class RetryPolicy:
+    """Budget-capped exponential backoff with decorrelating jitter."""
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.005
+    max_delay_s: float = 0.1
+    multiplier: float = 2.0
+    #: Fraction of each delay randomised away (0 = deterministic delays).
+    jitter: float = 0.5
+    #: Total sleeping allowed across all retries of one call.
+    sleep_budget_s: float = 1.0
+    retry_on: tuple[type[BaseException], ...] = (Exception,)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay_for(self, retry_index: int,
+                  rng: random.Random | None = None) -> float:
+        """Backoff before retry number ``retry_index`` (0-based)."""
+        delay = min(self.max_delay_s,
+                    self.base_delay_s * self.multiplier ** retry_index)
+        if self.jitter and rng is not None:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+    def call(self, fn: Callable,
+             on_retry: Callable[[int, BaseException, float], None]
+             | None = None,
+             rng: random.Random | None = None,
+             sleep: Callable[[float], None] = time.sleep):
+        """Run ``fn`` with retries; re-raises the last error when the
+        attempt count or the sleep budget is exhausted.
+
+        ``on_retry(attempt, exc, delay_s)`` is called before each backoff
+        sleep (attempt numbering starts at 1 for the first *retry*).
+        """
+        if rng is None:
+            rng = random.Random(self.seed)
+        slept = 0.0
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except self.retry_on as exc:
+                delay = self.delay_for(attempt, rng)
+                if (attempt + 1 >= self.max_attempts
+                        or slept + delay > self.sleep_budget_s):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt + 1, exc, delay)
+                sleep(delay)
+                slept += delay
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: Circuit-breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Thread-safe closed/open/half-open breaker over a fallible path.
+
+    Callers bracket the protected operation with :meth:`allow` (False ⇒
+    take the fallback immediately) and :meth:`record_success` /
+    :meth:`record_failure`.  ``on_transition(old, new)`` — settable after
+    construction — observes every state change (the serving layer points
+    it at metrics counters); keep it cheap and non-reentrant, it runs
+    under the breaker lock.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_s: float = 30.0,
+                 half_open_max_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Callable[[str, str], None] | None = None,
+                 ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if half_open_max_probes < 1:
+            raise ValueError("half_open_max_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_max_probes = half_open_max_probes
+        self.on_transition = on_transition
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes = 0
+        self.transitions: list[tuple[str, str]] = []
+        self._cycles = 0
+
+    # -- internals (lock held) ------------------------------------------
+
+    def _transition(self, new: str) -> None:
+        old = self._state
+        if old == new:
+            return
+        self._state = new
+        self.transitions.append((old, new))
+        if old == HALF_OPEN and new == CLOSED:
+            self._cycles += 1
+        if new == OPEN:
+            self._opened_at = self._clock()
+        if new == HALF_OPEN:
+            self._probes = 0
+        if self.on_transition is not None:
+            self.on_transition(old, new)
+
+    # -- caller protocol -------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the protected path be attempted right now?
+
+        In half-open state at most ``half_open_max_probes`` callers get
+        True until a probe outcome is recorded; everyone else falls back.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.reset_timeout_s:
+                    return False
+                self._transition(HALF_OPEN)
+            if self._probes < self.half_open_max_probes:
+                self._probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                self._transition(OPEN)
+            elif (self._state == CLOSED
+                  and self._consecutive_failures >= self.failure_threshold):
+                self._transition(OPEN)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def cycles(self) -> int:
+        """Completed open → half-open → closed recovery cycles."""
+        with self._lock:
+            return self._cycles
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "transitions": list(self.transitions),
+                "recovery_cycles": self._cycles,
+            }

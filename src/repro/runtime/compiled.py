@@ -51,12 +51,26 @@ from ..codegen.python_backend import (
 )
 from ..core.schedule import KernelSchedule, ProgramSchedule, ScheduleConfig
 from ..obs import span as obs_span
+from ..resilience import faults as _faults
 from .executor import ExecutionError, ScheduleExecutor
 from .kernels import KernelError, evaluate_op
+
+#: Failpoints in the lower/execute path (armed only by tests/chaos).
+FP_LOWER = _faults.register("runtime.lower")
+FP_EXECUTE = _faults.register("runtime.execute")
+#: Behavioural failpoint: poisons the execution env with NaNs, modelling
+#: a miscompiled plan (the UTA online-rescaling hazard) so the session's
+#: quarantine path can be exercised deterministically.
+FP_POISON = _faults.register("runtime.poison")
 
 
 class LoweringError(Exception):
     """Raised when a schedule cannot be lowered to an executable plan."""
+
+
+def outputs_finite(env: dict, tensors) -> bool:
+    """True iff every named tensor in ``env`` is fully finite."""
+    return all(bool(np.isfinite(env[t]).all()) for t in tensors)
 
 
 # ----------------------------------------------------------------------
@@ -267,6 +281,7 @@ class CompiledProgram:
         (the same contract as :func:`repro.runtime.execute_schedule`)."""
         with obs_span("compiled_execute", category="runtime",
                       program=self.name, kernels=len(self.kernels)):
+            _faults.fire(FP_EXECUTE)
             env = {k: np.asarray(v, dtype=self.dtype)
                    for k, v in feeds.items()}
             try:
@@ -276,6 +291,10 @@ class CompiledProgram:
                 raise ExecutionError(
                     f"program {self.name!r}: missing global tensor "
                     f"{exc.args[0]!r}") from exc
+            if _faults.triggered(FP_POISON):
+                for name, arr in env.items():
+                    if np.issubdtype(np.asarray(arr).dtype, np.floating):
+                        env[name] = np.full_like(arr, np.nan)
         with self._lock:
             self._executions += 1
         return env
@@ -309,6 +328,7 @@ def lower_program(program: ProgramSchedule, dtype=np.float64,
     t0 = time.perf_counter()
     with obs_span("lower", category="runtime", program=program.name,
                   kernels=program.num_kernels, dtype=dtype.name):
+        _faults.fire(FP_LOWER)
         kernels = [lower_kernel(k, dtype) for k in program.kernels]
     return CompiledProgram(
         name=program.name,
@@ -341,6 +361,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.quarantined = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -369,10 +390,26 @@ class PlanCache:
                 self.evictions += 1
         return compiled
 
+    def evict(self, key: tuple) -> bool:
+        """Quarantine: drop one plan so it can never be re-served.
+
+        Returns True iff the key was resident.  Used when a compiled
+        plan starts emitting non-finite values — the next request for
+        the schedule re-lowers from scratch instead of reusing the
+        poisoned artifact.
+        """
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.quarantined += 1
+                return True
+            return False
+
     def stats(self) -> dict[str, int]:
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
                     "evictions": self.evictions,
+                    "quarantined": self.quarantined,
                     "resident": len(self._entries),
                     "capacity": self.capacity}
 

@@ -16,7 +16,14 @@ The layer that amortises SpaceFusion's compilation cost across traffic:
   serve-stats report.
 """
 
-from .batching import Request, RequestQueue, batch_key
+from .batching import (
+    InvalidRequestError,
+    Overloaded,
+    Request,
+    RequestQueue,
+    batch_key,
+    validate_feeds,
+)
 from .cache import TieredScheduleCache
 from .metrics import Histogram, ServeMetrics
 from .parallel import compile_model_parallel, default_max_workers
@@ -38,6 +45,8 @@ __all__ = [
     "FusionServer",
     "Histogram",
     "InferenceSession",
+    "InvalidRequestError",
+    "Overloaded",
     "Request",
     "RequestQueue",
     "ServeMetrics",
@@ -47,6 +56,7 @@ __all__ = [
     "SessionReply",
     "TieredScheduleCache",
     "batch_key",
+    "validate_feeds",
     "compile_model_parallel",
     "default_max_workers",
 ]

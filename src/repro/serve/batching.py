@@ -21,6 +21,52 @@ import numpy as np
 _seq = itertools.count()
 
 
+class Overloaded(RuntimeError):
+    """Typed load-shed rejection: the request queue is at its bound.
+
+    Raised at submit time — the request never entered the queue, so
+    retrying later (or against another replica) is always safe.
+    """
+
+    def __init__(self, depth: int, bound: int) -> None:
+        super().__init__(
+            f"request queue at depth bound ({depth}/{bound}); shed")
+        self.depth = depth
+        self.bound = bound
+
+
+class InvalidRequestError(ValueError):
+    """Typed rejection for malformed request feeds (pre-queue)."""
+
+
+def validate_feeds(feeds: dict[str, np.ndarray],
+                   required=None) -> None:
+    """Reject garbage feeds before they reach the batcher.
+
+    Non-finite values and non-numeric dtypes would surface deep in the
+    engine as execution failures (and wrongly trip the circuit breaker);
+    catching them at submit time turns them into an immediate, typed
+    client error instead.
+    """
+    if not isinstance(feeds, dict):
+        raise InvalidRequestError(
+            f"feeds must be a dict of arrays, got {type(feeds).__name__}")
+    for name, value in feeds.items():
+        arr = np.asarray(value)
+        if arr.dtype.kind not in "fiub":
+            raise InvalidRequestError(
+                f"feed {name!r} has unsupported dtype {arr.dtype} "
+                f"(would not cast cleanly to the engine dtype)")
+        if arr.dtype.kind == "f" and not np.isfinite(arr).all():
+            raise InvalidRequestError(
+                f"feed {name!r} contains non-finite values")
+    if required is not None:
+        missing = sorted(set(required) - set(feeds))
+        if missing:
+            raise InvalidRequestError(
+                f"missing required input feeds: {missing}")
+
+
 def batch_key(workload: str, feeds: dict[str, np.ndarray]) -> tuple:
     """Coalescing key: workload plus every input's shape."""
     shapes = tuple(sorted((name, np.asarray(arr).shape)
@@ -39,8 +85,14 @@ class Request:
     enqueued_at: float = field(default_factory=time.monotonic)
     _done: threading.Event = field(default_factory=threading.Event,
                                    repr=False)
+    _resolve_lock: threading.Lock = field(default_factory=threading.Lock,
+                                          repr=False)
     reply: Any = None
     error: Exception | None = None
+    #: Completion attempts (resolve + fail).  Exactly 1 for a healthy
+    #: request; the chaos harness asserts no request is ever answered
+    #: twice.  First completion wins, later ones only bump the count.
+    resolutions: int = 0
 
     @property
     def key(self) -> tuple:
@@ -54,12 +106,19 @@ class Request:
 
     # -- completion (server side) --------------------------------------
 
+    def _first_completion(self) -> bool:
+        with self._resolve_lock:
+            self.resolutions += 1
+            return self.resolutions == 1
+
     def resolve(self, reply) -> None:
-        self.reply = reply
+        if self._first_completion():
+            self.reply = reply
         self._done.set()
 
     def fail(self, error: Exception) -> None:
-        self.error = error
+        if self._first_completion():
+            self.error = error
         self._done.set()
 
     # -- waiting (client side) -----------------------------------------
@@ -83,21 +142,35 @@ class RequestQueue:
     ``on_expired`` (optional) is called — with the queue lock held, after
     the request has been failed with :class:`TimeoutError` — for every
     request whose deadline passed before it could be dispatched.
+
+    ``max_depth`` (optional) bounds the queue: a :meth:`put` that would
+    exceed it raises :class:`Overloaded` instead of growing latency
+    without limit — admission control, not backpressure-by-blocking.
     """
 
     def __init__(self, on_expired: Callable[[Request], None] | None = None,
-                 ) -> None:
+                 max_depth: int | None = None) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1 (or None)")
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._items: list[Request] = []
         self._closed = False
         self._on_expired = on_expired
+        self.max_depth = max_depth
 
     def put(self, request: Request) -> int:
-        """Enqueue; returns the queue depth *after* insertion."""
+        """Enqueue; returns the queue depth *after* insertion.
+
+        Raises :class:`Overloaded` when the depth bound is reached — the
+        request is *not* enqueued and will never be dispatched.
+        """
         with self._cond:
             if self._closed:
                 raise RuntimeError("queue is closed")
+            if (self.max_depth is not None
+                    and len(self._items) >= self.max_depth):
+                raise Overloaded(len(self._items), self.max_depth)
             self._items.append(request)
             depth = len(self._items)
             # notify_all, not notify: a single wake-up could land on a

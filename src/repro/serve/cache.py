@@ -16,12 +16,22 @@ from collections import OrderedDict
 from typing import Callable
 
 from ..core.schedule import ProgramSchedule
-from ..core.serialize import ScheduleCache, cache_key
+from ..core.serialize import ScheduleCache, SerializeError, cache_key
 from ..ir.graph import DataflowGraph
 from ..obs import span as obs_span
+from ..resilience import faults as _faults
+from ..resilience.retry import RetryPolicy
 from .metrics import ServeMetrics
 
 CompileFn = Callable[[], ProgramSchedule]
+
+#: Failpoints on the cold-resolution path (armed only by tests/chaos).
+FP_DISK_GET = _faults.register("serve.cache.disk_get")
+FP_DISK_PUT = _faults.register("serve.cache.disk_put")
+FP_COMPILE = _faults.register("serve.cache.compile")
+
+#: Disk-tier errors that count as a miss instead of failing the request.
+_DISK_ERRORS = (OSError, SerializeError, _faults.FaultInjected)
 
 
 class _Flight:
@@ -45,12 +55,18 @@ class TieredScheduleCache:
 
     def __init__(self, capacity: int = 64,
                  disk: ScheduleCache | None = None,
-                 metrics: ServeMetrics | None = None) -> None:
+                 metrics: ServeMetrics | None = None,
+                 retry_policy: RetryPolicy | None = None) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self.disk = disk
         self.metrics = metrics or ServeMetrics()
+        #: Backoff policy around compile attempts (and, via the session,
+        #: plan lowering): transient compiler faults retry instead of
+        #: degrading the session for its whole lifetime.
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay_s=0.005, max_delay_s=0.05)
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, ProgramSchedule]" = OrderedDict()
         self._inflight: dict[str, _Flight] = {}
@@ -137,7 +153,15 @@ class TieredScheduleCache:
             sp.note(tier="memory")
             return sched
         if self.disk is not None:
-            sched = self.disk.get(graph, gpu_name, options_repr)
+            # A broken disk tier must never fail the request: an I/O or
+            # deserialisation error is a miss (we can still compile).
+            try:
+                _faults.fire(FP_DISK_GET)
+                sched = self.disk.get(graph, gpu_name, options_repr)
+            except _DISK_ERRORS as exc:
+                self.metrics.inc("cache.disk_errors")
+                sp.note(disk_error=f"{type(exc).__name__}: {exc}")
+                sched = None
             if sched is not None:
                 self.metrics.inc("cache.disk_hits")
                 sp.note(tier="disk")
@@ -146,12 +170,33 @@ class TieredScheduleCache:
         self.metrics.inc("cache.compile_misses")
         sp.note(tier="compile")
         t0 = time.perf_counter()
-        sched = compile_fn()
+        sched = self._compile_with_retry(compile_fn, sp)
         self.metrics.observe_compile(time.perf_counter() - t0)
         if self.disk is not None:
-            self.disk.put(graph, gpu_name, sched, options_repr)
+            # Same policy on the write side: the compiled schedule is
+            # already in hand, a failed persist only loses warm restarts.
+            try:
+                _faults.fire(FP_DISK_PUT)
+                self.disk.put(graph, gpu_name, sched, options_repr)
+            except _DISK_ERRORS as exc:
+                self.metrics.inc("cache.disk_errors")
+                sp.note(disk_put_error=f"{type(exc).__name__}: {exc}")
         self._memory_put(key, sched)
         return sched
+
+    def _compile_with_retry(self, compile_fn: CompileFn,
+                            sp) -> ProgramSchedule:
+        def attempt() -> ProgramSchedule:
+            _faults.fire(FP_COMPILE)
+            return compile_fn()
+
+        def on_retry(attempt_no: int, exc: BaseException,
+                     delay_s: float) -> None:
+            self.metrics.inc("cache.compile_retries")
+            sp.note(compile_retries=attempt_no,
+                    last_error=f"{type(exc).__name__}: {exc}")
+
+        return self.retry_policy.call(attempt, on_retry=on_retry)
 
     def inflight_keys(self) -> int:
         """Live single-flight registry size (0 whenever nothing compiles)."""
@@ -164,6 +209,8 @@ class TieredScheduleCache:
             "memory_hits": m.get("cache.memory_hits"),
             "disk_hits": m.get("cache.disk_hits"),
             "compile_misses": m.get("cache.compile_misses"),
+            "compile_retries": m.get("cache.compile_retries"),
+            "disk_errors": m.get("cache.disk_errors"),
             "memory_evictions": m.get("cache.memory_evictions"),
             "resident": len(self),
             "inflight": self.inflight_keys(),

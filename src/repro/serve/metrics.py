@@ -156,7 +156,9 @@ class ServeMetrics:
             k for k in snap
             if isinstance(snap[k], int)
             and ("." not in k
-                 or k.startswith(("fallbacks.", "requests.", "cache."))))
+                 or k.startswith(("fallbacks.", "requests.", "cache.",
+                                  "breaker.", "plans.", "faults.",
+                                  "lower."))))
         lines = ["serve-stats", "==========="]
         lines.append("counters:")
         for name in counter_keys:

@@ -16,10 +16,17 @@ import time
 
 import numpy as np
 
+from ..obs import event as obs_event
 from ..obs import span as obs_span
-from .batching import Request, RequestQueue
+from ..resilience import faults as _faults
+from ..resilience.retry import CLOSED as BREAKER_CLOSED
+from ..resilience.retry import OPEN as BREAKER_OPEN
+from .batching import Overloaded, Request, RequestQueue, validate_feeds
 from .metrics import ServeMetrics
-from .session import InferenceSession, SessionReply
+from .session import FAILED, InferenceSession, SessionReply
+
+#: Failpoint in the batch-assembly loop (armed only by tests/chaos).
+FP_BATCH = _faults.register("serve.batch")
 
 
 class ServerError(Exception):
@@ -32,7 +39,8 @@ class FusionServer:
     def __init__(self, sessions: dict[str, InferenceSession] | None = None,
                  *, max_batch: int = 8, max_wait_ms: float = 2.0,
                  workers: int = 2,
-                 metrics: ServeMetrics | None = None) -> None:
+                 metrics: ServeMetrics | None = None,
+                 max_queue_depth: int | None = None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self.sessions: dict[str, InferenceSession] = dict(sessions or {})
@@ -40,7 +48,8 @@ class FusionServer:
         self.max_wait_s = max_wait_ms / 1e3
         self.num_workers = max(1, workers)
         self.metrics = metrics or ServeMetrics()
-        self.queue = RequestQueue(on_expired=self._on_expired)
+        self.queue = RequestQueue(on_expired=self._on_expired,
+                                  max_depth=max_queue_depth)
         self._threads: list[threading.Thread] = []
         self._started = False
         self._stopped = False
@@ -116,12 +125,25 @@ class FusionServer:
 
     def submit(self, workload: str, feeds: dict[str, np.ndarray],
                timeout: float | None = None) -> Request:
-        """Enqueue one request; returns its future-like handle."""
+        """Enqueue one request; returns its future-like handle.
+
+        Raises :class:`~repro.serve.batching.InvalidRequestError` for
+        garbage feeds (non-finite values, uncastable dtypes, missing
+        inputs) and :class:`~repro.serve.batching.Overloaded` when the
+        queue is at its depth bound — both *before* the request enters
+        the batcher.
+        """
         if self._stopped:
             raise ServerError("server is stopped")
-        self.session(workload)  # validate early, before enqueueing
+        session = self.session(workload)  # validate early, before enqueueing
+        validate_feeds(feeds, required=session.graph.input_tensors)
         request = Request(workload=workload, feeds=feeds, timeout_s=timeout)
-        depth = self.queue.put(request)
+        try:
+            depth = self.queue.put(request)
+        except Overloaded:
+            self.metrics.inc("requests.shed")
+            obs_event("load_shed", category="serve", workload=workload)
+            raise
         self.metrics.observe_queue_depth(depth)
         return request
 
@@ -140,6 +162,15 @@ class FusionServer:
 
     def _worker_loop(self) -> None:
         while True:
+            try:
+                # Failpoint for the batcher itself: a delay stalls batch
+                # assembly (queue backs up, admission control sheds); a
+                # fail skips one round — requests stay queued and are
+                # picked up next iteration, never lost.
+                _faults.fire(FP_BATCH)
+            except _faults.FaultInjected:
+                self.metrics.inc("faults.batching")
+                continue
             with obs_span("batch_assembly", category="serve") as asp:
                 batch = self.queue.take_batch(self.max_batch,
                                               self.max_wait_s)
@@ -176,16 +207,55 @@ class FusionServer:
     # Reporting
     # ------------------------------------------------------------------
 
+    def health(self) -> dict:
+        """Operator health snapshot: ``healthy``/``degraded``/``unhealthy``.
+
+        A session is *impaired* when its compile failed outright or its
+        circuit breaker is not closed (open = fused path disabled,
+        half-open = probing recovery).  The server is ``degraded`` while
+        any session is impaired (impaired sessions still answer — via
+        the reference fallback) and ``unhealthy`` when it is stopped or
+        *every* session's fused path is down (FAILED or breaker open).
+        """
+        sessions: dict[str, dict] = {}
+        impaired = hard_down = 0
+        for name, s in self.sessions.items():
+            b_state = s.breaker.state
+            sessions[name] = {"state": s.state, "breaker": b_state,
+                              "engine": s.engine}
+            if s.state == FAILED or b_state != BREAKER_CLOSED:
+                impaired += 1
+            if s.state == FAILED or b_state == BREAKER_OPEN:
+                hard_down += 1
+        if self._stopped or (self.sessions
+                             and hard_down == len(self.sessions)):
+            status = "unhealthy"
+        elif impaired:
+            status = "degraded"
+        else:
+            status = "healthy"
+        return {
+            "status": status,
+            "stopped": self._stopped,
+            "queue_depth": self.queue.depth(),
+            "queue_bound": self.queue.max_depth,
+            "shed": self.metrics.get("requests.shed"),
+            "fallbacks": self.metrics.get("fallbacks"),
+            "sessions": sessions,
+        }
+
     def stats_report(self) -> str:
         """The serve-stats report: metrics plus per-session summaries."""
         lines = [self.metrics.render_report(), "", "sessions:"]
         for name in sorted(self.sessions):
             info = self.sessions[name].info()
             cache = info.meta.get("cache", {})
+            breaker = info.meta.get("breaker", {})
             lines.append(
                 f"  {name}: state={info.state} engine={info.engine} "
                 f"kernels={info.kernels} "
                 f"requests={info.requests} degraded={info.degraded_requests}"
+                + (f" breaker={breaker['state']}" if breaker else "")
                 + (f" error={info.compile_error!r}"
                    if info.compile_error else ""))
             if cache:

@@ -16,11 +16,23 @@ Two engines are available (``engine=`` constructor argument):
 * ``"interpreter"`` — the schedule interpreter, kept as the always-correct
   fallback and as the parity oracle the compiled engine is tested against.
 
-Graceful degradation: if compilation fails, or a request's deadline
-expires before the compiled artifact is ready, the session serves the
-request through the unfused reference kernels
-(:func:`repro.runtime.kernels.execute_graph_reference`) and records the
-downgrade — a slow correct answer instead of an error.
+Graceful degradation — the ladder is compiled → interpreter → reference:
+
+* if compilation fails (after the cache's retry policy is exhausted), or
+  a request's deadline expires before the compiled artifact is ready,
+  the session serves the request through the unfused reference kernels
+  (:func:`repro.runtime.kernels.execute_graph_reference`);
+* if the compiled engine *errors* on a request, the session answers via
+  the reference and counts the failure against a per-workload
+  :class:`~repro.resilience.retry.CircuitBreaker` — after N consecutive
+  failures the breaker opens and requests skip the fused path entirely
+  until a half-open probe succeeds;
+* if the compiled engine returns **non-finite** outputs that the
+  interpreter disagrees with, the poisoned plan is quarantined (evicted
+  from the :class:`~repro.runtime.compiled.PlanCache`), the request is
+  re-answered by the interpreter, and the schedule is re-lowered fresh.
+
+Every downgrade is recorded — a slow correct answer instead of an error.
 """
 
 from __future__ import annotations
@@ -36,11 +48,15 @@ from ..core.compiler import FusionOptions
 from ..core.schedule import ProgramSchedule
 from ..hw.specs import GPUSpec
 from ..ir.graph import DataflowGraph
+from ..obs import event as obs_event
 from ..obs import span as obs_span
+from ..resilience.retry import CircuitBreaker
 from ..runtime.compiled import (
     CompiledProgram,
     PlanCache,
     compile_schedule,
+    default_plan_cache,
+    outputs_finite,
 )
 from ..runtime.executor import ScheduleExecutor
 from ..runtime.kernels import execute_graph_reference
@@ -94,7 +110,8 @@ class InferenceSession:
                  compile_fn: Callable[[], ProgramSchedule] | None = None,
                  eager: bool = False,
                  engine: str = ENGINE_COMPILED,
-                 plan_cache: PlanCache | None = None) -> None:
+                 plan_cache: PlanCache | None = None,
+                 breaker: CircuitBreaker | None = None) -> None:
         if engine not in ENGINES:
             raise SessionError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -107,6 +124,9 @@ class InferenceSession:
                                    else ServeMetrics())
         self.cache = cache if cache is not None else \
             TieredScheduleCache(metrics=self.metrics)
+        self.breaker = breaker or CircuitBreaker()
+        if self.breaker.on_transition is None:
+            self.breaker.on_transition = self._on_breaker_transition
         self._compile_fn = compile_fn or self._default_compile
         self._state = PENDING
         self._ready = threading.Event()
@@ -144,8 +164,13 @@ class InferenceSession:
             with obs_span("session_lower", category="compile",
                           workload=self.graph.name, engine=self.engine):
                 if self.engine == ENGINE_COMPILED:
-                    self.program = compile_schedule(
-                        schedule, cache=self.plan_cache)
+                    # Lowering gets the same transient-fault retry
+                    # treatment as the compile itself.
+                    self.program = self.cache.retry_policy.call(
+                        lambda: compile_schedule(
+                            schedule, cache=self.plan_cache),
+                        on_retry=lambda n, exc, d:
+                            self.metrics.inc("lower.retries"))
                 else:
                     self._interpreter = ScheduleExecutor()
             self.schedule = schedule
@@ -209,20 +234,78 @@ class InferenceSession:
                            ) -> dict[str, np.ndarray]:
         return execute_graph_reference(self.graph, feeds)
 
+    # -- resilience hooks ----------------------------------------------
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        self.metrics.inc(f"breaker.{new}")
+        obs_event("breaker_transition", category="serve",
+                  workload=self.graph.name, old=old, new=new)
+
+    def _get_interpreter(self) -> ScheduleExecutor:
+        if self._interpreter is None:
+            self._interpreter = ScheduleExecutor()
+        return self._interpreter
+
+    def _quarantine_and_reanswer(self, feeds: dict[str, np.ndarray],
+                                 ) -> tuple[dict[str, np.ndarray], str]:
+        """The compiled engine produced non-finite outputs: re-answer via
+        the interpreter and decide whether the *plan* is to blame.
+
+        If the interpreter's answer is finite, the plan is poisoned —
+        evict it from the plan cache and re-lower fresh.  If the
+        interpreter agrees the result is non-finite, the data (not the
+        plan) produced it, and the plan stays.
+        """
+        assert self.schedule is not None and self.program is not None
+        env = self._get_interpreter().execute_program(self.schedule, feeds)
+        outputs = {t: env[t] for t in self.graph.output_tensors}
+        if not outputs_finite(outputs, self.graph.output_tensors):
+            self.metrics.inc("plans.nonfinite_data")
+            return outputs, "nonfinite_data"
+        cache = self.plan_cache or default_plan_cache()
+        cache.evict(self.program.key)
+        self.metrics.inc("plans.quarantined")
+        obs_event("plan_quarantine", category="serve",
+                  workload=self.graph.name, program=self.program.name)
+        self.program = compile_schedule(self.schedule, cache=cache)
+        return outputs, "plan_quarantined"
+
     def execute(self, feeds: dict[str, np.ndarray],
                 timeout: float | None = None) -> SessionReply:
-        """Answer one request; degrade to the reference path when needed."""
+        """Answer one request; degrade down the ladder when needed.
+
+        The ladder: compiled plan (breaker permitting) → interpreter
+        (only to re-answer a quarantined plan's request) → unfused
+        reference (compile trouble, open breaker, or an engine error).
+        """
         t0 = time.perf_counter()
         degraded_reason: str | None = None
         with obs_span("execute", category="serve",
                       workload=self.graph.name, engine=self.engine) as sp:
-            if self.ensure_compiled(timeout):
-                outputs = self._execute_fused(feeds)
-            else:
+            outputs: dict[str, np.ndarray] | None = None
+            if not self.ensure_compiled(timeout):
                 degraded_reason = ("compile_failed" if self._state == FAILED
                                    else "compile_timeout")
-                self.metrics.record_fallback(degraded_reason)
+            elif not self.breaker.allow():
+                degraded_reason = "breaker_open"
+            else:
+                try:
+                    outputs = self._execute_fused(feeds)
+                    if (self.engine == ENGINE_COMPILED
+                            and not outputs_finite(
+                                outputs, self.graph.output_tensors)):
+                        outputs, degraded_reason = \
+                            self._quarantine_and_reanswer(feeds)
+                    self.breaker.record_success()
+                except Exception as exc:  # noqa: BLE001 — degrade, don't error
+                    self.breaker.record_failure()
+                    degraded_reason = "engine_error"
+                    sp.note(engine_error=f"{type(exc).__name__}: {exc}")
+                    outputs = None
+            if outputs is None:
                 outputs = self._execute_reference(feeds)
+            if degraded_reason is not None:
+                self.metrics.record_fallback(degraded_reason)
             sp.note(degraded=degraded_reason is not None,
                     reason=degraded_reason)
         latency = time.perf_counter() - t0
@@ -245,7 +328,8 @@ class InferenceSession:
     def info(self) -> SessionInfo:
         with self._count_lock:
             requests, degraded = self._requests, self._degraded
-        meta = {"cache": self.cache.stats()}
+        meta = {"cache": self.cache.stats(),
+                "breaker": self.breaker.snapshot()}
         if self.program is not None:
             meta["plan_kinds"] = self.program.kind_counts()
         return SessionInfo(

@@ -144,6 +144,54 @@ class TestScheduleCache:
         assert stats is not None
 
 
+class TestAtomicWrites:
+    """A crash mid-``put`` must never leave a truncated cache entry."""
+
+    def test_put_leaves_no_temp_files(self, small_ln, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        compile_cached(small_ln, AMPERE, cache)
+        leftovers = list(tmp_path.glob("*.tmp"))
+        assert leftovers == []
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_crash_during_replace_keeps_old_entry(self, small_ln, tmp_path,
+                                                  monkeypatch):
+        import os as _os
+
+        cache = ScheduleCache(tmp_path)
+        sched, _ = compile_cached(small_ln, AMPERE, cache)
+        entry = next(tmp_path.glob("*.json"))
+        before = entry.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("power loss")
+
+        monkeypatch.setattr("repro.core.serialize.os.replace",
+                            exploding_replace)
+        with pytest.raises(OSError, match="power loss"):
+            cache.put(small_ln, AMPERE.name, sched)
+        monkeypatch.undo()
+        # The previous entry is byte-identical and no temp debris remains.
+        assert entry.read_text() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache.get(small_ln, AMPERE.name) is not None
+        assert _os.path.exists(entry)
+
+    def test_crash_during_write_leaves_no_partial_entry(self, small_ln,
+                                                        tmp_path,
+                                                        monkeypatch):
+        cache = ScheduleCache(tmp_path)
+        sched, _ = compile_for(small_ln, AMPERE)[0], None
+
+        monkeypatch.setattr(
+            "repro.core.serialize.schedule_to_json",
+            lambda s: (_ for _ in ()).throw(OSError("disk full")))
+        with pytest.raises(OSError, match="disk full"):
+            cache.put(small_ln, AMPERE.name, sched)
+        # Neither a target entry nor temp debris exists.
+        assert list(tmp_path.iterdir()) == []
+
+
 class TestDoctoredCacheEntries:
     """A poisoned on-disk entry must degrade to a miss, never a crash."""
 

@@ -1,0 +1,93 @@
+"""Chaos harness smoke: a full run must hold every invariant."""
+
+import json
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.chaos import (
+    DEFAULT_FAULT_PLAN,
+    ChaosError,
+    load_fault_plan,
+    run_chaos,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """A crashed harness must not leave faults armed for other tests."""
+    yield
+    faults.registry().disarm()
+
+
+class TestChaosRun:
+    def test_full_run_holds_all_invariants(self, tmp_path):
+        report_path = tmp_path / "robustness.json"
+        report = run_chaos(seed=0, requests=120,
+                           report_path=str(report_path))
+        assert report.ok, report.render()
+        # The canned plan must actually exercise every mechanism.
+        assert report.exercised["compile_retries"] >= 1
+        assert report.exercised["lower_retries"] >= 1
+        assert report.exercised["breaker_cycles"] >= 1
+        assert report.exercised["sheds"] >= 1
+        assert report.exercised["quarantines"] >= 1
+        assert report.exercised["disk_errors"] >= 1
+        # Nothing armed survives the run.
+        assert not faults.registry().armed_any
+        # The written report is valid JSON with the verdict.
+        data = json.loads(report_path.read_text())
+        assert data["ok"] is True
+        assert data["experiment"] == "chaos"
+        assert len(data["invariants"]) >= 8
+
+    def test_run_is_seed_deterministic_on_exercise_counts(self):
+        a = run_chaos(seed=5, requests=80)
+        b = run_chaos(seed=5, requests=80)
+        assert a.ok and b.ok
+        for key in ("compile_retries", "lower_retries", "quarantines",
+                    "disk_errors", "breaker_cycles"):
+            assert a.exercised[key] == b.exercised[key], key
+
+    def test_no_faults_plan_still_serves_correctly(self):
+        report = run_chaos(seed=1, requests=60, fault_plan=[])
+        # Invariants about *exercising* faults fail by design (nothing
+        # was injected), but correctness invariants must hold.
+        by_name = {i.name: i for i in report.invariants}
+        assert by_name["answered_exactly_once"].ok
+        assert by_name["all_answers_correct"].ok
+        assert by_name["drains_clean"].ok
+        assert not by_name["retry_exercised"].ok
+
+    def test_unknown_failpoint_in_plan_rejected(self):
+        with pytest.raises(ChaosError, match="unknown failpoint"):
+            run_chaos(seed=0, requests=60, fault_plan=[
+                {"failpoint": "no.such.site", "action": "fail",
+                 "phase": "steady"}])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ChaosError, match="unknown chaos workload"):
+            run_chaos(workload="resnet")
+
+
+class TestFaultPlanIO:
+    def test_load_bare_list_and_wrapped(self, tmp_path):
+        p1 = tmp_path / "bare.json"
+        p1.write_text(json.dumps(DEFAULT_FAULT_PLAN))
+        assert load_fault_plan(str(p1)) == DEFAULT_FAULT_PLAN
+        p2 = tmp_path / "wrapped.json"
+        p2.write_text(json.dumps({"faults": DEFAULT_FAULT_PLAN}))
+        assert load_fault_plan(str(p2)) == DEFAULT_FAULT_PLAN
+
+    def test_missing_keys_rejected(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps([{"failpoint": "runtime.execute"}]))
+        with pytest.raises(ChaosError, match="missing"):
+            load_fault_plan(str(p))
+
+    def test_bad_phase_rejected(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps([{"failpoint": "runtime.execute",
+                                  "action": "fail", "phase": "warp"}]))
+        with pytest.raises(ChaosError, match="unknown phase"):
+            load_fault_plan(str(p))

@@ -1,0 +1,146 @@
+"""Tests for the failpoint registry: arming, actions, determinism."""
+
+import time
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import (
+    FailpointError,
+    FailpointRegistry,
+    FaultInjected,
+    parse_action,
+)
+
+
+class TestSpecParsing:
+    def test_fail_variants(self):
+        assert parse_action("fail").prob == 1.0
+        assert parse_action("fail(0.25)").prob == 0.25
+        assert parse_action("fail(1)").prob == 1.0
+        a = parse_action("fail_n_times(3)")
+        assert a.remaining == 3 and a.kind == "fail"
+
+    def test_delay_is_milliseconds(self):
+        assert parse_action("delay(10)").delay_s == pytest.approx(0.010)
+        assert parse_action("delay(0)").delay_s == 0.0
+
+    @pytest.mark.parametrize("bad", [
+        "explode", "fail(2)", "fail(-0.5)", "fail_n_times(0)",
+        "fail_n_times(1.5)", "delay(-1)", "fail_n_times", "delay",
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(FailpointError):
+            parse_action(bad)
+
+
+class TestRegistry:
+    def test_arm_unknown_name_rejected(self):
+        reg = FailpointRegistry()
+        with pytest.raises(FailpointError, match="unknown failpoint"):
+            reg.arm("nope", "fail")
+
+    def test_disarmed_fire_is_noop(self):
+        reg = FailpointRegistry()
+        reg.register("x")
+        reg.fire("x")                       # nothing armed: passes
+        assert not reg.armed_any
+
+    def test_fail_always(self):
+        reg = FailpointRegistry()
+        reg.register("x")
+        reg.arm("x", "fail")
+        with pytest.raises(FaultInjected) as exc:
+            reg.fire("x")
+        assert exc.value.failpoint == "x"
+
+    def test_fail_n_times_exhausts(self):
+        reg = FailpointRegistry()
+        reg.register("x")
+        reg.arm("x", "fail_n_times(2)")
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                reg.fire("x")
+        reg.fire("x")                       # third evaluation passes
+        assert reg.hits() == {"x": 2}
+
+    def test_probabilistic_fail_is_seeded(self):
+        def fires(seed):
+            reg = FailpointRegistry(seed=seed)
+            reg.register("x")
+            reg.arm("x", "fail(0.5)")
+            outcomes = []
+            for _ in range(32):
+                try:
+                    reg.fire("x")
+                    outcomes.append(False)
+                except FaultInjected:
+                    outcomes.append(True)
+            return outcomes
+
+        assert fires(7) == fires(7)
+        assert any(fires(7)) and not all(fires(7))
+
+    def test_delay_sleeps(self):
+        reg = FailpointRegistry()
+        reg.register("x")
+        reg.arm("x", "delay(20)")
+        t0 = time.perf_counter()
+        reg.fire("x")
+        assert time.perf_counter() - t0 >= 0.015
+
+    def test_triggered_returns_instead_of_raising(self):
+        reg = FailpointRegistry()
+        reg.register("x")
+        assert reg.triggered("x") is False
+        reg.arm("x", "fail_n_times(1)")
+        assert reg.triggered("x") is True
+        assert reg.triggered("x") is False   # exhausted
+
+    def test_armed_context_restores(self):
+        reg = FailpointRegistry()
+        reg.register("a")
+        reg.register("b")
+        with reg.armed({"a": "fail", "b": "delay(1)"}):
+            assert reg.armed_any
+            with pytest.raises(FaultInjected):
+                reg.fire("a")
+        assert not reg.armed_any
+        reg.fire("a")                        # disarmed again
+
+    def test_armed_context_disarms_on_error(self):
+        reg = FailpointRegistry()
+        reg.register("a")
+        with pytest.raises(RuntimeError):
+            with reg.armed({"a": "fail"}):
+                raise RuntimeError("boom")
+        assert not reg.armed_any
+
+
+class TestGlobalSites:
+    """The module-level hooks the instrumented call sites use."""
+
+    def test_known_sites_registered_on_import(self):
+        import repro.core.autotuner      # noqa: F401
+        import repro.runtime.compiled    # noqa: F401
+        import repro.serve               # noqa: F401
+
+        known = faults.registry().known()
+        for name in ("serve.cache.disk_get", "serve.cache.disk_put",
+                     "serve.cache.compile", "compile.autotune",
+                     "runtime.lower", "runtime.execute", "runtime.poison",
+                     "serve.batch"):
+            assert name in known, name
+
+    def test_global_fire_zero_cost_when_disarmed(self):
+        assert not faults.registry().armed_any
+        faults.fire("serve.batch")
+        assert faults.triggered("runtime.poison") is False
+
+    def test_global_arm_and_fire(self):
+        reg = faults.registry()
+        with reg.armed({"serve.batch": "fail_n_times(1)"}):
+            with pytest.raises(FaultInjected):
+                faults.fire("serve.batch")
+            faults.fire("serve.batch")
+        faults.fire("serve.batch")

@@ -1,0 +1,181 @@
+"""Tests for RetryPolicy and CircuitBreaker."""
+
+import pytest
+
+from repro.resilience.retry import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+)
+
+
+class _Flaky:
+    """Callable failing the first ``n`` invocations."""
+
+    def __init__(self, n, exc=RuntimeError):
+        self.n = n
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.n:
+            raise self.exc(f"transient #{self.calls}")
+        return "ok"
+
+
+class TestRetryPolicy:
+    def test_first_try_success_no_sleep(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.call(lambda: 42, sleep=sleeps.append) == 42
+        assert sleeps == []
+
+    def test_transient_failure_retried(self):
+        fn = _Flaky(2)
+        retries = []
+        policy = RetryPolicy(max_attempts=3, seed=0)
+        result = policy.call(fn, sleep=lambda s: None,
+                             on_retry=lambda n, e, d: retries.append(n))
+        assert result == "ok"
+        assert fn.calls == 3
+        assert retries == [1, 2]
+
+    def test_attempts_exhausted_reraises_last(self):
+        fn = _Flaky(5)
+        policy = RetryPolicy(max_attempts=3, seed=0)
+        with pytest.raises(RuntimeError, match="transient #3"):
+            policy.call(fn, sleep=lambda s: None)
+        assert fn.calls == 3
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay_s=0.01, multiplier=2.0,
+                             max_delay_s=0.03, jitter=0.0)
+        delays = [policy.delay_for(i) for i in range(4)]
+        assert delays == pytest.approx([0.01, 0.02, 0.03, 0.03])
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = RetryPolicy(seed=3, jitter=0.5)
+        b = RetryPolicy(seed=3, jitter=0.5)
+        sa, sb = [], []
+        with pytest.raises(RuntimeError):
+            a.call(_Flaky(9), sleep=sa.append)
+        with pytest.raises(RuntimeError):
+            b.call(_Flaky(9), sleep=sb.append)
+        assert sa == sb                      # same seed, same jitter
+        for i, d in enumerate(sa):
+            full = a.delay_for(i)            # no-rng call: undithered
+            assert 0.5 * full <= d <= full
+
+    def test_sleep_budget_stops_retrying(self):
+        fn = _Flaky(50)
+        policy = RetryPolicy(max_attempts=50, base_delay_s=0.4,
+                             max_delay_s=0.4, jitter=0.0,
+                             sleep_budget_s=1.0)
+        slept = []
+        with pytest.raises(RuntimeError):
+            policy.call(fn, sleep=slept.append)
+        assert sum(slept) <= 1.0
+        assert fn.calls == 3                 # 0.4 + 0.4, then budget hit
+
+    def test_non_matching_exception_not_retried(self):
+        policy = RetryPolicy(max_attempts=5, retry_on=(ValueError,))
+        fn = _Flaky(2, exc=KeyError)
+        with pytest.raises(KeyError):
+            policy.call(fn, sleep=lambda s: None)
+        assert fn.calls == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_closed_allows(self):
+        b = CircuitBreaker()
+        assert b.state == CLOSED and b.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        b = CircuitBreaker(failure_threshold=3)
+        for _ in range(2):
+            b.record_failure()
+        assert b.state == CLOSED
+        b.record_failure()
+        assert b.state == OPEN
+        assert not b.allow()
+
+    def test_success_resets_consecutive_count(self):
+        b = CircuitBreaker(failure_threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == CLOSED
+
+    def test_half_open_probe_then_close(self):
+        clock = _Clock()
+        b = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0,
+                           clock=clock)
+        b.record_failure()
+        assert b.state == OPEN and not b.allow()
+        clock.now = 10.5
+        assert b.allow()                     # the probe
+        assert b.state == HALF_OPEN
+        assert not b.allow()                 # only one probe at a time
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.cycles == 1
+        assert b.transitions == [
+            (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = _Clock()
+        b = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0,
+                           clock=clock)
+        b.record_failure()
+        clock.now = 6.0
+        assert b.allow()
+        b.record_failure()
+        assert b.state == OPEN and b.cycles == 0
+        clock.now = 20.0
+        assert b.allow()                     # a fresh probe later
+        b.record_success()
+        assert b.state == CLOSED and b.cycles == 1
+
+    def test_transition_callback_sees_every_change(self):
+        seen = []
+        clock = _Clock()
+        b = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                           clock=clock,
+                           on_transition=lambda o, n: seen.append((o, n)))
+        b.record_failure()
+        clock.now = 2.0
+        b.allow()
+        b.record_success()
+        assert seen == [
+            (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+
+    def test_snapshot(self):
+        b = CircuitBreaker(failure_threshold=4)
+        b.record_failure()
+        snap = b.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["consecutive_failures"] == 1
+        assert snap["recovery_cycles"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_max_probes=0)
