@@ -15,7 +15,11 @@ Commands:
   and assert the resilience invariants (exactly-once answers, finite
   reference-equal outputs, clean drain);
 * ``validate`` — execute a compiled schedule numerically against the
-  unfused reference and report the max error.
+  unfused reference and report the max error (NaN-safe, dtype-aware);
+* ``audit``    — statically re-check every compiled schedule against the
+  paper invariants (Alg. 1 checkRsrc, section 5.3 UTA completeness,
+  section 5.4 memory placement) and differential-test both engines
+  against the unfused reference.
 """
 
 from __future__ import annotations
@@ -311,27 +315,124 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+#: Execution dtypes selectable from the command line.
+VALIDATE_DTYPES = {
+    "float64": np.float64,
+    "float32": np.float32,
+    "float16": np.float16,
+}
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
+    from .runtime.oracle import nan_safe_max_abs_err, tolerance_for
+
     gpu = get_gpu(args.gpu)
     graph = WORKLOADS[args.workload]()
     schedule, _ = compile_for(graph, gpu)
     feeds = random_feeds(graph, seed=args.seed)
+    dtype = VALIDATE_DTYPES[args.dtype]
+    # The reference is the oracle: always evaluated in float64.
     ref = execute_graph_reference(graph, feeds)
     if args.engine == "compiled":
         from .runtime import execute_compiled
 
-        env = execute_compiled(schedule, feeds)
+        env = execute_compiled(schedule, feeds, dtype=dtype)
     else:
-        env = execute_schedule(schedule, feeds)
+        env = execute_schedule(schedule, feeds, dtype=dtype)
+    tol = args.tol if args.tol is not None else tolerance_for(dtype, ref)
+    # NaN-propagating reduction: a NaN error must survive to the gate, not
+    # vanish inside Python's max() (which returns its first argument when
+    # the second is NaN).
     worst = 0.0
     for name, expected in ref.items():
-        worst = max(worst, float(np.max(np.abs(env[name] - expected))))
-    print(f"{args.workload} on {gpu.name}: "
-          f"{schedule.num_kernels} kernel(s), max abs error {worst:.3e}")
-    if worst > 1e-8:
+        worst = float(np.max([worst, nan_safe_max_abs_err(env[name],
+                                                          expected)]))
+    print(f"{args.workload} on {gpu.name} [{args.dtype}]: "
+          f"{schedule.num_kernels} kernel(s), max abs error {worst:.3e} "
+          f"(tol {tol:.3e})")
+    if not (worst <= tol):
         print("FAILED: fused schedule diverged from the reference")
         return 1
     print("OK: fused execution matches the unfused reference")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Audit compiled schedules statically and (optionally) run the N-way
+    differential oracle over every workload x GPU x engine."""
+    from .verify import (
+        audit_model,
+        audit_program,
+        differential_test,
+        run_selftest,
+    )
+
+    gpu_names = args.gpus or sorted(ARCHITECTURES)
+    workloads = args.workloads or sorted(WORKLOADS)
+    dtype = VALIDATE_DTYPES[args.dtype]
+    failures = 0
+    payload: list[dict] = []
+
+    for wname in workloads:
+        graph = WORKLOADS[wname]()
+        for gname in gpu_names:
+            gpu = get_gpu(gname)
+            schedule, _ = compile_for(graph, gpu)
+            report = audit_program(schedule, gpu, name=wname)
+            print(report.render())
+            entry = report.to_dict()
+            if not report.ok:
+                failures += 1
+            if args.oracle:
+                res = differential_test(graph, gpu, seed=args.seed,
+                                        dtype=dtype, schedule=schedule)
+                print(res.render())
+                entry["oracle_ok"] = res.ok
+                if not res.ok:
+                    failures += 1
+            if args.selftest:
+                missed: list[str] = []
+                for r in run_selftest(schedule, gpu):
+                    if not r.applied:
+                        verdict = "no mutation site"
+                    elif r.flagged:
+                        verdict = ("flagged by "
+                                   + ",".join(r.checks_fired))
+                    else:
+                        verdict = "MISSED"
+                        missed.append(r.mutation)
+                    print(f"  selftest {r.mutation}: {verdict}")
+                entry["selftest_missed"] = missed
+                failures += len(missed)
+            payload.append(entry)
+
+    if args.zoo:
+        from .models.zoo import MODEL_CONFIGS, build_model
+        from .pipeline import compile_model_for
+
+        for mname in sorted(MODEL_CONFIGS):
+            program = build_model(mname, batch=1, seq=64)
+            for gname in gpu_names:
+                gpu = get_gpu(gname)
+                model = compile_model_for(program, gpu)
+                report = audit_model(model, gpu)
+                print(report.render())
+                payload.append(report.to_dict())
+                if not report.ok:
+                    failures += 1
+
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({"failures": failures, "reports": payload},
+                      fh, indent=1, sort_keys=True)
+        print(f"\njson written to {args.json}")
+    if failures:
+        print(f"\nAUDIT FAILED: {failures} failing report(s)",
+              file=sys.stderr)
+        return 1
+    print("\naudit clean: every schedule satisfies the paper invariants")
     return 0
 
 
@@ -444,7 +545,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", default="interpreter",
                    choices=["compiled", "interpreter"],
                    help="engine to validate (default: interpreter)")
+    p.add_argument("--dtype", default="float64",
+                   choices=sorted(VALIDATE_DTYPES),
+                   help="execution dtype for the engine under test; the "
+                        "reference always runs in float64 (default: "
+                        "float64)")
+    p.add_argument("--tol", type=float, default=None,
+                   help="max-abs-error tolerance (default: dtype-aware, "
+                        "scaled by the reference magnitude)")
     p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("audit",
+                       help="re-check compiled schedules against the "
+                            "paper invariants and run the differential "
+                            "oracle")
+    p.add_argument("--workloads", nargs="*", default=None, metavar="NAME",
+                   choices=sorted(WORKLOADS),
+                   help="workloads to audit (default: all)")
+    p.add_argument("--gpus", nargs="*", default=None, metavar="ARCH",
+                   choices=sorted(ARCHITECTURES),
+                   help="target architectures (default: all)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="feed seed for the differential oracle (default: 0)")
+    p.add_argument("--dtype", default="float64",
+                   choices=sorted(VALIDATE_DTYPES),
+                   help="engine execution dtype for the oracle (default: "
+                        "float64)")
+    p.add_argument("--no-oracle", dest="oracle", action="store_false",
+                   help="skip the differential oracle (static audit only)")
+    p.add_argument("--selftest", action="store_true",
+                   help="also apply each seeded mutation and require the "
+                        "auditor to flag it")
+    p.add_argument("--zoo", action="store_true",
+                   help="additionally audit every model-zoo transformer "
+                        "(static audit; batch=1, seq=64)")
+    p.add_argument("--json", default=None, metavar="OUT.json",
+                   help="also write all reports as JSON")
+    p.set_defaults(fn=cmd_audit)
 
     p = sub.add_parser("bench", help="regenerate a paper experiment")
     p.add_argument("experiment", choices=sorted(EXPERIMENTS))

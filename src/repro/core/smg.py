@@ -253,10 +253,19 @@ class SMG:
                 groups.append([d])
         return [tuple(g) for g in groups]
 
+    #: Reduce kinds an A2O mapping may carry (the executor's REDUCE_INIT
+    #: table and the UTA combiner rules both assume one of these).
+    VALID_REDUCE_KINDS = frozenset({"sum", "max", "min", "mean"})
+
     def validate(self) -> None:
-        """Structural checks: every iteration space has exactly one outgoing
-        mapping (to its output data space), every mapping's direction dims
-        are dims its source or destination lacks appropriately."""
+        """Structural checks re-stating the paper's mapping-direction
+        invariants (section 4.1): every iteration space has exactly one
+        outgoing mapping (to its output data space); every mapping connects
+        registered spaces through registered direction dims; One-to-One
+        mappings are direction-free and connect equi-dimensional spaces;
+        a One-to-All's direction dims are exactly the dims the destination
+        gains; an All-to-One's are exactly the dims the source loses; and
+        every All-to-One carries a known reduce kind."""
         for it in self.iteration_spaces():
             outs = self.out_edges(it.name)
             if len(outs) != 1:
@@ -265,12 +274,46 @@ class SMG:
                     f"mapping, found {len(outs)}"
                 )
         for m in self.mappings:
+            for end in (m.src, m.dst):
+                if end not in self.spaces:
+                    raise SMGError(
+                        f"mapping {m.describe()}: endpoint {end!r} is not a "
+                        f"space of this SMG")
             src, dst = self.spaces[m.src], self.spaces[m.dst]
-            if m.kind is O2A:
+            unknown = [d for d in m.dims if d not in self.dims]
+            if unknown:
+                raise SMGError(
+                    f"mapping {m.describe()}: unregistered direction dims "
+                    f"{unknown}")
+            if m.kind is O2O:
+                if m.dims:
+                    raise SMGError(
+                        f"O2O {m.describe()}: One-to-One mappings are "
+                        f"direction-free, found dims {list(m.dims)}")
+                if set(src.dims) != set(dst.dims):
+                    raise SMGError(
+                        f"O2O {m.describe()}: endpoints must extend along "
+                        f"the same dims, got {list(src.dims)} vs "
+                        f"{list(dst.dims)}")
+            elif m.kind is O2A:
                 bad = [d for d in m.dims if src.has_dim(d) or not dst.has_dim(d)]
                 if bad:
                     raise SMGError(f"O2A {m.describe()}: bad direction dims {bad}")
+                missing = set(dst.dims) - set(src.dims) - set(m.dims)
+                if missing:
+                    raise SMGError(
+                        f"O2A {m.describe()}: destination gains dims "
+                        f"{sorted(missing)} not covered by the direction")
             elif m.kind is A2O:
                 bad = [d for d in m.dims if not src.has_dim(d) or dst.has_dim(d)]
                 if bad:
                     raise SMGError(f"A2O {m.describe()}: bad direction dims {bad}")
+                missing = set(src.dims) - set(dst.dims) - set(m.dims)
+                if missing:
+                    raise SMGError(
+                        f"A2O {m.describe()}: source loses dims "
+                        f"{sorted(missing)} not covered by the direction")
+                if m.reduce_kind not in self.VALID_REDUCE_KINDS:
+                    raise SMGError(
+                        f"A2O {m.describe()}: unknown reduce kind "
+                        f"{m.reduce_kind!r}")

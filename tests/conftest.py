@@ -2,8 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
+
+# Bounded-budget profile for CI fuzz jobs: tests that do not pin
+# max_examples themselves inherit it from the active profile, so
+# HYPOTHESIS_PROFILE=ci caps the fuzz+oracle budget without code changes.
+settings.register_profile(
+    "ci", max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.data_too_large,
+                           HealthCheck.filter_too_much])
+settings.register_profile("thorough", max_examples=200, deadline=None)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 from repro.hw import AMPERE, HOPPER, VOLTA
 from repro.ir import GraphBuilder

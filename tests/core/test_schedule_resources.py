@@ -126,6 +126,70 @@ class TestResourceEstimation:
         assert not res.fits(ResourceConfig(500, 2000))
 
 
+class TestOutputStreamBufferCharge:
+    """Regression for the shared-memory under-count: non-reduction outputs
+    used to be charged zero bytes, so an elementwise kernel with a large
+    output block 'fit' any budget its inputs fit."""
+
+    def _elementwise_kernel(self):
+        from repro.ir import GraphBuilder
+        b = GraphBuilder("ew", dtype="fp16")
+        x = b.input("X", [("m", 128), ("n", 128)])
+        b.unary("relu", x, out_name="Fin")
+        smg = build_smg(b.build())
+        return KernelSchedule("k", smg, ("m",))
+
+    def test_output_buffer_charged(self):
+        kernel = self._elementwise_kernel()
+        cfg = ScheduleConfig(block=(("m", 128),))
+        rc = ResourceConfig(smem_per_block=24 * 1024,
+                            regs_per_block=1 << 20)
+        res = estimate_block_resources(kernel, cfg, rc)
+        # Input stream buffer (16 KiB cap) + output stream buffer (16 KiB
+        # cap on the 32 KiB block): the old estimate stopped at 16 KiB and
+        # this schedule sailed through a 24 KiB budget it cannot meet.
+        assert res.smem_bytes == 2 * rc.stream_buffer_bytes
+        assert not check_resources(kernel, cfg, rc)
+
+    def test_small_blocks_still_fit(self):
+        kernel = self._elementwise_kernel()
+        cfg = ScheduleConfig(block=(("m", 8),))
+        rc = ResourceConfig(smem_per_block=24 * 1024,
+                            regs_per_block=1 << 20)
+        assert check_resources(kernel, cfg, rc)
+
+    def test_output_reread_in_kernel_charged_full_block(self):
+        """An output consumed again later in the kernel must stay resident
+        at full block size, not just a stream-out buffer."""
+        from repro.ir import GraphBuilder
+        b = GraphBuilder("ew2", dtype="fp16")
+        x = b.input("X", [("m", 128), ("n", 128)])
+        mid = b.unary("relu", x, out_name="Mid")
+        b.unary("tanh", mid, out_name="Fin")
+        graph = b.build()
+        graph.declared_outputs = ["Mid", "Fin"]
+        smg = build_smg(graph)
+        kernel = KernelSchedule("k", smg, ("m",))
+        cfg = ScheduleConfig(block=(("m", 128),))
+        rc = ResourceConfig(smem_per_block=1 << 20, regs_per_block=1 << 20)
+        res = estimate_block_resources(kernel, cfg, rc)
+        block_bytes = 128 * 128 * 2  # fp16 full block
+        # Step 0: stream-in X (16K) + Mid resident at full block size.
+        assert res.smem_bytes >= block_bytes + rc.stream_buffer_bytes
+
+    def test_aggregate_outputs_not_double_charged(self, small_mha):
+        """Reduction aggregates are register-resident; the stream-buffer
+        fix must not charge them to shared memory as well."""
+        smg = build_smg(small_mha)
+        plan = plan_temporal_slice(smg, "l")
+        kernel = KernelSchedule("k", smg, ("m",), plan)
+        cfg = ScheduleConfig(block=(("m", 32),), tile=16)
+        rc = ResourceConfig(smem_per_block=96 * 1024,
+                            regs_per_block=128 * 1024)
+        res = estimate_block_resources(kernel, cfg, rc)
+        assert res.fits(rc)
+
+
 class TestEnumerateConfigs:
     RC = ResourceConfig(smem_per_block=96 * 1024, regs_per_block=128 * 1024)
 

@@ -1,0 +1,226 @@
+"""Schedule auditor tests: clean schedules audit clean, doctored ones fire.
+
+The auditor is only worth having if (a) it accepts everything the compiler
+legitimately emits, across workloads and hardware targets, and (b) every
+seeded miscompile — the mutation self-test — produces at least one error
+finding from the matching check family.
+"""
+
+import copy
+
+import pytest
+
+from repro.core.memory_planner import check_memory_plan
+from repro.core.schedule import ScheduleConfig
+from repro.core.smg import SMGError
+from repro.core.verify import (
+    AUDIT_CHECKS,
+    SEEDED_MUTATIONS,
+    audit_program,
+    run_selftest,
+)
+from repro.hw import AMPERE, VOLTA, ARCHITECTURES
+from repro.models import layernorm_graph, mha_graph, mlp_graph
+from repro.pipeline import compile_for, compile_model_for
+from repro.core.verify import audit_model
+
+
+@pytest.fixture(scope="module")
+def mha_schedule():
+    """Large enough that whole-extent blocks cannot fit on-chip — the
+    inflate-config mutation must actually exceed the Ampere budget."""
+    graph = mha_graph(1, 2, 256, 256, 64, name="mha_audit")
+    schedule, _ = compile_for(graph, AMPERE)
+    return schedule
+
+
+class TestAuditorAcceptsCompilerOutput:
+    @pytest.mark.parametrize("gpu_name", sorted(ARCHITECTURES))
+    def test_workloads_audit_clean(self, gpu_name, small_mha, small_ln,
+                                   small_mlp):
+        gpu = ARCHITECTURES[gpu_name]
+        for graph in (small_mha, small_ln, small_mlp):
+            schedule, _ = compile_for(graph, gpu)
+            report = audit_program(schedule, gpu, name=graph.name)
+            assert report.ok, report.render()
+            assert report.kernels_audited >= 1
+
+    def test_accepts_raw_resource_config(self, small_ln):
+        schedule, _ = compile_for(small_ln, AMPERE)
+        report = audit_program(schedule, AMPERE.resource_config())
+        assert report.ok
+
+    def test_barrier_kernels_skipped(self):
+        """A model with reshape/transpose barriers audits its compute
+        kernels and skips the data-movement ones."""
+        from repro.models.zoo import build_model
+
+        model = compile_model_for(build_model("bert", batch=1, seq=32),
+                                  AMPERE)
+        report = audit_model(model, AMPERE)
+        assert report.ok, report.render()
+        assert report.kernels_skipped >= 1
+        assert report.kernels_audited >= 1
+
+    def test_report_render_and_dict(self, mha_schedule):
+        report = audit_program(mha_schedule, AMPERE, name="mha")
+        text = report.render()
+        assert "mha" in text and "OK" in text
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["kernels_audited"] == report.kernels_audited
+
+
+class TestSeededMutations:
+    """Every doctored schedule must be flagged — the auditor has teeth."""
+
+    def test_unmutated_baseline_is_clean(self, mha_schedule):
+        assert audit_program(mha_schedule, AMPERE).ok
+
+    @pytest.mark.parametrize("mutation", sorted(SEEDED_MUTATIONS))
+    def test_mutation_fires(self, mha_schedule, mutation):
+        mutated = copy.deepcopy(mha_schedule)
+        applied = SEEDED_MUTATIONS[mutation](mutated)
+        assert applied, f"{mutation} found no site in the MHA schedule"
+        report = audit_program(mutated, AMPERE)
+        assert not report.ok, f"{mutation} was not flagged"
+
+    def test_run_selftest_all_fire(self, mha_schedule):
+        results = run_selftest(mha_schedule, AMPERE)
+        assert len(results) == len(SEEDED_MUTATIONS)
+        for r in results:
+            assert r.applied, f"{r.mutation} found no site"
+            assert r.flagged, f"{r.mutation} missed"
+            assert all(c in AUDIT_CHECKS for c in r.checks_fired)
+
+    def test_drop_update_function_fires_uta_check(self, mha_schedule):
+        mutated = copy.deepcopy(mha_schedule)
+        assert SEEDED_MUTATIONS["drop-update-function"](mutated)
+        report = audit_program(mutated, AMPERE)
+        assert any(f.check == "uta" for f in report.errors), report.render()
+
+    def test_inflated_config_fires_resources_check(self, mha_schedule):
+        mutated = copy.deepcopy(mha_schedule)
+        assert SEEDED_MUTATIONS["inflate-config-past-budget"](mutated)
+        report = audit_program(mutated, AMPERE)
+        assert any(f.check == "resources" for f in report.errors)
+
+
+class TestIndividualChecks:
+    def test_missing_block_size_flagged(self, mha_schedule):
+        mutated = copy.deepcopy(mha_schedule)
+        kernel = next(k for k in mutated.kernels if k.spatial_dims)
+        kernel.config = ScheduleConfig(block=(),
+                                       tile=kernel.effective_config().tile)
+        report = audit_program(mutated, AMPERE)
+        assert any(f.check == "config" and "no block size" in f.message
+                   for f in report.errors), report.render()
+
+    def test_memory_plan_missing_tensor_flagged(self, mha_schedule):
+        mutated = copy.deepcopy(mha_schedule)
+        kernel = next(k for k in mutated.kernels if k.memory_levels)
+        kernel.memory_levels.pop(next(iter(kernel.memory_levels)))
+        problems = check_memory_plan(kernel)
+        assert any("no memory level" in p for p in problems)
+
+    def test_memory_plan_unknown_level_flagged(self, mha_schedule):
+        mutated = copy.deepcopy(mha_schedule)
+        kernel = next(k for k in mutated.kernels if k.memory_levels)
+        t = next(iter(kernel.memory_levels))
+        kernel.memory_levels[t] = "texture"
+        assert any("unknown level" in p for p in check_memory_plan(kernel))
+
+    def test_empty_memory_plan_flagged(self, mha_schedule):
+        mutated = copy.deepcopy(mha_schedule)
+        kernel = next(k for k in mutated.kernels if k.memory_levels)
+        kernel.memory_levels = {}
+        assert check_memory_plan(kernel)
+
+
+class TestExtendedSmgValidate:
+    """The stricter SMG.validate catches structurally corrupt graphs."""
+
+    def test_compiler_smgs_validate(self, small_mha):
+        from repro.core.builder import build_smg
+
+        build_smg(small_mha).validate()  # must not raise
+
+    def test_o2o_direction_dims_rejected(self, small_mha):
+        from repro.core.builder import build_smg
+        from repro.core.mappings import O2O, O2A, Mapping
+
+        smg = build_smg(small_mha)
+        # Doctor an O2O into carrying the dims of an O2A without updating
+        # its endpoints: dataclass __post_init__ forbids constructing such
+        # a Mapping directly, so splice mismatched endpoints instead.
+        o2a = next(m for m in smg.mappings if m.kind is O2A)
+        o2o = next(m for m in smg.mappings if m.kind is O2O)
+        bad = Mapping(src=o2a.src, dst=o2a.dst, kind=O2O)
+        smg.mappings[smg.mappings.index(o2o)] = bad
+        with pytest.raises(SMGError):
+            smg.validate()
+
+    def test_unknown_endpoint_rejected(self, small_mha):
+        from repro.core.builder import build_smg
+        from repro.core.mappings import O2O, Mapping
+
+        smg = build_smg(small_mha)
+        smg.mappings.append(Mapping(src="QK", dst="ghost", kind=O2O))
+        with pytest.raises(SMGError, match="endpoint"):
+            smg.validate()
+
+    def test_a2o_uncovered_dims_rejected(self, small_mha):
+        from repro.core.builder import build_smg
+        from repro.core.mappings import A2O, Mapping
+
+        smg = build_smg(small_mha)
+        m = next(m for m in smg.mappings if m.kind is A2O)
+        # Shrink the direction so the source loses a dim the direction
+        # does not cover.
+        if len(m.dims) == 1:
+            src = smg.spaces[m.src]
+            dst = smg.spaces[m.dst]
+            lost = set(src.dims) - set(dst.dims)
+            assert lost == set(m.dims)
+            # Retarget the A2O at a destination lacking more dims.
+            smaller = next(
+                (s.name for s in smg.data_spaces()
+                 if set(s.dims) < set(dst.dims)), None)
+            if smaller is None:
+                pytest.skip("no smaller data space in this SMG")
+            bad = Mapping(src=m.src, dst=smaller, kind=A2O,
+                          dims=m.dims, reduce_kind=m.reduce_kind)
+            smg.mappings[smg.mappings.index(m)] = bad
+            with pytest.raises(SMGError):
+                smg.validate()
+
+    def test_bad_reduce_kind_rejected(self, small_mha):
+        from repro.core.builder import build_smg
+        from repro.core.mappings import A2O, Mapping
+
+        smg = build_smg(small_mha)
+        m = next(m for m in smg.mappings if m.kind is A2O)
+        bad = Mapping(src=m.src, dst=m.dst, kind=A2O, dims=m.dims,
+                      reduce_kind="xor")
+        smg.mappings[smg.mappings.index(m)] = bad
+        with pytest.raises(SMGError, match="reduce kind"):
+            smg.validate()
+
+
+class TestAuditAcrossTargets:
+    def test_volta_and_ampere_budgets_differ_but_audit_clean(self):
+        graph = mha_graph(1, 4, 128, 128, 32, name="mha_targets")
+        for gpu in (VOLTA, AMPERE):
+            schedule, _ = compile_for(graph, gpu)
+            assert audit_program(schedule, gpu).ok
+
+    def test_selftest_reports_unapplicable_mutations(self):
+        """A kernel with no temporal plan has no UTA mutation site; the
+        self-test reports applied=False rather than a spurious pass."""
+        schedule, _ = compile_for(mlp_graph(4, 64, 32, 32,
+                                            name="mlp_selftest"), AMPERE)
+        results = {r.mutation: r for r in run_selftest(schedule, AMPERE)}
+        drop = results["drop-update-function"]
+        assert drop.ok  # not applied counts as ok, not as a miss
+        infl = results["inflate-config-past-budget"]
+        assert infl.applied

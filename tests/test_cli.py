@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import numpy as np
 import pytest
 
 from repro.cli import EXPERIMENTS, WORKLOADS, build_parser, main
@@ -62,6 +63,88 @@ class TestCommands:
         assert main(["compile", "layernorm",
                      "--cache-dir", str(tmp_path)]) == 0
         assert "HIT" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    def test_nan_output_fails_validation(self, capsys, monkeypatch):
+        """Regression: a NaN-producing schedule used to exit 0 because
+        ``max(0.0, nan)`` stays 0.0.  The NaN-safe reduction must make
+        ``validate`` exit non-zero."""
+        import repro.cli as cli
+
+        def nan_engine(schedule, feeds, dtype=np.float64):
+            graph = WORKLOADS["softmax-gemm"]()
+            from repro.runtime.kernels import execute_graph_reference
+            env = {k: np.asarray(v, dtype=np.float64).copy()
+                   for k, v in execute_graph_reference(
+                       graph, feeds, dtype=dtype).items()}
+            next(iter(env.values())).flat[0] = np.nan
+            return env
+
+        monkeypatch.setattr(cli, "execute_schedule", nan_engine)
+        assert main(["validate", "softmax-gemm"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "nan" in out.lower()
+
+    def test_float32_engine_passes_with_dtype_tolerance(self, capsys):
+        assert main(["validate", "softmax-gemm", "--dtype", "float32"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "[float32]" in out
+
+    def test_explicit_tol_overrides_default(self, capsys):
+        assert main(["validate", "softmax-gemm", "--dtype", "float32",
+                     "--tol", "1e-30"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_validate_parser_flags(self):
+        args = build_parser().parse_args(
+            ["validate", "mha", "--dtype", "float16", "--tol", "0.5",
+             "--engine", "compiled"])
+        assert args.dtype == "float16" and args.tol == 0.5
+        assert args.engine == "compiled"
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validate", "mha", "--dtype", "int8"])
+
+
+class TestAuditCommand:
+    def test_audit_smoke_with_selftest_and_json(self, capsys, tmp_path):
+        """One small workload end to end: static audit + oracle + seeded
+        mutations + JSON report."""
+        import json
+
+        out_json = tmp_path / "audit.json"
+        assert main(["audit", "--workloads", "mlp", "--gpus", "volta",
+                     "--selftest", "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "audit clean" in out
+        assert "oracle" in out
+        assert "selftest" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["failures"] == 0
+        assert payload["reports"][0]["ok"] is True
+        assert payload["reports"][0]["oracle_ok"] is True
+        assert payload["reports"][0]["selftest_missed"] == []
+
+    def test_audit_static_only(self, capsys):
+        assert main(["audit", "--workloads", "layernorm",
+                     "--gpus", "ampere", "--no-oracle"]) == 0
+        out = capsys.readouterr().out
+        assert "audit clean" in out
+        assert "oracle" not in out
+
+    def test_audit_parser_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.oracle is True
+        assert args.selftest is False and args.zoo is False
+        assert args.workloads is None and args.gpus is None
+        assert args.fn is not None
+
+    def test_audit_rejects_unknown_arch(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["audit", "--gpus", "tpu"])
 
 
 class TestTraceCommand:
