@@ -15,6 +15,13 @@ from .end_to_end import (
     fig16b_input_sensitivity,
     fig16c_arch_sensitivity,
 )
+from .loadgen import (
+    LOAD_WORKLOADS,
+    LoadConfig,
+    LoadgenError,
+    LoadReport,
+    run_loadtest,
+)
 from .patterns import evaluation_suite, table6_fusion_patterns
 from .reporting import ExperimentResult, geomean
 from .runtime_bench import RUNTIME_WORKLOADS, bench_runtime
@@ -28,7 +35,12 @@ from .subgraphs import (
 
 __all__ = [
     "ExperimentResult",
+    "LOAD_WORKLOADS",
+    "LoadConfig",
+    "LoadReport",
+    "LoadgenError",
     "RUNTIME_WORKLOADS",
+    "run_loadtest",
     "ablation_candidate_depth",
     "bench_runtime",
     "decode_attention",

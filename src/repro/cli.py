@@ -315,6 +315,28 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Open-loop Poisson load against a forked multi-worker cluster;
+    writes the serving benchmark JSON and enforces delivery invariants."""
+    from .bench.loadgen import LoadConfig, LoadgenError, run_loadtest
+
+    try:
+        config = LoadConfig(rps=args.rps, duration_s=args.duration,
+                            workers=args.workers, seed=args.seed,
+                            timeout_s=args.timeout, tenants=args.tenants,
+                            engine=args.engine,
+                            cache_dir=args.cache_dir)
+        report = run_loadtest(config,
+                              report_path=args.report or None)
+    except LoadgenError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.report:
+        print(f"\nreport written to {args.report}")
+    return 0 if report.ok else 1
+
+
 #: Execution dtypes selectable from the command line.
 VALIDATE_DTYPES = {
     "float64": np.float64,
@@ -537,6 +559,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="where to write the robustness report "
                         "(default: BENCH_robustness.json; '' to skip)")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("loadtest",
+                       help="open-loop Poisson load against a sharded "
+                            "multi-process serving cluster")
+    p.add_argument("--rps", type=float, default=50.0,
+                   help="offered request rate (default: 50)")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="arrival window in seconds (default: 5)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes to fork (default: 2)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for arrivals and workload mix (default: 0)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request deadline in seconds (default: 30)")
+    p.add_argument("--tenants", type=int, default=3,
+                   help="synthetic tenants cycled over requests "
+                        "(default: 3)")
+    p.add_argument("--engine", default="compiled",
+                   choices=["compiled", "interpreter"],
+                   help="worker execution engine (default: compiled)")
+    p.add_argument("--cache-dir", default=None,
+                   help="shared schedule-cache directory "
+                        "(default: fresh temp dir)")
+    p.add_argument("--report", default="BENCH_serving.json",
+                   metavar="OUT.json",
+                   help="where to write the serving benchmark JSON "
+                        "(default: BENCH_serving.json; '' to skip)")
+    p.set_defaults(fn=cmd_loadtest)
 
     p = sub.add_parser("validate",
                        help="check fused execution against the reference")

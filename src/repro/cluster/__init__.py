@@ -1,0 +1,59 @@
+"""repro.cluster — the sharded multi-worker serving tier.
+
+Scales :mod:`repro.serve` past one process:
+
+* :class:`HashRing` — consistent-hash placement of workloads onto
+  workers (deterministic, ~1/N churn on membership change);
+* :class:`AdmissionPolicy` / :class:`AdmissionController` — priority
+  headroom and tenant fair-share shedding at the cluster front door,
+  before a request crosses a process boundary;
+* :class:`WorkerConfig` / :func:`worker_main` — the forked worker
+  process: a full in-process :class:`~repro.serve.server.FusionServer`
+  behind a duplex pipe, sharing one disk schedule cache with the fleet;
+* :class:`ClusterSupervisor` — forks the workers, routes requests along
+  the ring (with replica failover), health-checks with heartbeats,
+  restarts crashed workers behind per-worker circuit breakers, and
+  drains gracefully.
+"""
+
+from .admission import (
+    DEFAULT_PRIORITY_HEADROOM,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    SHED_CAPACITY,
+    SHED_PRIORITY,
+    SHED_TENANT,
+    SHED_WORKER_DOWN,
+    AdmissionController,
+    AdmissionPolicy,
+)
+from .sharding import HashRing
+from .supervisor import (
+    ClusterConfig,
+    ClusterError,
+    ClusterShed,
+    ClusterSupervisor,
+)
+from .worker import WorkerConfig, build_server, worker_main
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterShed",
+    "ClusterSupervisor",
+    "DEFAULT_PRIORITY_HEADROOM",
+    "HashRing",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "SHED_CAPACITY",
+    "SHED_PRIORITY",
+    "SHED_TENANT",
+    "SHED_WORKER_DOWN",
+    "WorkerConfig",
+    "build_server",
+    "worker_main",
+]

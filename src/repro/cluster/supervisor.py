@@ -1,0 +1,656 @@
+"""ClusterSupervisor: sharded multi-process serving with self-healing.
+
+The supervisor scales :class:`~repro.serve.server.FusionServer` past one
+process: it forks ``N`` worker processes (each hosting inference
+sessions behind its own in-process server, see
+:mod:`repro.cluster.worker`), shards workloads across them with a
+consistent-hash ring, admits requests under a priority/tenant-aware
+policy *before* they cross the process boundary, health-checks the fleet
+with heartbeats, and restarts crashed workers behind a per-worker
+circuit breaker.
+
+Delivery guarantees:
+
+* every accepted (admitted) request is answered **exactly once** — with
+  outputs, a typed rejection, or :class:`~repro.serve.batching.WorkerCrashed`
+  when its worker died mid-flight; nothing ever hangs a submitter past
+  its timeout;
+* a key is **compiled once fleet-wide**: workers share one disk schedule
+  cache directory, and the per-key advisory file lock in
+  :class:`~repro.serve.cache.TieredScheduleCache` extends single-flight
+  across processes;
+* ``stop(drain=True)`` is a **graceful drain**: workers stop accepting,
+  finish their queues, and report their final metrics, which the
+  supervisor aggregates into the cluster report.
+
+The degradation ladder under overload, from the outside in: tenant
+fair-share shed → priority-class shed → capacity shed (all supervisor
+side, cheap) → worker-queue shed (:class:`~repro.serve.batching.Overloaded`
+over the wire) → per-session compiled→reference fallback inside the
+worker (never an error).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ir.graph import DataflowGraph
+from ..obs import event as obs_event
+from ..resilience.retry import CircuitBreaker
+from ..serve import (
+    Overloaded,
+    Request,
+    ServeMetrics,
+    SessionReply,
+    WorkerCrashed,
+    validate_feeds,
+)
+from .admission import (
+    PRIORITY_NORMAL,
+    SHED_WORKER_DOWN,
+    AdmissionController,
+    AdmissionPolicy,
+)
+from .sharding import HashRing
+from .worker import (
+    ERR_CRASHED,
+    ERR_DRAINING,
+    ERR_INVALID,
+    ERR_OVERLOADED,
+    ERR_TIMEOUT,
+    WorkerConfig,
+    worker_main,
+)
+
+
+class ClusterError(Exception):
+    """Invalid cluster usage (unknown workload, stopped cluster)."""
+
+
+class ClusterShed(Overloaded):
+    """Typed supervisor-side load shed; ``reason`` names the policy rung
+    (``capacity`` / ``priority`` / ``tenant`` / ``worker_down``)."""
+
+    def __init__(self, reason: str, worker: str | None = None) -> None:
+        RuntimeError.__init__(
+            self, f"cluster shed ({reason})"
+            + (f" routing to worker {worker!r}" if worker else ""))
+        self.reason = reason
+        self.worker = worker
+        self.depth = -1
+        self.bound = -1
+
+
+#: Wire error kind → exception factory (message carried verbatim).
+def _rebuild_error(kind: str, msg: str, worker: str) -> Exception:
+    if kind == ERR_OVERLOADED or kind == ERR_DRAINING:
+        exc: Exception = ClusterShed("worker_queue", worker)
+        exc.args = (msg,)
+        return exc
+    if kind == ERR_CRASHED:
+        return WorkerCrashed(worker, msg)
+    if kind == ERR_TIMEOUT:
+        return TimeoutError(msg)
+    if kind == ERR_INVALID:
+        from ..serve import InvalidRequestError
+
+        return InvalidRequestError(msg)
+    return ClusterError(f"worker {worker}: {msg}")
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs for the whole cluster tier (worker knobs included)."""
+
+    workers: int = 2
+    gpu: str = "ampere"
+    engine: str = "compiled"
+    #: Shared disk schedule-cache directory (None = no cross-process
+    #: cache — each worker compiles privately; set it in production).
+    cache_dir: str | None = None
+    #: How many distinct workers host each workload (primary + warm
+    #: fallbacks for routing around a down worker).
+    replication: int = 2
+    vnodes: int = 64
+    max_batch: int = 8
+    max_wait_ms: float = 1.0
+    threads_per_worker: int = 2
+    worker_queue_depth: int | None = 64
+    lock_timeout_s: float = 30.0
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    health_interval_s: float = 0.25
+    heartbeat_timeout_s: float = 5.0
+    #: Consecutive-crash breaker per worker: after ``threshold`` crashes
+    #: the worker stays down until ``reset`` elapses, then one restart
+    #: probe is allowed (half-open).
+    restart_breaker_threshold: int = 3
+    restart_breaker_reset_s: float = 2.0
+    start_timeout_s: float = 30.0
+    drain_timeout_s: float = 60.0
+    #: Failpoint plan armed inside every worker at boot (chaos/tests).
+    fault_plan: dict[str, str] = field(default_factory=dict)
+
+
+class _Worker:
+    """One worker generation: process, pipe, receiver, in-flight book."""
+
+    def __init__(self, name: str, proc, conn, generation: int) -> None:
+        self.name = name
+        self.proc = proc
+        self.conn = conn
+        self.generation = generation
+        self.send_lock = threading.Lock()
+        self.inflight: dict[int, tuple[Request, str]] = {}
+        self.inflight_lock = threading.Lock()
+        self.up = True
+        self.draining = False
+        self.ready = threading.Event()
+        self.armed = threading.Event()
+        self.drained = threading.Event()
+        self.stopped = threading.Event()
+        self.last_pong = time.monotonic()
+        self.health: dict = {}
+        self.final_stats: dict = {}
+        self.stats_replies: dict[int, dict] = {}
+        self.stats_event = threading.Event()
+        self.receiver: threading.Thread | None = None
+
+    def send(self, msg: tuple) -> None:
+        with self.send_lock:
+            self.conn.send(msg)
+
+    def take_inflight(self, req_id: int) -> tuple[Request, str] | None:
+        with self.inflight_lock:
+            return self.inflight.pop(req_id, None)
+
+    def drain_inflight(self) -> list[tuple[Request, str]]:
+        with self.inflight_lock:
+            items = list(self.inflight.values())
+            self.inflight.clear()
+            return items
+
+
+class ClusterSupervisor:
+    """Front door for a sharded multi-worker serving fleet."""
+
+    def __init__(self, workloads: dict[str, DataflowGraph],
+                 config: ClusterConfig | None = None,
+                 metrics: ServeMetrics | None = None) -> None:
+        if not workloads:
+            raise ClusterError("cluster needs at least one workload")
+        self.config = config or ClusterConfig()
+        if self.config.workers < 1:
+            raise ClusterError("cluster needs at least one worker")
+        self.graphs = dict(workloads)
+        self.metrics = metrics or ServeMetrics()
+        self._packed = WorkerConfig.pack_workloads(self.graphs)
+        self._ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        self.ring = HashRing(vnodes=self.config.vnodes)
+        self.admission = AdmissionController(self.config.admission)
+        self._workers: dict[str, _Worker] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._restarts: dict[str, int] = {}
+        self._worker_stats: dict[str, dict] = {}
+        self._req_ids = itertools.count(1)
+        self._generations = itertools.count(1)
+        self._lock = threading.Lock()
+        self._started = False
+        self._stopping = False
+        self._health_thread: threading.Thread | None = None
+        self._ping_seq = itertools.count(1)
+        self._stats_seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def _worker_names(self) -> list[str]:
+        return [f"w{i}" for i in range(self.config.workers)]
+
+    def _hosted_by(self, worker: str) -> dict[str, dict]:
+        """Serialized graphs for every workload ``worker`` must host:
+        the ones it owns plus the ones it backs up (replication)."""
+        r = min(self.config.workers, max(1, self.config.replication))
+        return {name: self._packed[name] for name in self.graphs
+                if worker in self.ring.owners(name, r)}
+
+    def owners_for(self, workload: str) -> list[str]:
+        r = min(self.config.workers, max(1, self.config.replication))
+        return self.ring.owners(workload, r)
+
+    def placement(self) -> dict[str, list[str]]:
+        """workload → ordered candidate workers (primary first)."""
+        return {name: self.owners_for(name) for name in sorted(self.graphs)}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ClusterSupervisor":
+        if self._started:
+            return self
+        self._started = True
+        for name in self._worker_names():
+            self.ring.add(name)
+            self._breakers[name] = CircuitBreaker(
+                failure_threshold=self.config.restart_breaker_threshold,
+                reset_timeout_s=self.config.restart_breaker_reset_s)
+            self._restarts[name] = 0
+        for name in self._worker_names():
+            self._spawn(name)
+        deadline = time.monotonic() + self.config.start_timeout_s
+        for w in list(self._workers.values()):
+            if not w.ready.wait(max(0.0, deadline - time.monotonic())):
+                raise ClusterError(
+                    f"worker {w.name} failed to become ready within "
+                    f"{self.config.start_timeout_s:.0f}s")
+        self._health_thread = threading.Thread(
+            target=self._health_loop, name="cluster-health", daemon=True)
+        self._health_thread.start()
+        return self
+
+    def _spawn(self, name: str) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        wconfig = WorkerConfig(
+            name=name, workloads=self._hosted_by(name),
+            gpu=self.config.gpu, engine=self.config.engine,
+            cache_dir=self.config.cache_dir,
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            threads=self.config.threads_per_worker,
+            max_queue_depth=self.config.worker_queue_depth,
+            lock_timeout_s=self.config.lock_timeout_s,
+            fault_plan=dict(self.config.fault_plan))
+        proc = self._ctx.Process(target=worker_main,
+                                 args=(child_conn, wconfig),
+                                 name=f"cluster-{name}", daemon=True)
+        proc.start()
+        child_conn.close()
+        worker = _Worker(name, proc, parent_conn,
+                         next(self._generations))
+        worker.receiver = threading.Thread(
+            target=self._receive_loop, args=(worker,),
+            name=f"recv-{name}", daemon=True)
+        with self._lock:
+            self._workers[name] = worker
+        worker.receiver.start()
+        return worker
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut the fleet down; with ``drain`` every queued request is
+        answered first and each worker's final metrics are collected."""
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._health_thread is not None:
+            self._health_thread.join(
+                timeout=self.config.health_interval_s * 4 + 1.0)
+        workers = list(self._workers.values())
+        if drain:
+            deadline = time.monotonic() + self.config.drain_timeout_s
+            for w in workers:
+                if w.up:
+                    w.draining = True
+                    self._try_send(w, ("drain",))
+            for w in workers:
+                if w.up:
+                    w.drained.wait(max(0.1, deadline - time.monotonic()))
+                    if w.final_stats:
+                        self._worker_stats[w.name] = w.final_stats
+        for w in workers:
+            if w.up:
+                self._try_send(w, ("stop",))
+        for w in workers:
+            w.stopped.wait(timeout=5.0)
+            if w.final_stats:
+                self._worker_stats[w.name] = w.final_stats
+            w.proc.join(timeout=5.0)
+            if w.proc.is_alive():
+                w.proc.terminate()
+                w.proc.join(timeout=5.0)
+            # Anything still in flight after a full drain+stop cycle is
+            # dead — never strand the submitter.
+            for request, tenant in w.drain_inflight():
+                self.admission.release(w.name, tenant)
+                request.fail(WorkerCrashed(
+                    w.name, "cluster stopped with request in flight"))
+                self.metrics.inc("requests.worker_crashed")
+            try:
+                w.conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _try_send(self, worker: _Worker, msg: tuple) -> bool:
+        try:
+            worker.send(msg)
+            return True
+        except (OSError, ValueError, BrokenPipeError):
+            return False
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+
+    def submit(self, workload: str, feeds: dict[str, np.ndarray],
+               timeout: float | None = None,
+               tenant: str = "default",
+               priority: int = PRIORITY_NORMAL,
+               on_done=None) -> Request:
+        """Route one request to its shard; returns a future-like handle.
+
+        Raises :class:`ClusterShed` (a typed
+        :class:`~repro.serve.batching.Overloaded`) when admission policy
+        or fleet health rejects the request *before* dispatch.
+        """
+        if self._stopping or not self._started:
+            raise ClusterError("cluster is not serving"
+                               if not self._started else
+                               "cluster is stopping")
+        graph = self.graphs.get(workload)
+        if graph is None:
+            raise ClusterError(
+                f"unknown workload {workload!r}; registered: "
+                f"{sorted(self.graphs)}")
+        self.metrics.inc("requests.submitted")
+        validate_feeds(feeds, required=graph.input_tensors)
+        worker = self._route(workload)
+        if worker is None:
+            self._shed(SHED_WORKER_DOWN, workload)
+        reason = self.admission.admit(worker.name, tenant, priority)
+        if reason is not None:
+            self._shed(reason, workload, worker.name)
+        req_id = next(self._req_ids)
+        request = Request(workload=workload, feeds=feeds,
+                          timeout_s=timeout, on_done=on_done)
+        with worker.inflight_lock:
+            worker.inflight[req_id] = (request, tenant)
+        try:
+            worker.send(("req", req_id, workload, feeds, timeout))
+        except (OSError, ValueError, BrokenPipeError):
+            # The worker died between routing and send: fail typed, give
+            # the slot back, and let the health loop handle the corpse.
+            if worker.take_inflight(req_id) is not None:
+                self.admission.release(worker.name, tenant)
+                self.metrics.inc("requests.worker_crashed")
+                request.fail(WorkerCrashed(worker.name,
+                                           "pipe broke at dispatch"))
+        return request
+
+    def infer(self, workload: str, feeds: dict[str, np.ndarray],
+              timeout: float | None = None, tenant: str = "default",
+              priority: int = PRIORITY_NORMAL) -> SessionReply:
+        """Synchronous convenience: submit and wait."""
+        return self.submit(workload, feeds, timeout=timeout, tenant=tenant,
+                           priority=priority).result(timeout=timeout)
+
+    def _shed(self, reason: str, workload: str,
+              worker: str | None = None) -> None:
+        self.metrics.inc("requests.shed")
+        self.metrics.inc(f"shed.{reason}")
+        obs_event("cluster_shed", category="cluster", workload=workload,
+                  reason=reason)
+        raise ClusterShed(reason, worker)
+
+    def _route(self, workload: str) -> _Worker | None:
+        """Primary owner, else the first live replica in owner order."""
+        with self._lock:
+            for name in self.owners_for(workload):
+                w = self._workers.get(name)
+                if w is not None and w.up and not w.draining:
+                    return w
+        return None
+
+    # ------------------------------------------------------------------
+    # Receive / health / crash handling
+    # ------------------------------------------------------------------
+
+    def _receive_loop(self, worker: _Worker) -> None:
+        while True:
+            try:
+                msg = worker.conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "reply":
+                entry = worker.take_inflight(msg[1])
+                if entry is None:
+                    continue  # already failed (crash race); count dupes
+                request, tenant = entry
+                self.admission.release(worker.name, tenant)
+                payload = msg[2]
+                self.metrics.observe_request(payload["latency_s"])
+                if payload["degraded"]:
+                    self.metrics.record_fallback(payload["reason"]
+                                                 or "unknown")
+                request.resolve(SessionReply(**payload))
+            elif kind == "error":
+                entry = worker.take_inflight(msg[1])
+                if entry is None:
+                    continue
+                request, tenant = entry
+                self.admission.release(worker.name, tenant)
+                self.metrics.inc("requests.remote_errors")
+                request.fail(_rebuild_error(msg[2], msg[3], worker.name))
+            elif kind == "pong":
+                worker.last_pong = time.monotonic()
+                worker.health = msg[2]
+            elif kind == "ready":
+                worker.ready.set()
+            elif kind == "armed":
+                worker.armed.set()
+            elif kind == "stats_reply":
+                worker.stats_replies[msg[1]] = msg[2]
+                worker.stats_event.set()
+            elif kind == "drained":
+                worker.final_stats = msg[1]
+                worker.drained.set()
+            elif kind == "stopped":
+                worker.final_stats = msg[1]
+                worker.stopped.set()
+        # Pipe gone.  During shutdown that is expected; otherwise the
+        # worker crashed and the receiver is the first to know.
+        if not self._stopping and worker.proc is not None:
+            self._handle_crash(worker)
+
+    def _handle_crash(self, worker: _Worker) -> None:
+        """Fail the dead worker's in-flight, then breaker-gate a restart."""
+        with self._lock:
+            current = self._workers.get(worker.name)
+            if current is not worker or not worker.up:
+                return  # an older generation, or already handled
+            worker.up = False
+        self.metrics.inc("workers.crashed")
+        obs_event("worker_crash", category="cluster", worker=worker.name,
+                  generation=worker.generation)
+        for request, tenant in worker.drain_inflight():
+            self.admission.release(worker.name, tenant)
+            self.metrics.inc("requests.worker_crashed")
+            request.fail(WorkerCrashed(worker.name,
+                                       "process died mid-flight"))
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.proc.is_alive():
+            worker.proc.terminate()
+        worker.proc.join(timeout=5.0)
+        breaker = self._breakers[worker.name]
+        breaker.record_failure()
+        if self._stopping:
+            return
+        if breaker.allow():
+            self._restart(worker.name)
+        else:
+            obs_event("worker_restart_suppressed", category="cluster",
+                      worker=worker.name, breaker=breaker.state)
+
+    def _restart(self, name: str) -> None:
+        self.metrics.inc("workers.restarts")
+        self._restarts[name] += 1
+        obs_event("worker_restart", category="cluster", worker=name,
+                  restarts=self._restarts[name])
+        fresh = self._spawn(name)
+        if fresh.ready.wait(self.config.start_timeout_s):
+            # A full ready cycle is the restart breaker's "success": a
+            # crash-looping worker keeps the failure streak instead.
+            self._breakers[name].record_success()
+        else:
+            self._handle_crash(fresh)
+
+    def _health_loop(self) -> None:
+        interval = self.config.health_interval_s
+        while not self._stopping:
+            time.sleep(interval)
+            with self._lock:
+                workers = list(self._workers.values())
+            for w in workers:
+                if self._stopping:
+                    return
+                if w.up:
+                    if not w.proc.is_alive():
+                        self._handle_crash(w)
+                        continue
+                    if not self._try_send(w, ("ping", next(self._ping_seq))):
+                        self._handle_crash(w)
+                        continue
+                    if (time.monotonic() - w.last_pong
+                            > self.config.heartbeat_timeout_s):
+                        # Hung, not dead: a worker that cannot answer a
+                        # ping cannot answer requests either.
+                        obs_event("worker_hung", category="cluster",
+                                  worker=w.name)
+                        w.proc.terminate()
+                        self._handle_crash(w)
+                else:
+                    # Down with the restart breaker open: probe once the
+                    # reset timeout elapses (half-open semantics).
+                    breaker = self._breakers[w.name]
+                    if breaker.allow():
+                        self._restart(w.name)
+
+    # ------------------------------------------------------------------
+    # Test / chaos hooks
+    # ------------------------------------------------------------------
+
+    def kill_worker(self, name: str, code: int = 1) -> None:
+        """Hard-kill one worker (crash testing); the health/receiver
+        machinery must detect it and recover."""
+        with self._lock:
+            w = self._workers.get(name)
+        if w is None:
+            raise ClusterError(f"unknown worker {name!r}")
+        if not self._try_send(w, ("kill", code)) and w.proc.is_alive():
+            w.proc.terminate()
+
+    def arm_faults(self, name: str, plan: dict[str, str],
+                   timeout: float = 5.0) -> bool:
+        with self._lock:
+            w = self._workers.get(name)
+        if w is None:
+            raise ClusterError(f"unknown worker {name!r}")
+        w.armed.clear()
+        if not self._try_send(w, ("arm", dict(plan))):
+            return False
+        return w.armed.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def worker_names(self) -> list[str]:
+        return self._worker_names()
+
+    def restarts(self) -> dict[str, int]:
+        return dict(self._restarts)
+
+    def request_stats(self, name: str, timeout: float = 5.0) -> dict | None:
+        """Live metrics snapshot from one worker (None on timeout)."""
+        with self._lock:
+            w = self._workers.get(name)
+        if w is None or not w.up:
+            return self._worker_stats.get(name)
+        seq = next(self._stats_seq)
+        w.stats_event.clear()
+        if not self._try_send(w, ("stats", seq)):
+            return None
+        deadline = time.monotonic() + timeout
+        while seq not in w.stats_replies:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not w.stats_event.wait(remaining):
+                return None
+            w.stats_event.clear()
+        return w.stats_replies.pop(seq)
+
+    def worker_stats(self) -> dict[str, dict]:
+        """Final per-worker metrics snapshots (populated by drain/stop;
+        live workers are polled on demand)."""
+        out = dict(self._worker_stats)
+        if not self._stopping:
+            for name in self._worker_names():
+                snap = self.request_stats(name)
+                if snap is not None:
+                    out[name] = snap
+        return out
+
+    #: Counter families aggregated fleet-wide in :meth:`aggregate`.
+    _AGG_PREFIXES = ("cache.", "breaker.", "fallbacks", "requests",
+                     "plans.", "faults.", "workers.", "lower.",
+                     "compile_failures", "batches_dispatched",
+                     "request_errors")
+
+    def aggregate(self) -> dict:
+        """Cluster-wide report: supervisor counters plus the sum of every
+        worker's serving counters (cache tiers, breaker trips, fallbacks)."""
+        totals: dict[str, float] = {}
+        per_worker = self.worker_stats()
+        for snap in per_worker.values():
+            for key, value in snap.items():
+                if (isinstance(value, (int, float))
+                        and key.startswith(self._AGG_PREFIXES)):
+                    totals[key] = totals.get(key, 0) + value
+        return {
+            "supervisor": self.metrics.snapshot(),
+            "workers": per_worker,
+            "worker_totals": totals,
+            "restarts": self.restarts(),
+            "placement": self.placement(),
+        }
+
+    def health(self) -> dict:
+        """Fleet health: ``healthy`` (all up) / ``degraded`` (some
+        workers down) / ``unhealthy`` (stopped or nothing up)."""
+        with self._lock:
+            states = {
+                name: {
+                    "up": w.up,
+                    "draining": w.draining,
+                    "generation": w.generation,
+                    "restarts": self._restarts.get(name, 0),
+                    "breaker": self._breakers[name].state,
+                    "last_health": dict(w.health),
+                }
+                for name, w in self._workers.items()
+            }
+        up = sum(1 for s in states.values() if s["up"])
+        if self._stopping or up == 0:
+            status = "unhealthy"
+        elif up < len(states):
+            status = "degraded"
+        else:
+            status = "healthy"
+        return {"status": status, "workers": states,
+                "shed": self.metrics.get("requests.shed"),
+                "crashes": self.metrics.get("workers.crashed")}

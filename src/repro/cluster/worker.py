@@ -1,0 +1,219 @@
+"""The cluster worker process: one serving slice behind a duplex pipe.
+
+Each worker a :class:`~repro.cluster.supervisor.ClusterSupervisor` forks
+runs :func:`worker_main`: it rebuilds its assigned workload graphs from
+their serialized form, hosts one :class:`~repro.serve.session.InferenceSession`
+per workload behind an in-process :class:`~repro.serve.server.FusionServer`
+(dynamic batching, bounded queue, breaker, compiled-engine plan cache),
+and speaks a small tuple protocol with the supervisor:
+
+========================  =====================================================
+supervisor → worker        meaning
+========================  =====================================================
+``("req", id, wl, feeds,
+timeout)``                 answer one inference request
+``("ping", seq)``          heartbeat; worker answers ``("pong", seq, health)``
+``("stats", seq)``         request a metrics snapshot
+``("arm", plan)``          arm failpoints in *this* process (tests/chaos)
+``("kill", code)``         hard ``os._exit`` — crash-test hook
+``("drain",)``             stop accepting, finish in-flight, report stats
+``("stop",)``              shut down and exit
+========================  =====================================================
+
+Replies flow back through one dedicated sender thread (``("reply", id,
+payload)`` / ``("error", id, kind, msg)`` / control acks), so the pipe
+is never written concurrently.  Request completions are pushed by the
+:attr:`~repro.serve.batching.Request.on_done` hook — the worker never
+polls or blocks a thread per request.
+
+The schedule cache's disk tier points at the supervisor's shared
+directory: together with the per-key advisory file lock in
+:class:`~repro.serve.cache.TieredScheduleCache`, a given (graph, GPU)
+key is compiled by exactly one process in the fleet and every other
+worker loads it as a disk hit.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from dataclasses import dataclass, field
+
+from ..core.serialize import ScheduleCache, graph_from_dict, graph_to_dict
+from ..hw import get_gpu
+from ..ir.graph import DataflowGraph
+from ..resilience import faults
+from ..serve import (
+    FusionServer,
+    InferenceSession,
+    InvalidRequestError,
+    Overloaded,
+    ServeMetrics,
+    SessionReply,
+    TieredScheduleCache,
+    WorkerCrashed,
+)
+
+#: Wire error kinds (worker → supervisor) and the exceptions they map to.
+ERR_OVERLOADED = "overloaded"
+ERR_INVALID = "invalid"
+ERR_TIMEOUT = "timeout"
+ERR_CRASHED = "crashed"
+ERR_DRAINING = "draining"
+ERR_SERVER = "server"
+
+
+def error_kind(exc: BaseException) -> str:
+    if isinstance(exc, Overloaded):
+        return ERR_OVERLOADED
+    if isinstance(exc, InvalidRequestError):
+        return ERR_INVALID
+    if isinstance(exc, WorkerCrashed):
+        return ERR_CRASHED
+    if isinstance(exc, TimeoutError):
+        return ERR_TIMEOUT
+    return ERR_SERVER
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a worker needs, in picklable (spawn-safe) form."""
+
+    name: str
+    #: workload name → serialized graph dict (``graph_to_dict``).
+    workloads: dict[str, dict]
+    gpu: str = "ampere"
+    engine: str = "compiled"
+    cache_dir: str | None = None
+    max_batch: int = 8
+    max_wait_ms: float = 1.0
+    threads: int = 2
+    max_queue_depth: int | None = 64
+    lock_timeout_s: float = 30.0
+    #: Failpoint plan armed at boot (restart-on-crash tests re-arm this
+    #: way because a fresh worker process starts with a clean registry).
+    fault_plan: dict[str, str] = field(default_factory=dict)
+
+    @staticmethod
+    def pack_workloads(graphs: dict[str, DataflowGraph]) -> dict[str, dict]:
+        return {name: graph_to_dict(g) for name, g in graphs.items()}
+
+
+def build_server(config: WorkerConfig,
+                 metrics: ServeMetrics) -> FusionServer:
+    """Construct the in-worker serving stack from its config."""
+    gpu = get_gpu(config.gpu)
+    disk = ScheduleCache(config.cache_dir) if config.cache_dir else None
+    cache = TieredScheduleCache(disk=disk, metrics=metrics,
+                                lock_timeout_s=config.lock_timeout_s)
+    sessions = {
+        name: InferenceSession(graph_from_dict(gdict), gpu, cache=cache,
+                               metrics=metrics, engine=config.engine)
+        for name, gdict in sorted(config.workloads.items())
+    }
+    return FusionServer(sessions, max_batch=config.max_batch,
+                        max_wait_ms=config.max_wait_ms,
+                        workers=config.threads, metrics=metrics,
+                        max_queue_depth=config.max_queue_depth)
+
+
+def worker_main(conn, config: WorkerConfig) -> None:
+    """Process entry point; returns only at clean shutdown."""
+    # The forked child inherits the parent's failpoint registry — and,
+    # worst case, a lock some parent thread held at fork time.  Start
+    # from a clean, self-owned registry and re-arm from the config.
+    registry = faults.reset_after_fork()
+    for name, spec in config.fault_plan.items():
+        registry.arm(name, spec)
+
+    metrics = ServeMetrics()
+    server = build_server(config, metrics)
+    outbox: "queue.Queue" = queue.Queue()
+    accepting = True
+
+    def sender() -> None:
+        while True:
+            msg = outbox.get()
+            if msg is None:
+                return
+            try:
+                conn.send(msg)
+            except (OSError, ValueError, BrokenPipeError):
+                return  # supervisor went away; nothing left to tell
+
+    send_thread = threading.Thread(target=sender, name="worker-sender",
+                                   daemon=True)
+    send_thread.start()
+
+    def on_done(request, req_id: int) -> None:
+        if request.error is not None:
+            outbox.put(("error", req_id, error_kind(request.error),
+                        f"{type(request.error).__name__}: {request.error}"))
+        else:
+            reply: SessionReply = request.reply
+            outbox.put(("reply", req_id, {
+                "outputs": reply.outputs,
+                "degraded": reply.degraded,
+                "reason": reply.reason,
+                "latency_s": reply.latency_s,
+            }))
+
+    def snapshot() -> dict:
+        snap = metrics.snapshot()
+        snap["worker"] = config.name
+        snap["pid"] = os.getpid()
+        return snap
+
+    server.start()
+    outbox.put(("ready", config.name, sorted(config.workloads)))
+
+    stopping = False
+    while not stopping:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break  # supervisor died; daemon worker just exits
+        kind = msg[0]
+        if kind == "req":
+            _, req_id, workload, feeds, timeout = msg
+            if not accepting:
+                outbox.put(("error", req_id, ERR_DRAINING,
+                            f"worker {config.name} is draining"))
+                continue
+            try:
+                server.submit(
+                    workload, feeds, timeout=timeout,
+                    on_done=lambda r, rid=req_id: on_done(r, rid))
+            except Exception as exc:  # noqa: BLE001 — typed over the wire
+                outbox.put(("error", req_id, error_kind(exc),
+                            f"{type(exc).__name__}: {exc}"))
+        elif kind == "ping":
+            health = server.health()
+            outbox.put(("pong", msg[1], {
+                "status": health["status"],
+                "queue_depth": health["queue_depth"],
+            }))
+        elif kind == "stats":
+            outbox.put(("stats_reply", msg[1], snapshot()))
+        elif kind == "arm":
+            for name, spec in msg[1].items():
+                registry.arm(name, spec)
+            outbox.put(("armed",))
+        elif kind == "kill":
+            os._exit(msg[1] if len(msg) > 1 else 1)
+        elif kind == "drain":
+            accepting = False
+            server.stop(drain=True)
+            outbox.put(("drained", snapshot()))
+        elif kind == "stop":
+            stopping = True
+
+    server.stop(drain=False)
+    outbox.put(("stopped", snapshot()))
+    outbox.put(None)
+    send_thread.join(timeout=5.0)
+    try:
+        conn.close()
+    except OSError:
+        pass

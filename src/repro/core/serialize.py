@@ -247,6 +247,12 @@ class ScheduleCache:
              options_repr: str) -> str:
         return cache_key(graph, gpu_name, options_repr)
 
+    def lock_path(self, key: str) -> pathlib.Path:
+        """Advisory-lock file for one cache key (cross-process
+        single-flight; see :mod:`repro.serve.filelock`).  Lives next to
+        the entry so it shares the entry's filesystem and permissions."""
+        return self.directory / f"{key}.lock"
+
     def get(self, graph: DataflowGraph, gpu_name: str,
             options_repr: str = "") -> ProgramSchedule | None:
         """Load a cached schedule, or None on a miss.

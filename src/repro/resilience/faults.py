@@ -210,6 +210,27 @@ def register(name: str) -> str:
     return _REGISTRY.register(name)
 
 
+def reset_after_fork(seed: int | None = None) -> FailpointRegistry:
+    """Replace the process-wide registry with a fresh one after ``fork``.
+
+    A forked child (a :mod:`repro.cluster` worker) inherits the parent's
+    registry *including* its lock state and armed actions; if another
+    parent thread held the lock at fork time, the child's first armed
+    ``fire()`` would deadlock.  Building a new registry — keeping only
+    the import-time site names, dropping armed actions — makes the child
+    self-contained; worker faults are re-armed explicitly over the
+    control channel.
+    """
+    global _REGISTRY
+    fresh = FailpointRegistry(seed=seed)
+    # Read _known without the (possibly wedged) inherited lock: the child
+    # is single-threaded at this point, so nothing can be mutating it.
+    for name in set(_REGISTRY._known):
+        fresh.register(name)
+    _REGISTRY = fresh
+    return fresh
+
+
 def fire(name: str) -> None:
     """Site hook: no-op unless armed (one bool check when disarmed)."""
     if not _REGISTRY.armed_any:

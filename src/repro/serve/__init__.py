@@ -21,10 +21,12 @@ from .batching import (
     Overloaded,
     Request,
     RequestQueue,
+    WorkerCrashed,
     batch_key,
     validate_feeds,
 )
 from .cache import TieredScheduleCache
+from .filelock import HAVE_FCNTL, FileLock
 from .metrics import Histogram, ServeMetrics
 from .parallel import compile_model_parallel, default_max_workers
 from .server import FusionServer, ServerError
@@ -42,8 +44,11 @@ __all__ = [
     "ENGINES",
     "ENGINE_COMPILED",
     "ENGINE_INTERPRETER",
+    "FileLock",
     "FusionServer",
+    "HAVE_FCNTL",
     "Histogram",
+    "WorkerCrashed",
     "InferenceSession",
     "InvalidRequestError",
     "Overloaded",

@@ -39,6 +39,23 @@ class InvalidRequestError(ValueError):
     """Typed rejection for malformed request feeds (pre-queue)."""
 
 
+class WorkerCrashed(RuntimeError):
+    """A request was in flight on a worker (thread or process) that died.
+
+    The request was dispatched but never answered: it may or may not have
+    executed, so the submitter must treat it as *failed with unknown
+    side effects* and decide about retrying (inference is idempotent, so
+    retrying is safe here).  Raised instead of letting the submitter hang
+    in ``Request.result()`` until its timeout.
+    """
+
+    def __init__(self, worker: str, detail: str = "") -> None:
+        super().__init__(
+            f"worker {worker!r} died with this request in flight"
+            + (f": {detail}" if detail else ""))
+        self.worker = worker
+
+
 def validate_feeds(feeds: dict[str, np.ndarray],
                    required=None) -> None:
     """Reject garbage feeds before they reach the batcher.
@@ -93,6 +110,13 @@ class Request:
     #: request; the chaos harness asserts no request is ever answered
     #: twice.  First completion wins, later ones only bump the count.
     resolutions: int = 0
+    #: Optional completion hook, called exactly once — after the first
+    #: resolve/fail, outside the resolve lock.  The cluster worker uses
+    #: it to push replies back over the supervisor pipe and the load
+    #: harness to timestamp completions without polling.  Keep it cheap
+    #: and non-raising; it runs on the answering worker's thread.
+    on_done: Callable[["Request"], None] | None = field(default=None,
+                                                       repr=False)
 
     @property
     def key(self) -> tuple:
@@ -114,12 +138,25 @@ class Request:
     def resolve(self, reply) -> None:
         if self._first_completion():
             self.reply = reply
-        self._done.set()
+            self._done.set()
+            self._notify_done()
+        else:
+            self._done.set()
 
     def fail(self, error: Exception) -> None:
         if self._first_completion():
             self.error = error
-        self._done.set()
+            self._done.set()
+            self._notify_done()
+        else:
+            self._done.set()
+
+    def _notify_done(self) -> None:
+        if self.on_done is not None:
+            try:
+                self.on_done(self)
+            except Exception:  # noqa: BLE001 — a hook must not kill a worker
+                pass
 
     # -- waiting (client side) -----------------------------------------
 

@@ -21,6 +21,7 @@ from ..ir.graph import DataflowGraph
 from ..obs import span as obs_span
 from ..resilience import faults as _faults
 from ..resilience.retry import RetryPolicy
+from .filelock import HAVE_FCNTL, FileLock
 from .metrics import ServeMetrics
 
 CompileFn = Callable[[], ProgramSchedule]
@@ -56,11 +57,16 @@ class TieredScheduleCache:
     def __init__(self, capacity: int = 64,
                  disk: ScheduleCache | None = None,
                  metrics: ServeMetrics | None = None,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 lock_timeout_s: float = 30.0) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self.disk = disk
+        #: Bound on waiting for another *process* compiling the same key
+        #: (see :meth:`_resolve_cold`).  On timeout we compile anyway: a
+        #: stuck fleet member may cost a duplicate campaign, never a hang.
+        self.lock_timeout_s = lock_timeout_s
         self.metrics = metrics or ServeMetrics()
         #: Backoff policy around compile attempts (and, via the session,
         #: plan lowering): transient compiler faults retry instead of
@@ -152,21 +158,64 @@ class TieredScheduleCache:
             self.metrics.inc("cache.memory_hits")
             sp.note(tier="memory")
             return sched
-        if self.disk is not None:
-            # A broken disk tier must never fail the request: an I/O or
-            # deserialisation error is a miss (we can still compile).
-            try:
-                _faults.fire(FP_DISK_GET)
-                sched = self.disk.get(graph, gpu_name, options_repr)
-            except _DISK_ERRORS as exc:
-                self.metrics.inc("cache.disk_errors")
-                sp.note(disk_error=f"{type(exc).__name__}: {exc}")
-                sched = None
-            if sched is not None:
-                self.metrics.inc("cache.disk_hits")
-                sp.note(tier="disk")
-                self._memory_put(key, sched)
-                return sched
+        if self.disk is None:
+            return self._compile_and_store(graph, gpu_name, compile_fn,
+                                           options_repr, key, sp)
+        sched = self._disk_get(key, graph, gpu_name, options_repr, sp)
+        if sched is not None:
+            return sched
+        # Cross-process single-flight: the in-process flight lock cannot
+        # see other fleet members, so an advisory file lock per key makes
+        # "compile once fleet-wide" hold across process boundaries.  A
+        # waiter that wins the lock re-checks the disk first — the
+        # previous holder usually compiled and persisted while we waited.
+        # A timeout (live-but-stuck holder) falls back to compiling
+        # unlocked: worst case one duplicate campaign, never a wedged
+        # fleet; a *crashed* holder releases the flock automatically.
+        lock = FileLock(self.disk.lock_path(key),
+                        timeout_s=self.lock_timeout_s)
+        acquired = lock.acquire()
+        try:
+            if acquired:
+                # Only a contended acquire warrants a second disk read:
+                # an instantly-free lock means nobody was compiling this
+                # key when we checked, so the miss above still stands.
+                if lock.waited:
+                    sched = self._disk_get(key, graph, gpu_name,
+                                           options_repr, sp)
+                    if sched is not None:
+                        sp.note(fleet_lock="hit_after_wait")
+                        return sched
+            elif HAVE_FCNTL:    # a real timeout, not a platform gap
+                self.metrics.inc("cache.lock_timeouts")
+                sp.note(fleet_lock="timeout")
+            return self._compile_and_store(graph, gpu_name, compile_fn,
+                                           options_repr, key, sp)
+        finally:
+            lock.release()
+
+    def _disk_get(self, key: str, graph: DataflowGraph, gpu_name: str,
+                  options_repr: str, sp) -> ProgramSchedule | None:
+        """Disk-tier lookup; a broken disk tier must never fail the
+        request: an I/O or deserialisation error is a miss (we can still
+        compile)."""
+        try:
+            _faults.fire(FP_DISK_GET)
+            sched = self.disk.get(graph, gpu_name, options_repr)
+        except _DISK_ERRORS as exc:
+            self.metrics.inc("cache.disk_errors")
+            sp.note(disk_error=f"{type(exc).__name__}: {exc}")
+            sched = None
+        if sched is None:
+            return None
+        self.metrics.inc("cache.disk_hits")
+        sp.note(tier="disk")
+        self._memory_put(key, sched)
+        return sched
+
+    def _compile_and_store(self, graph: DataflowGraph, gpu_name: str,
+                           compile_fn: CompileFn, options_repr: str,
+                           key: str, sp) -> ProgramSchedule:
         self.metrics.inc("cache.compile_misses")
         sp.note(tier="compile")
         t0 = time.perf_counter()
@@ -211,6 +260,7 @@ class TieredScheduleCache:
             "compile_misses": m.get("cache.compile_misses"),
             "compile_retries": m.get("cache.compile_retries"),
             "disk_errors": m.get("cache.disk_errors"),
+            "lock_timeouts": m.get("cache.lock_timeouts"),
             "memory_evictions": m.get("cache.memory_evictions"),
             "resident": len(self),
             "inflight": self.inflight_keys(),

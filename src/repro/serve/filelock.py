@@ -1,0 +1,117 @@
+"""Advisory cross-process file locks for the disk schedule cache.
+
+The disk tier of the compile cache is shared by every serving process in
+a fleet (and every worker of a :class:`~repro.cluster.ClusterSupervisor`).
+``os.replace`` already makes *writes* atomic, but atomicity alone does
+not stop two processes that both cold-miss the same key from each running
+a full autotuning campaign.  :class:`FileLock` extends single-flight
+across process boundaries with a ``fcntl.flock`` advisory lock per cache
+key.
+
+Failure semantics are deliberately forgiving:
+
+* a **crashed lock holder cannot wedge the fleet** — the kernel releases
+  a ``flock`` the moment the holder's fd closes, including on SIGKILL;
+* a **live but stuck** holder is bounded by ``timeout_s``: a waiter that
+  cannot acquire within the timeout proceeds *without* the lock (it may
+  duplicate one compile — correctness is unaffected because the disk
+  ``put`` is atomic and idempotent);
+* on platforms without ``fcntl`` (Windows) the lock degrades to a no-op
+  and in-process threads still single-flight through
+  :class:`~repro.serve.cache.TieredScheduleCache`'s own registry.
+
+Lock files live next to the cache entries (``<key>.lock``) and are tiny
+and append-free; they are never deleted while in use (deleting an flock'd
+file re-opens a race on the inode).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    import fcntl
+except ImportError:  # pragma: no cover - Windows fallback
+    fcntl = None  # type: ignore[assignment]
+
+#: True when real advisory locking is available on this platform.
+HAVE_FCNTL = fcntl is not None
+
+
+class FileLock:
+    """One advisory lock on ``path``, acquired with a bounded wait.
+
+    Usage::
+
+        lock = FileLock(path, timeout_s=5.0)
+        acquired = lock.acquire()   # False ⇒ timed out, proceed unlocked
+        try:
+            ...
+        finally:
+            lock.release()
+
+    ``acquire``/``release`` are not thread-safe on one instance — create
+    one :class:`FileLock` per acquisition attempt (they are cheap).
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 timeout_s: float = 30.0,
+                 poll_s: float = 0.005) -> None:
+        if timeout_s < 0:
+            raise ValueError("timeout_s must be >= 0")
+        self.path = os.fspath(path)
+        self.timeout_s = timeout_s
+        self.poll_s = max(1e-4, poll_s)
+        self._fd: int | None = None
+        #: True when the last :meth:`acquire` had to wait for another
+        #: holder.  Callers use it to decide whether a competitor could
+        #: have finished the protected work in the meantime (the cache
+        #: re-checks disk only then).
+        self.waited = False
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> bool:
+        """Take the lock; False when the timeout elapsed (or no fcntl).
+
+        The wait is a non-blocking poll loop rather than a blocking
+        ``flock`` so a stuck holder costs at most ``timeout_s`` — the
+        caller then falls back to compiling unlocked.
+        """
+        if fcntl is None:
+            return False
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self.path!r} already held")
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    os.close(fd)
+                    return False
+                self.waited = True
+                time.sleep(self.poll_s)
+                continue
+            self._fd = fd
+            return True
+
+    def release(self) -> None:
+        """Drop the lock (no-op when it was never acquired)."""
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)  # type: ignore[union-attr]
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()

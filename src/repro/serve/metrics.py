@@ -77,6 +77,7 @@ class ServeMetrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
         self.request_latency = Histogram()
         self.compile_latency = Histogram()
         self.queue_wait = Histogram()
@@ -101,6 +102,26 @@ class ServeMetrics:
     def get(self, name: str) -> int:
         with self._lock:
             return self.counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (last write wins, e.g. breaker state)."""
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def get_gauge(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            return self.gauges.get(name, default)
+
+    def _derived_gauges(self) -> dict[str, float]:
+        """Gauges computed from counters at read time (lock held).
+
+        ``shed_rate`` is the fraction of submit attempts rejected by
+        admission control — exported directly so the loadtest report and
+        scrapers don't each re-derive it from two counters.
+        """
+        shed = self.counters.get("requests.shed", 0)
+        submitted = self.counters.get("requests.submitted", 0)
+        return {"shed_rate": shed / submitted if submitted else 0.0}
 
     def observe_request(self, latency_s: float) -> None:
         with self._lock:
@@ -140,6 +161,9 @@ class ServeMetrics:
         """Point-in-time copy of every counter plus histogram summaries."""
         with self._lock:
             snap = dict(self.counters)
+            for name, value in {**self.gauges,
+                                **self._derived_gauges()}.items():
+                snap[f"gauge.{name}"] = value
             for name, hist in self._histograms():
                 snap[f"{name}.count"] = hist.samples
                 snap[f"{name}.mean"] = hist.mean
@@ -201,6 +225,11 @@ class ServeMetrics:
                 metric = f"{prefix}_{sanitize(name)}"
                 lines.append(f"# TYPE {metric} counter")
                 lines.append(f"{metric} {self.counters[name]}")
+            gauges = {**self.gauges, **self._derived_gauges()}
+            for name in sorted(gauges):
+                metric = f"{prefix}_{sanitize(name)}"
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {gauges[name]:g}")
             for name, hist in self._histograms():
                 metric = f"{prefix}_{sanitize(name)}"
                 lines.append(f"# TYPE {metric} histogram")

@@ -21,12 +21,21 @@ from ..obs import span as obs_span
 from ..resilience import faults as _faults
 from ..resilience.retry import CLOSED as BREAKER_CLOSED
 from ..resilience.retry import OPEN as BREAKER_OPEN
-from .batching import Overloaded, Request, RequestQueue, validate_feeds
+from .batching import (
+    Overloaded,
+    Request,
+    RequestQueue,
+    WorkerCrashed,
+    validate_feeds,
+)
 from .metrics import ServeMetrics
 from .session import FAILED, InferenceSession, SessionReply
 
 #: Failpoint in the batch-assembly loop (armed only by tests/chaos).
 FP_BATCH = _faults.register("serve.batch")
+#: Failpoint that kills a worker thread with a batch in flight (the
+#: crash-containment path: the batch must fail typed, not hang).
+FP_WORKER_CRASH = _faults.register("serve.worker_crash")
 
 
 class ServerError(Exception):
@@ -82,7 +91,7 @@ class FusionServer:
         for session in self.sessions.values():
             session.start_compile()
         for i in range(self.num_workers):
-            t = threading.Thread(target=self._worker_loop,
+            t = threading.Thread(target=self._worker_main,
                                  name=f"serve-worker-{i}", daemon=True)
             t.start()
             self._threads.append(t)
@@ -124,7 +133,8 @@ class FusionServer:
     # ------------------------------------------------------------------
 
     def submit(self, workload: str, feeds: dict[str, np.ndarray],
-               timeout: float | None = None) -> Request:
+               timeout: float | None = None,
+               on_done=None) -> Request:
         """Enqueue one request; returns its future-like handle.
 
         Raises :class:`~repro.serve.batching.InvalidRequestError` for
@@ -132,12 +142,19 @@ class FusionServer:
         inputs) and :class:`~repro.serve.batching.Overloaded` when the
         queue is at its depth bound — both *before* the request enters
         the batcher.
+
+        ``on_done(request)`` (optional) fires exactly once on the first
+        resolve/fail — push-style completion for callers (the cluster
+        worker, the load harness) that must not block a thread per
+        request.
         """
         if self._stopped:
             raise ServerError("server is stopped")
+        self.metrics.inc("requests.submitted")
         session = self.session(workload)  # validate early, before enqueueing
         validate_feeds(feeds, required=session.graph.input_tensors)
-        request = Request(workload=workload, feeds=feeds, timeout_s=timeout)
+        request = Request(workload=workload, feeds=feeds, timeout_s=timeout,
+                          on_done=on_done)
         try:
             depth = self.queue.put(request)
         except Overloaded:
@@ -160,6 +177,28 @@ class FusionServer:
         """Queue callback: a deadline passed before dispatch."""
         self.metrics.inc("requests.expired")
 
+    def _worker_main(self) -> None:
+        """Thread entry: run the loop, contain crashes, restart.
+
+        A worker that dies with a batch in flight must not strand its
+        submitters until their timeouts: every undispatched request of
+        the batch is failed with a typed :class:`WorkerCrashed` first
+        (``_worker_loop`` does that), the crash is counted, and — unless
+        the server is stopping — the same thread re-enters the loop so
+        serving capacity survives the crash.
+        """
+        while True:
+            try:
+                self._worker_loop()
+                return  # queue closed and drained
+            except Exception as exc:  # noqa: BLE001 — crash containment
+                self.metrics.inc("workers.crashed")
+                obs_event("worker_crash", category="serve",
+                          worker=threading.current_thread().name,
+                          error=f"{type(exc).__name__}: {exc}")
+                if self._stopped:
+                    return
+
     def _worker_loop(self) -> None:
         while True:
             try:
@@ -177,10 +216,23 @@ class FusionServer:
                 asp.note(batch=len(batch))
             if not batch:
                 return  # queue closed and drained
-            self.metrics.observe_batch(len(batch))
-            session = self.sessions.get(batch[0].workload)
-            for request in batch:
-                self._answer(session, request)
+            try:
+                _faults.fire(FP_WORKER_CRASH)
+                self.metrics.observe_batch(len(batch))
+                session = self.sessions.get(batch[0].workload)
+                for request in batch:
+                    self._answer(session, request)
+            except BaseException as exc:
+                # The batch left the queue but this worker is dying: no
+                # other worker will ever see these requests again, so
+                # fail whatever was not answered yet with a typed error.
+                worker = threading.current_thread().name
+                for request in batch:
+                    if not request.done():
+                        request.fail(WorkerCrashed(
+                            worker, f"{type(exc).__name__}: {exc}"))
+                        self.metrics.inc("requests.worker_crashed")
+                raise
 
     def _answer(self, session: InferenceSession | None,
                 request: Request) -> None:

@@ -236,8 +236,14 @@ class InferenceSession:
 
     # -- resilience hooks ----------------------------------------------
 
+    #: Numeric breaker-state encoding for the Prometheus gauge
+    #: (``0`` healthy, higher = worse, so alert rules can threshold it).
+    BREAKER_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+
     def _on_breaker_transition(self, old: str, new: str) -> None:
         self.metrics.inc(f"breaker.{new}")
+        self.metrics.set_gauge(f"breaker_state.{self.graph.name}",
+                               self.BREAKER_STATE_CODES.get(new, -1))
         obs_event("breaker_transition", category="serve",
                   workload=self.graph.name, old=old, new=new)
 

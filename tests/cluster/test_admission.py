@@ -1,0 +1,125 @@
+"""Tests for priority/tenant-aware admission control."""
+
+import threading
+
+import pytest
+
+from repro.cluster import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    SHED_CAPACITY,
+    SHED_PRIORITY,
+    SHED_TENANT,
+    AdmissionController,
+    AdmissionPolicy,
+)
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_outstanding_per_worker=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(priority_headroom={0: 0.0})
+        with pytest.raises(ValueError):
+            AdmissionPolicy(priority_headroom={0: 1.5})
+        with pytest.raises(ValueError):
+            AdmissionPolicy(tenant_share=0.0)
+
+    def test_limits(self):
+        pol = AdmissionPolicy(max_outstanding_per_worker=10,
+                              priority_headroom={0: 1.0, 1: 0.8, 2: 0.5},
+                              tenant_share=0.5)
+        assert pol.limit_for(0) == 10
+        assert pol.limit_for(1) == 8
+        assert pol.limit_for(2) == 5
+        assert pol.limit_for(99) == 5       # unknown clamps to lowest
+        assert pol.tenant_limit() == 5
+
+    def test_tenant_share_disabled(self):
+        assert AdmissionPolicy(tenant_share=None).tenant_limit() is None
+
+    def test_limits_never_zero(self):
+        pol = AdmissionPolicy(max_outstanding_per_worker=1,
+                              priority_headroom={2: 0.1},
+                              tenant_share=0.1)
+        assert pol.limit_for(2) == 1
+        assert pol.tenant_limit() == 1
+
+
+class TestController:
+    def _ctl(self, cap=4, headroom=None, tenant_share=0.5):
+        return AdmissionController(AdmissionPolicy(
+            max_outstanding_per_worker=cap,
+            priority_headroom=headroom or {PRIORITY_HIGH: 1.0,
+                                           PRIORITY_NORMAL: 0.75,
+                                           PRIORITY_LOW: 0.5},
+            tenant_share=tenant_share))
+
+    def test_capacity_shed_and_release(self):
+        ctl = self._ctl(cap=2, tenant_share=None)
+        assert ctl.admit("w0", priority=PRIORITY_HIGH) is None
+        assert ctl.admit("w0", priority=PRIORITY_HIGH) is None
+        assert ctl.admit("w0", priority=PRIORITY_HIGH) == SHED_CAPACITY
+        ctl.release("w0")
+        assert ctl.admit("w0", priority=PRIORITY_HIGH) is None
+
+    def test_low_priority_sheds_before_high(self):
+        """Fill to the low-priority ceiling: LOW sheds, HIGH still fits."""
+        ctl = self._ctl(cap=4, tenant_share=None)
+        for _ in range(2):                       # low limit = floor(4*0.5)
+            assert ctl.admit("w0", priority=PRIORITY_LOW) is None
+        assert ctl.admit("w0", priority=PRIORITY_LOW) == SHED_PRIORITY
+        assert ctl.admit("w0", priority=PRIORITY_NORMAL) is None  # 3 of 3
+        assert ctl.admit("w0", priority=PRIORITY_NORMAL) == SHED_PRIORITY
+        assert ctl.admit("w0", priority=PRIORITY_HIGH) is None    # 4 of 4
+        assert ctl.admit("w0", priority=PRIORITY_HIGH) == SHED_CAPACITY
+
+    def test_tenant_fair_share(self):
+        """One tenant cannot hold more than its share; others still fit."""
+        ctl = self._ctl(cap=4, tenant_share=0.5)
+        assert ctl.admit("w0", tenant="greedy", priority=PRIORITY_HIGH) \
+            is None
+        assert ctl.admit("w0", tenant="greedy", priority=PRIORITY_HIGH) \
+            is None
+        assert ctl.admit("w0", tenant="greedy", priority=PRIORITY_HIGH) \
+            == SHED_TENANT
+        assert ctl.admit("w0", tenant="polite", priority=PRIORITY_HIGH) \
+            is None
+
+    def test_workers_isolated(self):
+        ctl = self._ctl(cap=1, tenant_share=None)
+        assert ctl.admit("w0", priority=PRIORITY_HIGH) is None
+        assert ctl.admit("w1", priority=PRIORITY_HIGH) is None
+        assert ctl.admit("w0", priority=PRIORITY_HIGH) == SHED_CAPACITY
+        assert ctl.outstanding("w0") == 1 and ctl.outstanding("w1") == 1
+
+    def test_release_cleans_bookkeeping(self):
+        ctl = self._ctl()
+        ctl.admit("w0", tenant="t")
+        ctl.release("w0", tenant="t")
+        snap = ctl.snapshot()
+        assert snap["outstanding"] == {} and snap["by_tenant"] == {}
+
+    def test_thread_safety_conserves_slots(self):
+        """Hammered from many threads, admitted - released never exceeds
+        the window and never goes negative."""
+        ctl = self._ctl(cap=8, tenant_share=None)
+        errors = []
+
+        def worker():
+            for _ in range(200):
+                if ctl.admit("w0", priority=PRIORITY_HIGH) is None:
+                    n = ctl.outstanding("w0")
+                    if not 0 < n <= 8:
+                        errors.append(n)
+                    ctl.release("w0")
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert ctl.outstanding("w0") == 0

@@ -1,0 +1,87 @@
+"""Tests for the open-loop load harness (``repro loadtest``)."""
+
+import json
+
+import pytest
+
+from repro.bench.loadgen import (
+    LoadConfig,
+    LoadgenError,
+    _arrival_schedule,
+    run_loadtest,
+)
+from repro.serve import HAVE_FCNTL
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_FCNTL, reason="cluster tests assume POSIX (fcntl, fork)")
+
+
+class TestSchedule:
+    def test_deterministic_in_seed(self):
+        cfg = LoadConfig(rps=100.0, duration_s=2.0, seed=7)
+        a = _arrival_schedule(cfg, ["x", "y"], [0.5, 0.5])
+        b = _arrival_schedule(cfg, ["x", "y"], [0.5, 0.5])
+        assert a == b
+        c = _arrival_schedule(LoadConfig(rps=100.0, duration_s=2.0, seed=8),
+                              ["x", "y"], [0.5, 0.5])
+        assert a != c
+
+    def test_open_loop_properties(self):
+        cfg = LoadConfig(rps=200.0, duration_s=3.0, seed=0)
+        sched = _arrival_schedule(cfg, ["x", "y", "z"], [0.6, 0.3, 0.1])
+        offsets = [t for t, _w, _s in sched]
+        assert offsets == sorted(offsets)           # monotonic plan
+        assert all(0 <= t < cfg.duration_s for t in offsets)
+        # Poisson at 200 rps over 3s: ~600 arrivals, loosely bounded.
+        assert 400 < len(sched) < 800
+        used = {w for _t, w, _s in sched}
+        assert used == {"x", "y", "z"}
+        assert all(0 <= s < cfg.ref_seeds for _t, _w, s in sched)
+
+    def test_config_validation(self):
+        with pytest.raises(LoadgenError):
+            LoadConfig(rps=0)
+        with pytest.raises(LoadgenError):
+            LoadConfig(duration_s=-1)
+        with pytest.raises(LoadgenError):
+            LoadConfig(workers=0)
+
+
+class TestRun:
+    def test_small_run_delivery_invariants(self, tmp_path):
+        """The acceptance run: 2 workers, open-loop Poisson traffic over
+        the mixed zoo, zero lost/duplicated/wrong, well-formed JSON."""
+        report_path = tmp_path / "BENCH_serving.json"
+        report = run_loadtest(
+            LoadConfig(rps=25.0, duration_s=3.0, workers=2, seed=1),
+            report_path=str(report_path))
+
+        assert report.ok, report.render()
+        assert report.offered > 0
+        assert report.lost == 0 and report.duplicated == 0
+        assert report.wrong == []
+        assert report.ok_requests > 0 and report.throughput_rps > 0
+        assert report.accepted == report.completed
+        # Mixed zoo actually exercised.
+        assert len(report.per_workload) >= 2
+        # Fleet-wide single-flight across the shared cache dir.
+        assert report.cache["compile_misses"] == len(report.placement)
+
+        data = json.loads(report_path.read_text())
+        assert data["experiment"] == "serving_loadtest"
+        assert data["ok"] is True
+        lat = data["latency"]
+        for key in ("p50_ms", "p95_ms", "p99_ms", "mean_ms", "max_ms"):
+            assert lat[key] >= 0.0
+        assert lat["p50_ms"] <= lat["p95_ms"] <= lat["p99_ms"]
+        for key in ("shed_rate", "breaker_trips", "throughput_rps",
+                    "offered_rps", "config", "cache", "placement"):
+            assert key in data
+
+    def test_render_mentions_verdict(self, tmp_path):
+        report = run_loadtest(
+            LoadConfig(rps=10.0, duration_s=1.0, workers=1, seed=3,
+                       cache_dir=str(tmp_path)))
+        text = report.render()
+        assert "verdict:" in text and "latency" in text
+        assert report.to_dict()["offered"] == report.offered

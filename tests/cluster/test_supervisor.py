@@ -1,0 +1,181 @@
+"""Integration tests for the multi-process cluster supervisor.
+
+These fork real worker processes; workloads are chaos-sized so compiles
+stay fast, and every cluster is context-managed so a failing assert
+never leaks processes.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    AdmissionPolicy,
+    ClusterConfig,
+    ClusterError,
+    ClusterShed,
+    ClusterSupervisor,
+)
+from repro.models import layernorm_graph, mlp_graph
+from repro.runtime.kernels import execute_graph_reference, random_feeds
+from repro.serve import HAVE_FCNTL, WorkerCrashed
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_FCNTL, reason="cluster tests assume POSIX (fcntl, fork)")
+
+
+def _graphs():
+    return {
+        "mlp": mlp_graph(3, 64, 32, 48, name="clu_mlp"),
+        "ln": layernorm_graph(48, 64, name="clu_ln"),
+    }
+
+
+def _config(tmp_path, **overrides):
+    defaults = dict(workers=2, cache_dir=str(tmp_path / "cache"),
+                    health_interval_s=0.1, heartbeat_timeout_s=10.0)
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def _wait(predicate, timeout_s=60.0, interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+class TestServing:
+    def test_end_to_end_correct_answers(self, tmp_path):
+        graphs = _graphs()
+        refs = {(n, s): execute_graph_reference(g, random_feeds(g, seed=s))
+                for n, g in graphs.items() for s in range(3)}
+        with ClusterSupervisor(graphs, _config(tmp_path)) as sup:
+            assert sup.health()["status"] == "healthy"
+            for (name, seed), expected in refs.items():
+                reply = sup.infer(name, random_feeds(graphs[name],
+                                                     seed=seed),
+                                  timeout=60.0)
+                for out, arr in expected.items():
+                    np.testing.assert_allclose(reply.outputs[out], arr,
+                                               atol=1e-8)
+            agg = sup.aggregate()
+        assert agg["supervisor"]["requests.submitted"] == len(refs)
+        # Fleet-wide single-flight: each workload compiled exactly once
+        # across both workers; the replica loaded it from shared disk.
+        assert agg["worker_totals"]["cache.compile_misses"] == len(graphs)
+        assert agg["worker_totals"].get("cache.disk_hits", 0) >= 1
+
+    def test_placement_replicated_and_deterministic(self, tmp_path):
+        with ClusterSupervisor(_graphs(),
+                               _config(tmp_path, replication=2)) as sup:
+            placement = sup.placement()
+            for name, owners in placement.items():
+                assert len(owners) == 2 == len(set(owners))
+            assert placement == sup.placement()
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        with ClusterSupervisor(_graphs(), _config(tmp_path)) as sup:
+            with pytest.raises(ClusterError, match="unknown workload"):
+                sup.submit("missing", {})
+
+    def test_drain_answers_everything(self, tmp_path):
+        graphs = _graphs()
+        with ClusterSupervisor(graphs, _config(tmp_path)) as sup:
+            sup.infer("ln", random_feeds(graphs["ln"], seed=0),
+                      timeout=60.0)  # warm the compile
+            pending = [sup.submit("ln", random_feeds(graphs["ln"], seed=s),
+                                  timeout=60.0)
+                       for s in range(8)]
+            sup.stop(drain=True)
+            for req in pending:
+                assert req.result(timeout=10.0).outputs
+        stats = sup.worker_stats()
+        assert stats  # drain collected final per-worker snapshots
+
+
+class TestAdmission:
+    def test_capacity_shed_surfaces_reason(self, tmp_path):
+        graphs = {"ln": _graphs()["ln"]}
+        config = _config(
+            tmp_path, workers=1,
+            admission=AdmissionPolicy(max_outstanding_per_worker=1,
+                                      tenant_share=None),
+            # Stall execution so the first request is still outstanding
+            # when the second arrives.
+            fault_plan={"runtime.execute": "delay(300)"})
+        with ClusterSupervisor(graphs, config) as sup:
+            first = sup.submit("ln", random_feeds(graphs["ln"], seed=0),
+                               timeout=60.0)
+            with pytest.raises(ClusterShed) as shed:
+                sup.submit("ln", random_feeds(graphs["ln"], seed=1),
+                           timeout=60.0)
+            assert shed.value.reason == "capacity"
+            assert first.result(timeout=60.0).outputs
+            assert sup.metrics.get("requests.shed") == 1
+            assert sup.metrics.get("shed.capacity") == 1
+            # The released slot admits again.
+            assert sup.infer("ln", random_feeds(graphs["ln"], seed=2),
+                             timeout=60.0).outputs
+
+
+class TestCrashRecovery:
+    def test_inflight_fails_typed_and_worker_restarts(self, tmp_path):
+        graphs = {"ln": _graphs()["ln"]}
+        config = _config(tmp_path, workers=2)
+        with ClusterSupervisor(graphs, config) as sup:
+            sup.infer("ln", random_feeds(graphs["ln"], seed=0),
+                      timeout=60.0)  # compiled and serving
+            target = sup.owners_for("ln")[0]
+            # Hold the next request mid-execution, then kill the worker.
+            assert sup.arm_faults(target, {"runtime.execute": "delay(1000)"})
+            victim = sup.submit("ln", random_feeds(graphs["ln"], seed=1),
+                                timeout=60.0)
+            sup.kill_worker(target)
+            with pytest.raises(WorkerCrashed) as crash:
+                victim.result(timeout=30.0)
+            assert crash.value.worker == target
+            assert sup.metrics.get("requests.worker_crashed") >= 1
+            assert _wait(lambda: sup.metrics.get("workers.crashed") >= 1)
+            # Self-healing: the worker restarts (breaker closed) and the
+            # cluster serves the same workload again.
+            assert _wait(
+                lambda: sup.health()["workers"][target]["up"], 60.0)
+            assert sup.restarts()[target] >= 1
+            reply = sup.infer("ln", random_feeds(graphs["ln"], seed=2),
+                              timeout=60.0)
+            assert reply.outputs
+
+    def test_breaker_keeps_crashlooper_down_then_probes(self, tmp_path):
+        graphs = {"ln": _graphs()["ln"]}
+        config = _config(tmp_path, workers=1,
+                         restart_breaker_threshold=1,
+                         restart_breaker_reset_s=1.0)
+        with ClusterSupervisor(graphs, config) as sup:
+            sup.infer("ln", random_feeds(graphs["ln"], seed=0),
+                      timeout=60.0)
+            sup.kill_worker("w0")
+            # Breaker opens on the first crash: the worker stays down and
+            # traffic sheds with the worker_down reason.
+            assert _wait(
+                lambda: not sup.health()["workers"]["w0"]["up"], 30.0)
+            with pytest.raises(ClusterShed) as shed:
+                sup.submit("ln", random_feeds(graphs["ln"], seed=1))
+            assert shed.value.reason == "worker_down"
+            assert sup.metrics.get("shed.worker_down") == 1
+            # After the reset timeout the health loop half-opens the
+            # breaker, probes a restart, and serving resumes.
+            assert _wait(lambda: sup.health()["status"] == "healthy", 60.0)
+
+            def healed():
+                try:
+                    return bool(sup.infer(
+                        "ln", random_feeds(graphs["ln"], seed=2),
+                        timeout=60.0).outputs)
+                except (ClusterShed, WorkerCrashed):
+                    return False
+
+            assert _wait(healed, 60.0)

@@ -1,0 +1,101 @@
+"""Cross-process single-flight: two real processes race ``get_or_compile``
+on the same key and exactly one compile happens fleet-wide.
+
+This is the guarantee the cluster tier leans on: workers share one disk
+schedule-cache directory, and the per-key advisory file lock must ensure
+a given (graph, GPU, options) key is compiled by exactly one process —
+everyone else waits on the lock and loads the winner's entry as a disk
+hit.  Compile attempts are counted via the compile-side failpoint
+(``serve.cache.compile``), which also injects a delay to hold the race
+window open.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.serialize import ScheduleCache
+from repro.hw import AMPERE
+from repro.models import layernorm_graph
+from repro.pipeline import compile_for
+from repro.serve import HAVE_FCNTL, TieredScheduleCache
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_FCNTL,
+    reason="cross-process single-flight needs fcntl advisory locks")
+
+
+def _race_child(barrier, out_q, cache_dir, graph, idx):
+    """One racer: fresh failpoint registry, shared disk tier, one key."""
+    from repro.resilience import faults
+
+    registry = faults.reset_after_fork()
+    # The delay sits inside the compile path (after the disk-miss check,
+    # before the store): both processes reliably reach the cold path at
+    # the same time, so only the file lock can serialise them.
+    registry.arm("serve.cache.compile", "delay(100)")
+    cache = TieredScheduleCache(disk=ScheduleCache(cache_dir),
+                                lock_timeout_s=60.0)
+
+    def compile_fn():
+        schedule, _ = compile_for(graph, AMPERE)
+        return schedule
+
+    barrier.wait(timeout=60.0)
+    schedule = cache.get_or_compile(graph, AMPERE.name, compile_fn)
+    out_q.put({
+        "idx": idx,
+        "compile_attempts": registry.hits().get("serve.cache.compile", 0),
+        "got_schedule": schedule is not None,
+        "stats": cache.stats(),
+    })
+
+
+class TestCrossProcessSingleFlight:
+    def test_two_processes_compile_exactly_once(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        out_q = ctx.Queue()
+        graph = layernorm_graph(40, 72, name="ln_race")
+        procs = [
+            ctx.Process(target=_race_child,
+                        args=(barrier, out_q, str(tmp_path), graph, i))
+            for i in range(2)
+        ]
+        for p in procs:
+            p.start()
+        results = []
+        try:
+            for _ in procs:
+                results.append(out_q.get(timeout=120.0))
+        finally:
+            for p in procs:
+                p.join(timeout=30.0)
+                if p.is_alive():
+                    p.terminate()
+
+        assert len(results) == 2
+        assert all(r["got_schedule"] for r in results)
+        # The acceptance criterion: at most one compile per key across
+        # the whole fleet — the loser waited on the lock and re-read the
+        # winner's entry from disk.
+        total_compiles = sum(r["compile_attempts"] for r in results)
+        assert total_compiles == 1, results
+        total_disk_hits = sum(r["stats"]["disk_hits"] for r in results)
+        assert total_disk_hits == 1, results
+        assert sum(r["stats"]["lock_timeouts"] for r in results) == 0
+
+    def test_second_process_after_first_is_pure_disk_hit(self, tmp_path):
+        """Sequential (no race): the second process never compiles."""
+        ctx = multiprocessing.get_context("fork")
+        graph = layernorm_graph(40, 72, name="ln_seq")
+        for i, expect_compile in enumerate((1, 0)):
+            barrier = ctx.Barrier(1)
+            out_q = ctx.Queue()
+            p = ctx.Process(target=_race_child,
+                            args=(barrier, out_q, str(tmp_path), graph, i))
+            p.start()
+            result = out_q.get(timeout=120.0)
+            p.join(timeout=30.0)
+            assert result["compile_attempts"] == expect_compile
+            assert result["got_schedule"]

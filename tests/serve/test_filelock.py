@@ -1,0 +1,90 @@
+"""Tests for the advisory cross-process file lock."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.serve import HAVE_FCNTL, FileLock
+
+pytestmark = pytest.mark.skipif(not HAVE_FCNTL,
+                                reason="fcntl unavailable on this platform")
+
+
+def _hold_lock(path, hold_s, acquired_evt, release_evt):
+    lock = FileLock(path, timeout_s=5.0)
+    assert lock.acquire()
+    acquired_evt.set()
+    release_evt.wait(hold_s)
+    lock.release()
+
+
+class TestFileLock:
+    def test_acquire_release_cycle(self, tmp_path):
+        lock = FileLock(tmp_path / "k.lock")
+        assert lock.acquire()
+        assert lock.held
+        lock.release()
+        assert not lock.held
+        # Reacquirable after release (fresh instance, same path).
+        again = FileLock(tmp_path / "k.lock")
+        assert again.acquire()
+        again.release()
+
+    def test_context_manager_yields_acquired(self, tmp_path):
+        with FileLock(tmp_path / "k.lock") as acquired:
+            assert acquired
+
+    def test_timeout_when_held_elsewhere(self, tmp_path):
+        """A second acquirer in another process times out (False), and
+        succeeds once the holder releases."""
+        ctx = multiprocessing.get_context("fork")
+        acquired = ctx.Event()
+        release = ctx.Event()
+        path = tmp_path / "k.lock"
+        proc = ctx.Process(target=_hold_lock,
+                           args=(path, 30.0, acquired, release))
+        proc.start()
+        try:
+            assert acquired.wait(10.0)
+            contender = FileLock(path, timeout_s=0.2, poll_s=0.01)
+            t0 = time.monotonic()
+            assert not contender.acquire()        # held over there
+            assert time.monotonic() - t0 >= 0.15  # actually waited
+            release.set()
+            proc.join(timeout=10.0)
+            late = FileLock(path, timeout_s=5.0)
+            assert late.acquire()                 # free after release
+            late.release()
+        finally:
+            release.set()
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+
+    def test_crashed_holder_releases_lock(self, tmp_path):
+        """The kernel drops an advisory lock when its holder dies — a
+        crashed process cannot wedge the fleet."""
+        ctx = multiprocessing.get_context("fork")
+        acquired = ctx.Event()
+        release = ctx.Event()  # never set: the holder is killed instead
+        path = tmp_path / "k.lock"
+        proc = ctx.Process(target=_hold_lock,
+                           args=(path, 300.0, acquired, release))
+        proc.start()
+        try:
+            assert acquired.wait(10.0)
+            proc.terminate()                      # crash the holder
+            proc.join(timeout=10.0)
+            survivor = FileLock(path, timeout_s=5.0)
+            assert survivor.acquire()
+            survivor.release()
+        finally:
+            if proc.is_alive():
+                proc.kill()
+
+    def test_release_idempotent(self, tmp_path):
+        lock = FileLock(tmp_path / "k.lock")
+        assert lock.acquire()
+        lock.release()
+        lock.release()  # no-op, no raise

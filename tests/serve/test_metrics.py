@@ -137,3 +137,38 @@ class TestPrometheus:
         m = ServeMetrics()
         m.inc("x")
         assert "serve_x 1" in m.to_prometheus(prefix="serve")
+
+
+class TestGauges:
+    def test_shed_rate_derived_from_counters(self):
+        m = ServeMetrics()
+        assert m.snapshot()["gauge.shed_rate"] == 0.0  # no div-by-zero
+        m.inc("requests.submitted", 8)
+        m.inc("requests.shed", 2)
+        assert m.snapshot()["gauge.shed_rate"] == 0.25
+        text = m.to_prometheus()
+        assert "# TYPE repro_shed_rate gauge" in text
+        assert "repro_shed_rate 0.25" in text
+
+    def test_set_gauge_last_write_wins(self):
+        m = ServeMetrics()
+        m.set_gauge("breaker_state.ln", 0)
+        m.set_gauge("breaker_state.ln", 2)
+        assert m.get_gauge("breaker_state.ln") == 2.0
+        text = m.to_prometheus()
+        assert "# TYPE repro_breaker_state_ln gauge" in text
+        assert "repro_breaker_state_ln 2" in text
+
+    def test_breaker_transition_sets_state_gauge(self, small_ln):
+        """The session exports its breaker state as a numeric gauge
+        (closed=0, half_open=1, open=2) on every transition."""
+        from repro.hw import AMPERE
+        from repro.serve import InferenceSession
+
+        m = ServeMetrics()
+        session = InferenceSession(small_ln, AMPERE, metrics=m)
+        session.breaker.record_failure()
+        for _ in range(session.breaker.failure_threshold):
+            session.breaker.record_failure()
+        assert m.get_gauge(f"breaker_state.{small_ln.name}") == 2.0
+        assert m.get("breaker.open") == 1

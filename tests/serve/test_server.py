@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.hw import AMPERE
+from repro.resilience import faults
 from repro.runtime.kernels import execute_graph_reference, random_feeds
 from repro.serve import (
     FusionServer,
@@ -20,6 +21,7 @@ from repro.serve import (
     RequestQueue,
     ServeMetrics,
     ServerError,
+    WorkerCrashed,
     batch_key,
 )
 
@@ -218,6 +220,43 @@ class TestServerIntegration:
         server.stop()                            # drain=True, zero workers
         with pytest.raises(ServerError, match="stopped before dispatch"):
             req.result(timeout=1.0)
+
+    def test_worker_crash_fails_inflight_typed_then_recovers(self,
+                                                             small_ln):
+        """Regression for the stop()-vs-crash hole: a request on a dying
+        worker thread fails promptly with typed WorkerCrashed (never
+        hangs until its timeout), the crash is counted, and the restarted
+        worker keeps serving."""
+        metrics = ServeMetrics()
+        session = InferenceSession(small_ln, AMPERE, metrics=metrics)
+        with FusionServer({"ln": session}, workers=1,
+                          metrics=metrics) as server:
+            server.infer("ln", random_feeds(small_ln, seed=0))  # warm
+            with faults.registry().armed(
+                    {"serve.worker_crash": "fail_n_times(1)"}):
+                victim = server.submit("ln",
+                                       random_feeds(small_ln, seed=1),
+                                       timeout=60.0)
+                t0 = time.monotonic()
+                with pytest.raises(WorkerCrashed, match="serve-worker"):
+                    victim.result(timeout=30.0)
+                assert time.monotonic() - t0 < 10.0   # typed, not hung
+            assert metrics.get("workers.crashed") == 1
+            assert metrics.get("requests.worker_crashed") == 1
+            # The same thread re-entered its loop: still serving.
+            reply = server.infer("ln", random_feeds(small_ln, seed=2))
+            assert reply.outputs and not reply.degraded
+
+    def test_on_done_fires_exactly_once(self, small_ln):
+        completions = []
+        session = InferenceSession(small_ln, AMPERE)
+        with FusionServer({"ln": session}) as server:
+            req = server.submit("ln", random_feeds(small_ln, seed=0),
+                                on_done=completions.append)
+            req.result(timeout=120.0)
+        # Redundant completions must not re-fire the hook.
+        req.resolve(req.reply)
+        assert completions == [req] and req.resolutions == 2
 
     def test_expired_request_counted_and_reported(self, small_ln):
         """Acceptance: an expired request raises TimeoutError, bumps
