@@ -17,27 +17,38 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def test_runtime_engines(report):
-    result = report(lambda: bench_runtime(iters=3), float_fmt="{:.3f}")
+    result = report(lambda: bench_runtime(iters=5), float_fmt="{:.3f}")
 
     # Parity is non-negotiable: same dtype, same bits, and both engines
     # within float tolerance of the unfused reference.
     assert all(result.column("bitwise_equal"))
     assert all(err <= 1e-8 for err in result.column("max_abs_err"))
 
-    # Perf: never slower per workload (generous noise slack), >=2x geomean.
+    # Every kernel lowers to a real fused plan — the interp fallback kind
+    # no longer exists.
+    assert all("interp" not in {k.split(":")[0]
+                                for k in row["kinds"].split(",")}
+               for row in result.rows)
+
+    # Perf: never slower per workload (generous noise slack).  Whole-
+    # program fused plans sit at ~9-10x geomean and ~4x on MHA on a quiet
+    # box; the floors leave headroom for a heavily contended CI runner.
     assert all(s > 0.8 for s in result.column("speedup"))
     gm = geomean(result.column("speedup"))
-    assert gm >= 2.0, f"geomean speedup {gm:.2f}x below the 2x floor"
+    assert gm >= 4.0, f"geomean speedup {gm:.2f}x below the 4x floor"
+    mha = next(r["speedup"] for r in result.rows if r["workload"] == "mha")
+    assert mha >= 2.0, f"mha speedup {mha:.2f}x below the 2x floor"
 
     payload = {
         "experiment": "bench_runtime",
         "gpu": "ampere",
-        "iters": 3,
+        "iters": 5,
         "workloads": {
             row["workload"]: {
                 "interpreter_ms": row["interpreter_ms"],
                 "compiled_ms": row["compiled_ms"],
                 "speedup": row["speedup"],
+                "kinds": row["kinds"],
             }
             for row in result.rows
         },

@@ -71,7 +71,7 @@ def bench_runtime(workloads=None, iters: int = 5,
         f"schedule interpreter vs compiled engine on {gpu.name} "
         f"(best of {iters})",
         ["workload", "interpreter_ms", "compiled_ms", "speedup",
-         "bitwise_equal", "max_abs_err"])
+         "bitwise_equal", "max_abs_err", "kinds"])
     for name in names:
         graph = RUNTIME_WORKLOADS[name]()
         schedule, _stats = compile_for(graph, gpu)
@@ -83,6 +83,8 @@ def bench_runtime(workloads=None, iters: int = 5,
         ref = execute_graph_reference(graph, feeds)
         bitwise = all(np.array_equal(env_c[t], env_i[t]) for t in ref)
         err = max(float(np.max(np.abs(env_c[t] - ref[t]))) for t in ref)
+        kinds = ",".join(f"{k}:{v}" for k, v in
+                         sorted(program.kind_counts().items()))
 
         t_interp = _best_of(lambda: execute_schedule(schedule, feeds), iters)
         t_compiled = _best_of(lambda: program.execute(feeds), iters)
@@ -92,7 +94,8 @@ def bench_runtime(workloads=None, iters: int = 5,
             compiled_ms=t_compiled * 1e3,
             speedup=t_interp / t_compiled,
             bitwise_equal=bitwise,
-            max_abs_err=err)
+            max_abs_err=err,
+            kinds=kinds)
     result.notes.append(
         f"geomean speedup: {geomean(result.column('speedup')):.2f}x")
     return result

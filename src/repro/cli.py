@@ -266,6 +266,11 @@ def cmd_bench_runtime(args: argparse.Namespace) -> int:
         print("FAILED: compiled engine diverged from the reference",
               file=sys.stderr)
         return 1
+    if any(k.split(":")[0] == "interp"
+           for row in result.rows for k in row["kinds"].split(",")):
+        print("FAILED: a kernel fell back to the interp kind",
+              file=sys.stderr)
+        return 1
     gm = geomean(result.column("speedup"))
     if args.json:
         import json
@@ -279,6 +284,7 @@ def cmd_bench_runtime(args: argparse.Namespace) -> int:
                     "interpreter_ms": row["interpreter_ms"],
                     "compiled_ms": row["compiled_ms"],
                     "speedup": row["speedup"],
+                    "kinds": row["kinds"],
                 }
                 for row in result.rows
             },
@@ -291,6 +297,16 @@ def cmd_bench_runtime(args: argparse.Namespace) -> int:
         print(f"FAILED: geomean speedup {gm:.2f}x < required "
               f"{args.check:.2f}x", file=sys.stderr)
         return 1
+    if args.check_mha is not None:
+        mha_rows = [r for r in result.rows if r["workload"] == "mha"]
+        if not mha_rows:
+            print("FAILED: --check-mha given but the mha workload did "
+                  "not run", file=sys.stderr)
+            return 1
+        if mha_rows[0]["speedup"] < args.check_mha:
+            print(f"FAILED: mha speedup {mha_rows[0]['speedup']:.2f}x < "
+                  f"required {args.check_mha:.2f}x", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -652,6 +668,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="target architecture (default: ampere)")
     p.add_argument("--check", type=float, default=None, metavar="X",
                    help="exit non-zero unless the geomean speedup is >= X")
+    p.add_argument("--check-mha", type=float, default=None, metavar="X",
+                   dest="check_mha",
+                   help="exit non-zero unless the mha workload speedup "
+                        "is >= X (CI perf-smoke floor)")
     p.add_argument("--json", default=None, metavar="OUT.json",
                    help="also write the rows as JSON (BENCH_runtime format)")
     p.set_defaults(fn=cmd_bench_runtime)

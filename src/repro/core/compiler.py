@@ -120,6 +120,11 @@ class CompiledModel:
         for sub in self.subprograms:
             for _ in range(sub.occurrences):
                 full.kernels.extend(sub.schedule.kernels)
+        outs = sorted({t for sub in self.subprograms
+                       for t in str(sub.schedule.meta.get("outputs", "")
+                                    ).split(",") if t})
+        if outs:
+            full.meta["outputs"] = ",".join(outs)
         return full
 
 
@@ -200,6 +205,10 @@ class SpaceFusionCompiler:
         """Compile one barrier-free graph into a kernel sequence."""
         stats = CompileStats()
         schedule = ProgramSchedule(name or graph.name)
+        # Comma-joined string (not a tuple) so it survives the scalar-only
+        # meta filter in serialize.schedule_to_json; the fused lowering
+        # reads it to decide which tensors must escape the arena.
+        schedule.meta["outputs"] = ",".join(sorted(graph.output_tensors))
         with get_tracer().span("compile", category="compile",
                                workload=schedule.name):
             self._compile_region(graph, schedule, stats)
@@ -452,6 +461,7 @@ class SpaceFusionCompiler:
     def _barrier_schedule(self, graph: DataflowGraph) -> ProgramSchedule:
         """Layout/shape subprograms run as standalone data-movement kernels."""
         sched = ProgramSchedule(graph.name)
+        sched.meta["outputs"] = ",".join(sorted(graph.output_tensors))
         for op in graph.ops:
             sub = DataflowGraph(f"{graph.name}.{op.name}", dims=graph.dims)
             for t in (*op.inputs, op.output):

@@ -4,29 +4,34 @@ The schedule interpreter (:mod:`repro.runtime.executor`) re-derives the
 spatial grid, re-slices every operand, and walks Python loops over blocks
 and tiles on *every* call — fine for a correctness oracle, hopeless for a
 serving hot path.  This module is the reproduction's analogue of handing
-SMG schedules to Triton: each :class:`~repro.core.schedule.KernelSchedule`
-is **lowered once** into an executable artifact and reused for every
-subsequent request.
+SMG schedules to Triton: a whole :class:`~repro.core.schedule.ProgramSchedule`
+is **lowered once** into a single ``exec``-compiled callable
+(:func:`repro.codegen.python_backend.generate_fused_program`) and reused
+for every subsequent request.
 
-Lowering picks the fastest correct strategy per kernel:
+One fused plan per program means:
 
-* ``vector`` — kernels with no temporal plan compute each output point
-  independently per spatial block, so the block grid *collapses*: the
-  whole loop nest becomes straight-line whole-tensor numpy expressions
-  (reusing :mod:`repro.codegen.python_backend`'s op lowering),
-  ``exec``-compiled into a callable.
-* ``loopnest`` — temporally sliced kernels (online-softmax/LayerNorm
-  aggregation) reuse the codegen backend's generated loop nest with the
-  update functions inlined as arithmetic — no per-op interpreter dispatch.
-* ``whole`` — plan-free kernels with an op the expression lowerer cannot
-  handle still run whole-tensor (grid collapsed), op-by-op via
-  :func:`~repro.runtime.kernels.evaluate_op`.
-* ``barrier`` / ``interp`` — reshape/transpose glue, and a per-kernel
-  interpreter fallback for non-float64 temporal kernels, where the
-  generated loop nest would silently upcast.
+* **no interpreter tail** — every kernel of the program lives in the same
+  generated function; there is no per-kernel Python dispatch and no
+  ``interp`` fallback kind.  Non-float64 programs lower exactly like
+  float64 ones (the generated source is dtype-parametric; ``bfloat16``
+  computes in float32 on the bfloat16 grid).
+* **intermediates never escape** — cross-kernel tensors flow as Python
+  locals backed by a per-plan :class:`~repro.codegen.python_backend.Arena`
+  of reusable scratch buffers; only the program's outputs are published
+  into the returned env.
+* **bitwise parity by construction** — elementwise/reduce work collapses
+  to whole-tensor slabs (slice-stable), while BLAS gemms replay the
+  interpreter's per-block calls along their free dims (see
+  :mod:`repro.codegen.matmul` for why that distinction matters).
+
+Per-kernel lowering *reports* survive as :class:`LoweredKernel` records
+(kind ``vector`` / ``loopnest`` / ``whole`` / ``barrier``) carved out of
+the fused source, so observability and schedule auditing keep their
+per-kernel view.
 
 A :class:`PlanCache` bounds the set of live :class:`CompiledProgram`
-artifacts with an LRU keyed by **(schedule fingerprint, dtype, dim
+artifacts with an LRU keyed by **(schedule fingerprint, dtype token, dim
 sizes)**; lowering, cache hits/misses, and execution are all visible as
 :mod:`repro.obs` spans (category ``runtime``).
 """
@@ -44,16 +49,13 @@ import numpy as np
 
 from ..codegen.python_backend import (
     CodegenError,
-    compile_kernel_source,
-    generate_python_kernel,
-    op_expr,
-    var_name,
+    FusedProgram,
+    generate_fused_program,
 )
-from ..core.schedule import KernelSchedule, ProgramSchedule, ScheduleConfig
+from ..core.schedule import KernelSchedule, ProgramSchedule
 from ..obs import span as obs_span
 from ..resilience import faults as _faults
-from .executor import ExecutionError, ScheduleExecutor
-from .kernels import KernelError, evaluate_op
+from .executor import ExecutionError
 
 #: Failpoints in the lower/execute path (armed only by tests/chaos).
 FP_LOWER = _faults.register("runtime.lower")
@@ -74,8 +76,12 @@ def outputs_finite(env: dict, tensors) -> bool:
 
 
 # ----------------------------------------------------------------------
-# Plan keys
+# Dtypes and plan keys
 # ----------------------------------------------------------------------
+
+# Re-exported: these used to live here and existing callers import them
+# from this module.
+from .dtypes import bf16_round, resolve_dtype  # noqa: E402,F401
 
 
 def schedule_fingerprint(program: ProgramSchedule) -> str:
@@ -87,32 +93,37 @@ def schedule_fingerprint(program: ProgramSchedule) -> str:
 
 def plan_key(program: ProgramSchedule, dtype=np.float64,
              ) -> tuple[str, str, tuple]:
-    """(schedule fingerprint, dtype, dim sizes) — the plan-cache key."""
+    """(schedule fingerprint, dtype token, dim sizes) — the cache key."""
     dims: set[tuple[str, int]] = set()
     for kernel in program.kernels:
         dims.update(kernel.exec_graph.dims.items())
-    return (schedule_fingerprint(program), np.dtype(dtype).name,
-            tuple(sorted(dims)))
+    _compute, token = resolve_dtype(dtype)
+    return (schedule_fingerprint(program), token, tuple(sorted(dims)))
 
 
 # ----------------------------------------------------------------------
-# Kernel lowering
+# Per-kernel lowering reports
 # ----------------------------------------------------------------------
 
 
 @dataclass
 class LoweredKernel:
-    """One executable kernel artifact: a callable mutating the tensor env."""
+    """Per-kernel slice of a fused plan: kind, source section, and (for
+    standalone kernels lowered via :func:`lower_kernel`) a callable."""
 
     name: str
-    kind: str  # "vector" | "loopnest" | "whole" | "barrier" | "interp"
-    fn: Callable[[dict], None]
+    kind: str  # "vector" | "loopnest" | "whole" | "barrier"
+    fn: Callable[[dict], None] | None = None
     source: str | None = None
     #: spatial blocks the interpreted schedule would have launched; the
-    #: vector/whole strategies collapse them into one whole-tensor call.
+    #: fused plan collapses them for everything except blocked gemms.
     grid_blocks: int = 1
 
     def __call__(self, env: dict) -> None:
+        if self.fn is None:
+            raise ExecutionError(
+                f"kernel {self.name!r} is part of a fused plan and is not "
+                f"individually executable")
         self.fn(env)
 
 
@@ -123,132 +134,23 @@ def _grid_blocks(kernel: KernelSchedule) -> int:
         return 1
 
 
-def _vector_source(kernel: KernelSchedule) -> str:
-    """Whole-tensor straight-line source for a plan-free kernel.
-
-    Every op's result is cast through ``_cast`` exactly as the interpreter
-    casts per-op results, so both engines produce identical arrays.
-    """
-    graph = kernel.exec_graph
-    lines = ["def kernel(env):"]
-    available: set[str] = set()
-    for op in graph.topological_ops():
-        for t in op.inputs:
-            if t not in available:
-                lines.append(f"    {var_name(t)} = env[{t!r}]")
-                available.add(t)
-        lines.append(f"    {var_name(op.output)} = "
-                     f"_cast({op_expr(graph, op)})")
-        available.add(op.output)
-    for t in graph.output_tensors:
-        if t not in available:
-            raise LoweringError(
-                f"kernel {kernel.name!r}: output tensor {t!r} is never "
-                f"produced by any op")
-        lines.append(f"    env[{t!r}] = {var_name(t)}")
-    return "import numpy as np\n" + "\n".join(lines) + "\n"
-
-
-def _lower_barrier(kernel: KernelSchedule) -> LoweredKernel:
-    graph = kernel.exec_graph
-    op = graph.ops[0]
-    src, dst = op.inputs[0], op.output
-    if op.kind == "reshape":
-        shape = tuple(graph.dims.size(d) for d in op.output_axes)
-
-        def fn(env: dict) -> None:
-            env[dst] = env[src].reshape(shape)
-    elif op.kind == "transpose":
-        perm = tuple(op.attrs["perm"])
-
-        def fn(env: dict) -> None:
-            env[dst] = np.transpose(env[src], perm)
-    else:  # layout_cast / identity glue
-
-        def fn(env: dict) -> None:
-            env[dst] = env[src]
-
-    return LoweredKernel(name=kernel.name, kind="barrier", fn=fn)
-
-
-def _lower_whole(kernel: KernelSchedule, dtype) -> LoweredKernel:
-    """Grid-collapsed op-by-op fallback for non-expressible plain kernels."""
-    graph = kernel.exec_graph
-    ops = graph.topological_ops()
-    sizes = {d: graph.dims.size(d) for d in graph.dims.names()}
-    outputs = list(graph.output_tensors)
-    producible = set(graph.input_tensors) | {op.output for op in ops}
-    for t in outputs:
-        if t not in producible:
-            raise LoweringError(
-                f"kernel {kernel.name!r}: output tensor {t!r} is never "
-                f"produced by any op")
-
-    def fn(env: dict) -> None:
-        local = {t: env[t] for t in graph.input_tensors}
-        for op in ops:
-            try:
-                local[op.output] = np.asarray(
-                    evaluate_op(op, local, sizes), dtype=dtype)
-            except KernelError as exc:
-                raise ExecutionError(f"op {op.name!r}: {exc}") from exc
-        for t in outputs:
-            env[t] = local[t]
-
-    return LoweredKernel(name=kernel.name, kind="whole", fn=fn,
-                         grid_blocks=_grid_blocks(kernel))
-
-
 def lower_kernel(kernel: KernelSchedule, dtype=np.float64) -> LoweredKernel:
-    """Lower one kernel schedule into its executable artifact."""
-    dtype = np.dtype(dtype)
-    if kernel.meta.get("barrier"):
-        return _lower_barrier(kernel)
+    """Lower one kernel schedule into its executable artifact.
 
-    if kernel.plan is None:
-        try:
-            source = _vector_source(kernel)
-        except CodegenError:
-            return _lower_whole(kernel, dtype)
-
-        def _cast(arr, _dt=dtype):
-            return np.asarray(arr, dtype=_dt)
-
-        gk = compile_kernel_source(kernel.name, source,
-                                   extra_namespace={"_cast": _cast})
-        return LoweredKernel(name=kernel.name, kind="vector", fn=gk.fn,
-                             source=source,
-                             grid_blocks=_grid_blocks(kernel))
-
-    if dtype == np.float64:
-        # The codegen loop nest computes in float64; reusing it keeps the
-        # update functions inlined as arithmetic instead of interpreted.
-        # Spatial blocks are independent, so the grid collapses to one
-        # whole-axis block: the tile loop (which carries the SA/UTA
-        # aggregation semantics) is preserved at the tuned tile size,
-        # giving per-spatial-point arithmetic identical to the
-        # interpreter's.
-        cfg = kernel.effective_config()
-        collapsed = ScheduleConfig(
-            block=tuple((d, kernel.smg.dim_size(d))
-                        for d in kernel.spatial_dims),
-            tile=cfg.tile)
-        clone = KernelSchedule(
-            name=kernel.name, smg=kernel.smg,
-            spatial_dims=kernel.spatial_dims, plan=kernel.plan,
-            config=collapsed, memory_levels=kernel.memory_levels,
-            meta=kernel.meta)
-        gk = generate_python_kernel(clone)
-        return LoweredKernel(name=kernel.name, kind="loopnest", fn=gk.fn,
-                             source=gk.source,
-                             grid_blocks=_grid_blocks(kernel))
-
-    executor = ScheduleExecutor(dtype=dtype)
-
-    def fn(env: dict) -> None:
-        executor.execute_kernel(kernel, env)
-
-    return LoweredKernel(name=kernel.name, kind="interp", fn=fn,
+    Standalone entry point (tests, tooling): wraps the kernel in a
+    single-kernel program and fuses it, so the lowering semantics are
+    identical to program lowering.
+    """
+    compute, _token = resolve_dtype(dtype)
+    program = ProgramSchedule(kernel.name, [kernel])
+    try:
+        fused = generate_fused_program(
+            program, compute, outputs=list(kernel.exec_graph.output_tensors))
+    except CodegenError as exc:
+        raise LoweringError(str(exc)) from exc
+    seg = fused.segments[0]
+    return LoweredKernel(name=kernel.name, kind=seg.kind, fn=fused.fn,
+                         source=fused.source,
                          grid_blocks=_grid_blocks(kernel))
 
 
@@ -265,28 +167,41 @@ class CompiledProgram:
     key: tuple[str, str, tuple]
     kernels: list[LoweredKernel]
     dtype: np.dtype
+    fused: FusedProgram | None = None
+    dtype_token: str = ""
     lower_time_s: float = 0.0
     _executions: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.dtype_token:
+            self.dtype_token = np.dtype(self.dtype).name
 
     @property
     def executions(self) -> int:
         with self._lock:
             return self._executions
 
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        return self.fused.outputs if self.fused is not None else ()
+
     def execute(self, feeds: dict[str, np.ndarray],
                 ) -> dict[str, np.ndarray]:
-        """Run every kernel in order; returns the global tensor env
-        (the same contract as :func:`repro.runtime.execute_schedule`)."""
+        """Run the fused plan; returns an env holding the feeds plus the
+        program's published outputs (intermediates never escape)."""
         with obs_span("compiled_execute", category="runtime",
                       program=self.name, kernels=len(self.kernels)):
             _faults.fire(FP_EXECUTE)
-            env = {k: np.asarray(v, dtype=self.dtype)
-                   for k, v in feeds.items()}
+            if self.dtype_token == "bfloat16":
+                env = {k: bf16_round(np.asarray(v, dtype=self.dtype))
+                       for k, v in feeds.items()}
+            else:
+                env = {k: np.asarray(v, dtype=self.dtype)
+                       for k, v in feeds.items()}
             try:
-                for lk in self.kernels:
-                    lk.fn(env)
+                self.fused.fn(env)
             except KeyError as exc:
                 raise ExecutionError(
                     f"program {self.name!r}: missing global tensor "
@@ -311,7 +226,7 @@ class CompiledProgram:
 
     def describe(self) -> str:
         lines = [f"compiled program {self.name}: {len(self.kernels)} "
-                 f"kernel(s), dtype={self.dtype.name}, "
+                 f"kernel(s) in one fused plan, dtype={self.dtype_token}, "
                  f"lowered in {self.lower_time_s * 1e3:.2f}ms"]
         for lk in self.kernels:
             collapsed = (f" (collapsed {lk.grid_blocks} blocks)"
@@ -323,17 +238,26 @@ class CompiledProgram:
 
 def lower_program(program: ProgramSchedule, dtype=np.float64,
                   key: tuple | None = None) -> CompiledProgram:
-    """Lower every kernel of a program schedule (uncached)."""
-    dtype = np.dtype(dtype)
+    """Lower a program schedule into one fused plan (uncached)."""
+    compute, token = resolve_dtype(dtype)
     t0 = time.perf_counter()
     with obs_span("lower", category="runtime", program=program.name,
-                  kernels=program.num_kernels, dtype=dtype.name):
+                  kernels=program.num_kernels, dtype=token):
         _faults.fire(FP_LOWER)
-        kernels = [lower_kernel(k, dtype) for k in program.kernels]
+        try:
+            fused = generate_fused_program(program, compute)
+        except CodegenError as exc:
+            raise LoweringError(str(exc)) from exc
+        kernels = [
+            LoweredKernel(name=seg.name, kind=seg.kind,
+                          source=seg.source,
+                          grid_blocks=_grid_blocks(k))
+            for seg, k in zip(fused.segments, program.kernels)
+        ]
     return CompiledProgram(
         name=program.name,
         key=key if key is not None else plan_key(program, dtype),
-        kernels=kernels, dtype=dtype,
+        kernels=kernels, dtype=compute, fused=fused, dtype_token=token,
         lower_time_s=time.perf_counter() - t0)
 
 

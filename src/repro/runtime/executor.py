@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core.schedule import KernelSchedule, ProgramSchedule
 from ..ir.graph import DataflowGraph
+from .dtypes import bf16_round, resolve_dtype
 from .kernels import REDUCE_INIT, KernelError, _align, evaluate_op
 
 
@@ -42,21 +43,41 @@ def _slice_array(arr: np.ndarray, dims: tuple[str, ...],
 
 
 class ScheduleExecutor:
-    """Interprets kernel and program schedules over numpy arrays."""
+    """Interprets kernel and program schedules over numpy arrays.
 
-    def __init__(self, dtype=np.float64) -> None:
-        self.dtype = dtype
+    ``dtype`` accepts anything numpy does plus the ``"bfloat16"`` token:
+    bf16 computes in float32 on inputs rounded to the bfloat16 grid,
+    matching :meth:`repro.runtime.compiled.CompiledProgram.execute` so
+    the differential oracle can run both engines at bf16.
+
+    ``kernel_hook``, if given, is called as ``hook(kernel, env)`` after
+    each kernel finishes, with the global env updated in place.  The
+    compiled engine's parity tests use it to snapshot the interpreter's
+    per-kernel intermediates — tensors a fused plan never publishes.
+    """
+
+    def __init__(self, dtype=np.float64, kernel_hook=None) -> None:
+        self.dtype, self.dtype_token = resolve_dtype(dtype)
+        self.kernel_hook = kernel_hook
 
     # ------------------------------------------------------------------
     # Program level
     # ------------------------------------------------------------------
 
+    def _cast_feed(self, v) -> np.ndarray:
+        arr = np.asarray(v, dtype=self.dtype)
+        if self.dtype_token == "bfloat16":
+            arr = bf16_round(arr)
+        return arr
+
     def execute_program(self, program: ProgramSchedule,
                         feeds: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
         """Run every kernel in order; returns the global tensor environment."""
-        env = {k: np.asarray(v, dtype=self.dtype) for k, v in feeds.items()}
+        env = {k: self._cast_feed(v) for k, v in feeds.items()}
         for kernel in program.kernels:
             self.execute_kernel(kernel, env)
+            if self.kernel_hook is not None:
+                self.kernel_hook(kernel, env)
         return env
 
     # ------------------------------------------------------------------
@@ -261,6 +282,8 @@ class ScheduleExecutor:
 
 
 def execute_schedule(program: ProgramSchedule, feeds: dict[str, np.ndarray],
-                     dtype=np.float64) -> dict[str, np.ndarray]:
+                     dtype=np.float64,
+                     kernel_hook=None) -> dict[str, np.ndarray]:
     """Convenience wrapper: run ``program`` on ``feeds``."""
-    return ScheduleExecutor(dtype=dtype).execute_program(program, feeds)
+    executor = ScheduleExecutor(dtype=dtype, kernel_hook=kernel_hook)
+    return executor.execute_program(program, feeds)

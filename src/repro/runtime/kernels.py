@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..codegen.matmul import matmul_blas
 from ..ir.graph import DataflowGraph
 from ..ir.ops import Op
 
@@ -102,18 +103,12 @@ def evaluate_op(op: Op, env: dict[str, np.ndarray],
     kind = op.kind
 
     if kind == "matmul":
-        a = env[op.inputs[0]]
-        b = env[op.inputs[1]]
-        letters = {}
-        def sub(axes):
-            out = ""
-            for d in axes:
-                if d not in letters:
-                    letters[d] = chr(ord("a") + len(letters))
-                out += letters[d]
-            return out
-        expr = f"{sub(op.input_axes[0])},{sub(op.input_axes[1])}->{sub(op.output_axes)}"
-        return np.einsum(expr, a, b)
+        # Routed through the shared batched-GEMM lowering so interpreter
+        # and compiled plans contract with identical bits (matmul_blas
+        # docstring covers the slice-stability caveat).
+        return matmul_blas(env[op.inputs[0]], env[op.inputs[1]],
+                           op.input_axes[0], op.input_axes[1],
+                           op.output_axes)
 
     if kind.startswith("reduce_"):
         rk = op.reduce_kind

@@ -34,14 +34,18 @@ from ..ir.graph import DataflowGraph
 from ..ir.ops import Op
 from ..ir.tensor import TensorSpec
 from .compiled import execute_compiled
+from .dtypes import resolve_dtype
 from .executor import execute_schedule
 from .kernels import execute_graph_reference, random_feeds
 
 #: Max-abs-error tolerance per execution dtype, for unit-magnitude outputs.
+#: bfloat16 has an 8-bit mantissa (inputs rounded to ~2^-9 relative), so
+#: its tolerance is the widest even though it computes in float32.
 DTYPE_TOLERANCES = {
     "float64": 1e-8,
     "float32": 2e-4,
     "float16": 2e-2,
+    "bfloat16": 4e-2,
 }
 
 
@@ -54,7 +58,10 @@ def tolerance_for(dtype, reference: dict[str, np.ndarray] | None = None,
     magnitude, so the unit tolerance is multiplied by
     ``max(1, max |reference|)`` (ignoring non-finite reference entries).
     """
-    base = DTYPE_TOLERANCES[np.dtype(dtype).name]
+    if isinstance(dtype, str) and dtype in ("bfloat16", "bf16"):
+        base = DTYPE_TOLERANCES["bfloat16"]
+    else:
+        base = DTYPE_TOLERANCES[np.dtype(dtype).name]
     scale = 1.0
     if reference:
         for arr in reference.values():
@@ -98,13 +105,17 @@ class EngineRun:
 
     engine: str            # "interpreter" | "compiled"
     worst: float           # NaN-safe max abs error across all outputs
+    tol: float = float("inf")  # tolerance this run was judged against
     per_output: tuple[tuple[str, float], ...] = ()
     error: str | None = None   # exception text when the engine crashed
 
     @property
     def ok(self) -> bool:
-        # NaN-propagating gate: `worst <= tol` is False for NaN.
-        return self.error is None and not np.isnan(self.worst)
+        # NaN-propagating gate: `worst <= tol` is False for NaN, and a
+        # finite error above tolerance is a failure, not a pass.  (An
+        # earlier version only checked ``not isnan(worst)``, silently
+        # passing any finite disagreement however large.)
+        return self.error is None and bool(self.worst <= self.tol)
 
 
 @dataclass
@@ -119,7 +130,7 @@ class OracleResult:
 
     @property
     def ok(self) -> bool:
-        return all(r.error is None and (r.worst <= self.tol) for r in self.runs)
+        return all(r.ok for r in self.runs)
 
     @property
     def worst(self) -> float:
@@ -179,23 +190,43 @@ def differential_test(graph: DataflowGraph, gpu, *, seed: int = 0,
     }
     result = OracleResult(
         graph=graph.name, target=getattr(gpu, "name", str(gpu)),
-        dtype=np.dtype(dtype).name, tol=tol)
+        dtype=resolve_dtype(dtype)[1], tol=tol)
     for engine in engines:
         try:
             env = runners[engine]()
         except KeyError:
             raise ValueError(f"unknown engine {engine!r}") from None
         except Exception as exc:
-            result.runs.append(EngineRun(engine, float("nan"),
-                                         error=f"{type(exc).__name__}: {exc}"))
+            result.runs.append(EngineRun(
+                engine, float("nan"), tol,
+                error=f"{type(exc).__name__}: {exc}"))
             continue
+        # The comparison itself runs under the same crash containment as
+        # the engine: an env missing a reference output (or any comparison
+        # blow-up) is recorded as that engine's failure, not raised as a
+        # raw KeyError out of the oracle.
         per_output = []
+        run_error = None
         for name, expected in ref.items():
-            per_output.append((name, nan_safe_max_abs_err(env[name], expected)))
+            if name not in env:
+                run_error = (f"MissingOutput: engine {engine!r} produced "
+                             f"no tensor {name!r}")
+                break
+            try:
+                err = nan_safe_max_abs_err(env[name], expected)
+            except Exception as exc:
+                run_error = (f"{type(exc).__name__} comparing "
+                             f"{name!r}: {exc}")
+                break
+            per_output.append((name, err))
+        if run_error is not None:
+            result.runs.append(EngineRun(engine, float("nan"), tol,
+                                         tuple(per_output), error=run_error))
+            continue
         errs = [e for _n, e in per_output]
         worst = float("nan") if any(np.isnan(e) for e in errs) \
             else max(errs, default=0.0)
-        result.runs.append(EngineRun(engine, worst, tuple(per_output)))
+        result.runs.append(EngineRun(engine, worst, tol, tuple(per_output)))
     return result
 
 

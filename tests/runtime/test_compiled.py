@@ -118,12 +118,33 @@ class TestLowering:
         kinds = program.kind_counts()
         assert set(kinds) <= {"loopnest", "vector", "barrier", "whole"}
 
-    def test_non_float64_temporal_falls_back_to_interp(self, small_ln):
+    def test_non_float64_temporal_lowers_without_interp(self, small_ln):
+        """Temporal kernels lower to real loop nests at every dtype — the
+        ``interp`` fallback kind no longer exists."""
+        for dtype in (np.float32, "bfloat16"):
+            sched, _ = compile_for(small_ln, AMPERE)
+            program = lower_program(sched, dtype=dtype)
+            kinds = program.kind_counts()
+            assert "interp" not in kinds
+            assert set(kinds) <= {"loopnest", "vector", "whole", "barrier"}
+            assert program.fused is not None and program.fused.fn is not None
+
+    @pytest.mark.parametrize("dtype", [np.float32, "bfloat16"])
+    def test_non_float64_parity_with_interpreter(self, small_ln, dtype):
+        """At f32 and bf16 the fused plan agrees with the interpreter to
+        dtype tolerance (not bitwise: the interpreter's UTA updates run
+        at f64 internally) and computes in float32."""
+        from repro.runtime.oracle import tolerance_for
+
         sched, _ = compile_for(small_ln, AMPERE)
-        program = lower_program(sched, dtype=np.float32)
-        assert all(lk.kind in ("interp", "vector", "whole", "barrier")
-                   for lk in program.kernels)
-        assert "loopnest" not in program.kind_counts()
+        feeds = random_feeds(small_ln, seed=7)
+        env_i = execute_schedule(sched, feeds, dtype=dtype)
+        env_c = execute_compiled(sched, feeds, dtype=dtype,
+                                 cache=PlanCache())
+        out = small_ln.output_tensors[0]
+        assert env_c[out].dtype == np.float32
+        np.testing.assert_allclose(env_c[out], env_i[out],
+                                   atol=tolerance_for(dtype))
 
     def test_missing_output_raises_at_lower_time(self):
         b = GraphBuilder("bad")
@@ -202,6 +223,26 @@ class TestPlanCache:
         program.execute(feeds)
         program.execute(feeds)
         assert program.executions == 2
+
+    def test_quarantine_evict_roundtrip_on_fused_plan(self, small_ln):
+        """Quarantining a fused plan drops exactly that artifact; the next
+        request re-lowers from scratch to an equally correct plan."""
+        sched, _ = compile_for(small_ln, AMPERE)
+        cache = PlanCache()
+        first = cache.get_or_lower(sched)
+        assert cache.evict(first.key) is True
+        assert cache.evict(first.key) is False  # already gone
+        assert len(cache) == 0
+        relowered = cache.get_or_lower(sched)
+        assert relowered is not first
+        assert relowered.key == first.key
+        stats = cache.stats()
+        assert stats["quarantined"] == 1 and stats["misses"] == 2
+        feeds = random_feeds(small_ln, seed=4)
+        env_i = execute_schedule(sched, feeds)
+        out = small_ln.output_tensors[0]
+        np.testing.assert_array_equal(relowered.execute(feeds)[out],
+                                      env_i[out])
 
 
 class TestObservability:

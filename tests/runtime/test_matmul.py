@@ -1,0 +1,138 @@
+"""Unit tests for the blocked-GEMM lowering (repro.codegen.matmul).
+
+The bitwise contract: ``matmul_blocked`` must produce *exactly* the bits
+of the explicit per-block gemm loop the schedule interpreter runs —
+that loop (``_block_loop``) is the reference here, not einsum.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.matmul import (
+    _block_loop,
+    _blocked_plan,
+    einsum_subscripts,
+    gemm_free_dims,
+    matmul_blas,
+    matmul_blocked,
+)
+
+
+def _rand(shape, seed):
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+def _sizes(a_axes, a, b_axes, b):
+    sizes = dict(zip(a_axes, a.shape))
+    sizes.update(zip(b_axes, b.shape))
+    return sizes
+
+
+class TestMatmulBlas:
+    def test_matches_einsum_numerically(self):
+        a, b = _rand((6, 8), 0), _rand((8, 5), 1)
+        got = matmul_blas(a, b, ("m", "k"), ("k", "n"), ("m", "n"))
+        want = np.einsum("mk,kn->mn", a, b)
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_batch_dims(self):
+        a, b = _rand((3, 6, 8), 2), _rand((3, 8, 5), 3)
+        got = matmul_blas(a, b, ("b", "m", "k"), ("b", "k", "n"),
+                          ("b", "m", "n"))
+        np.testing.assert_allclose(
+            got, np.einsum("bmk,bkn->bmn", a, b), atol=1e-12)
+
+    def test_einsum_fallback_on_duplicate_axes(self):
+        a = _rand((4, 4), 4)
+        b = _rand((4, 3), 5)
+        # Duplicate axis in a → diagonal semantics, not expressible as gemm.
+        got = matmul_blas(a, b, ("m", "m"), ("m", "n"), ("m", "n"))
+        want = np.einsum(einsum_subscripts(
+            ("m", "m"), ("m", "n"), ("m", "n")), a, b)
+        np.testing.assert_array_equal(got, want)
+
+    def test_gemm_free_dims(self):
+        assert gemm_free_dims(("b", "m", "k"), ("b", "k", "n"),
+                              ("b", "m", "n")) == {"m", "n"}
+
+
+BLOCK_CASES = [
+    # (a_axes, b_axes, out_axes, a_shape, b_shape, blocks)
+    (("m", "k"), ("k", "n"), ("m", "n"), (32, 16), (16, 24),
+     (("m", 8),)),
+    (("m", "k"), ("k", "n"), ("m", "n"), (32, 16), (16, 24),
+     (("m", 8), ("n", 6))),
+    (("b", "m", "k"), ("b", "k", "n"), ("b", "m", "n"),
+     (2, 32, 16), (2, 16, 24), (("m", 16),)),
+    # n-only blocking
+    (("m", "k"), ("k", "n"), ("m", "n"), (16, 8), (8, 32), (("n", 8),)),
+    # transposed output order (out_perm non-identity)
+    (("m", "k"), ("k", "n"), ("n", "m"), (16, 8), (8, 24), (("m", 4),)),
+]
+
+
+class TestMatmulBlocked:
+    @pytest.mark.parametrize("a_axes,b_axes,out_axes,ashp,bshp,blocks",
+                             BLOCK_CASES)
+    def test_bitwise_equal_to_block_loop(self, a_axes, b_axes, out_axes,
+                                         ashp, bshp, blocks):
+        a, b = _rand(ashp, 10), _rand(bshp, 11)
+        got = matmul_blocked(a, b, a_axes, b_axes, out_axes, blocks)
+        want = _block_loop(a, b, a_axes, b_axes, out_axes, blocks,
+                           _sizes(a_axes, a, b_axes, b))
+        np.testing.assert_array_equal(got, want)
+
+    def test_ragged_block_falls_back_to_loop(self):
+        # 30 % 8 != 0 → explicit loop path, still bitwise vs reference.
+        a, b = _rand((30, 16), 12), _rand((16, 24), 13)
+        blocks = (("m", 8),)
+        plan = _blocked_plan(("m", "k"), ("k", "n"), ("m", "n"),
+                             blocks, a.shape, b.shape)
+        assert plan[0] == "loop"
+        got = matmul_blocked(a, b, ("m", "k"), ("k", "n"), ("m", "n"),
+                             blocks)
+        want = _block_loop(a, b, ("m", "k"), ("k", "n"), ("m", "n"),
+                           blocks, _sizes(("m", "k"), a, ("k", "n"), b))
+        np.testing.assert_array_equal(got, want)
+
+    def test_full_size_block_degenerates_to_blas(self):
+        a, b = _rand((16, 8), 14), _rand((8, 12), 15)
+        plan = _blocked_plan(("m", "k"), ("k", "n"), ("m", "n"),
+                             (("m", 16),), a.shape, b.shape)
+        assert plan == ("blas",)
+        got = matmul_blocked(a, b, ("m", "k"), ("k", "n"), ("m", "n"),
+                             (("m", 16),))
+        np.testing.assert_array_equal(
+            got, matmul_blas(a, b, ("m", "k"), ("k", "n"), ("m", "n")))
+
+    def test_out_buffer_identity_fast_path(self):
+        a, b = _rand((32, 16), 16), _rand((16, 24), 17)
+        blocks = (("m", 8),)
+        want = matmul_blocked(a, b, ("m", "k"), ("k", "n"), ("m", "n"),
+                              blocks)
+        out = np.empty((32, 24))
+        got = matmul_blocked(a, b, ("m", "k"), ("k", "n"), ("m", "n"),
+                             blocks, out=out)
+        assert got is out
+        np.testing.assert_array_equal(out, want)
+
+    def test_mismatched_out_is_ignored(self):
+        a, b = _rand((32, 16), 18), _rand((16, 24), 19)
+        out = np.empty((5, 5))  # wrong shape: must be ignored, not crash
+        got = matmul_blocked(a, b, ("m", "k"), ("k", "n"), ("m", "n"),
+                             (("m", 8),), out=out)
+        assert got.shape == (32, 24)
+
+    def test_strided_operands_not_compacted(self):
+        """Tile-sliced (strided) operands must flow into gemm untouched —
+        compacting them changes lda and breaks bitwise parity."""
+        full_a = _rand((32, 64), 20)
+        full_b = _rand((64, 24), 21)
+        a = full_a[:, 8:24]  # strided K slice, as the tile loop produces
+        b = full_b[8:24, :]
+        blocks = (("m", 8),)
+        got = matmul_blocked(a, b, ("m", "k"), ("k", "n"), ("m", "n"),
+                             blocks)
+        want = _block_loop(a, b, ("m", "k"), ("k", "n"), ("m", "n"),
+                           blocks, _sizes(("m", "k"), a, ("k", "n"), b))
+        np.testing.assert_array_equal(got, want)

@@ -146,6 +146,54 @@ class TestDifferentialTest:
         assert "engine exploded" in compiled.error
         assert "CRASH" in res.render()
 
+    def test_engine_omitting_output_reported_not_raised(self, monkeypatch):
+        """Regression: an engine env missing a reference output used to
+        escape as a raw KeyError from the comparison loop — now it is
+        contained as an engine error like any other crash."""
+        graph = _softmax_graph()
+        from repro.runtime import oracle as oracle_mod
+
+        def silent_engine(schedule, feeds, dtype=np.float64):
+            return dict(feeds)  # runs "fine" but publishes nothing
+
+        monkeypatch.setattr(oracle_mod, "execute_compiled", silent_engine)
+        res = differential_test(graph, AMPERE)
+        assert not res.ok
+        compiled = next(r for r in res.runs if r.engine == "compiled")
+        assert compiled.error is not None
+        assert "MissingOutput" in compiled.error
+        assert "P" in compiled.error
+        assert np.isnan(compiled.worst)
+        # The healthy engine is still reported normally.
+        interp = next(r for r in res.runs if r.engine == "interpreter")
+        assert interp.ok
+
+    def test_finite_but_over_tolerance_run_is_not_ok(self, monkeypatch):
+        """Regression: EngineRun.ok used to ignore the tolerance entirely,
+        so a finite-but-wrong engine looked healthy on its own run even
+        though the aggregate result failed."""
+        graph = _softmax_graph()
+        from repro.runtime import oracle as oracle_mod
+
+        def off_by_a_lot(schedule, feeds, dtype=np.float64):
+            from repro.runtime.kernels import execute_graph_reference
+            env = execute_graph_reference(graph, feeds, dtype=dtype)
+            return {k: np.asarray(v) + 0.25 for k, v in env.items()}
+
+        monkeypatch.setattr(oracle_mod, "execute_schedule", off_by_a_lot)
+        res = differential_test(graph, AMPERE)
+        interp = next(r for r in res.runs if r.engine == "interpreter")
+        assert interp.error is None
+        assert np.isfinite(interp.worst) and interp.worst > interp.tol
+        assert not interp.ok
+        assert not res.ok
+
+    def test_bfloat16_execution_passes_with_dtype_tolerance(self):
+        res = differential_test(_softmax_graph(), AMPERE, dtype="bfloat16")
+        assert res.ok, res.render()
+        assert res.dtype == "bfloat16"
+        assert res.tol >= DTYPE_TOLERANCES["bfloat16"]
+
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
             differential_test(_softmax_graph(), AMPERE,

@@ -185,6 +185,41 @@ class TestCompiledEngineParity:
         env_c = execute_compiled(sched, feeds, cache=PlanCache())
         np.testing.assert_array_equal(env_c[out], env_i[out])
 
+    @_SETTINGS
+    @given(dtype=st.sampled_from([np.float64, np.float32, "bfloat16"]),
+           builder=st.sampled_from(["mha", "layernorm", "mlp"]),
+           seed=st.integers(0, 10_000))
+    def test_every_fused_kind_matches_at_every_dtype(self, dtype, builder,
+                                                     seed):
+        """Every fused-plan kind (vector, loopnest, whole, barrier) runs at
+        f64, f32 and emulated bf16 without an ``interp`` fallback.  At f64
+        the fused plan is bitwise-equal to the interpreter; at f32/bf16 it
+        is oracle-clean (the interpreter's UTA re-normalisation runs at
+        f64 internally — see UpdateFunction.apply — so sub-f64 runs agree
+        to tolerance, not bitwise)."""
+        from repro.runtime.compiled import lower_program
+        from repro.runtime.oracle import tolerance_for
+
+        graph = {
+            "mha": lambda: mha_graph(1, 2, 24, 24, 8, name="mha_dt"),
+            "layernorm": lambda: layernorm_graph(16, 48, name="ln_dt"),
+            "mlp": lambda: mlp_graph(2, 16, 12, 12, name="mlp_dt"),
+        }[builder]()
+        sched, _ = compile_for(graph, AMPERE)
+        assert "interp" not in lower_program(sched, dtype).kind_counts()
+        feeds = random_feeds(graph, seed=seed)
+        env_i = execute_schedule(sched, feeds, dtype=dtype)
+        env_c = execute_compiled(sched, feeds, dtype=dtype,
+                                 cache=PlanCache())
+        ref = execute_graph_reference(graph, feeds, dtype=np.float64)
+        tol = tolerance_for(dtype, ref)
+        for t, expected in ref.items():
+            if dtype is np.float64:
+                np.testing.assert_array_equal(env_c[t], env_i[t])
+            err = np.max(np.abs(np.asarray(env_c[t], dtype=np.float64)
+                                - expected)) if expected.size else 0.0
+            assert err <= tol, (t, err, tol)
+
 
 class TestUpdateFunctionAlgebra:
     @_SETTINGS
