@@ -25,6 +25,7 @@ from .loadgen import (
 from .patterns import evaluation_suite, table6_fusion_patterns
 from .reporting import ExperimentResult, geomean
 from .runtime_bench import RUNTIME_WORKLOADS, bench_runtime
+from .tuning import TuningBenchReport, run_tuning_bench
 from .subgraphs import (
     fig11a_mlp,
     fig11b_lstm,
@@ -40,7 +41,9 @@ __all__ = [
     "LoadReport",
     "LoadgenError",
     "RUNTIME_WORKLOADS",
+    "TuningBenchReport",
     "run_loadtest",
+    "run_tuning_bench",
     "ablation_candidate_depth",
     "bench_runtime",
     "decode_attention",

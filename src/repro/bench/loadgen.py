@@ -25,6 +25,7 @@ duplicated responses (exactly one resolution each), zero wrong answers.
 from __future__ import annotations
 
 import json
+import pathlib
 import tempfile
 import threading
 import time
@@ -338,6 +339,12 @@ def run_loadtest(config: LoadConfig | None = None,
         else:
             tmp = tempfile.TemporaryDirectory(prefix="repro-loadtest-")
             cluster_config.cache_dir = tmp.name
+    if cluster_config.tune_db_dir is None:
+        # Fleet-shared tuning database next to the schedule cache: the
+        # workers race to compile the same zoo, and the first campaign
+        # per kernel feeds every later worker a replay.
+        cluster_config.tune_db_dir = str(
+            pathlib.Path(cluster_config.cache_dir) / "tunedb")
 
     report = LoadReport(config={
         "rps": config.rps, "duration_s": config.duration_s,

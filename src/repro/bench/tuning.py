@@ -1,0 +1,160 @@
+"""Tuning-amortization benchmark: cold vs warm TuneDB compile walls.
+
+Compiles a model zoo three ways and compares the *simulated tuning
+wall-clock* (the §6.5 campaign accounting behind Tables 4/5):
+
+1. **baseline** — no database, plain enumeration-order campaigns;
+2. **cold**     — guided tuner against a fresh database directory
+                  (within-compile replay across partition candidates +
+                  feature-guided candidate ordering);
+3. **warm**     — a *new* :class:`~repro.tune.TuneDB` instance over the
+                  same directory (forces the disk tier — this is the
+                  restart / sibling-worker case), where every kernel
+                  replays as a one-run confirmation.
+
+Alongside the walls it checks the invariant that makes the database safe
+to deploy: the chosen configuration of every kernel is identical across
+all three runs, so Figures 11–13 and the runtime tables are unchanged —
+the database buys compile time, never schedule quality.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..hw.specs import GPUSpec
+from ..models.zoo import build_model
+from ..pipeline import compile_model_for
+from ..serve.metrics import ServeMetrics
+from ..tune import TuneDB
+
+#: Zoo slice the benchmark (and the CI smoke) compiles.  bert+albert on
+#: purpose: distinct models with structurally identical blocks, the
+#: cross-model reuse case the database exists for.
+DEFAULT_MODELS = ("bert", "albert")
+
+
+@dataclass
+class TuningBenchReport:
+    """Everything `repro bench-tuning` prints / writes as JSON."""
+
+    models: list[str]
+    gpu: str
+    batch: int
+    seq: int
+    #: model -> {"baseline": s, "cold": s, "warm": s} simulated walls.
+    walls: dict[str, dict[str, float]] = field(default_factory=dict)
+    totals: dict[str, float] = field(default_factory=dict)
+    #: baseline_wall / cold_wall (guided search speedup, cold DB).
+    cold_reduction: float = 0.0
+    #: baseline_wall / warm_wall (replay speedup, warm DB).
+    warm_reduction: float = 0.0
+    configs_identical: bool = False
+    tunedb: dict = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    wall_saved_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "models": self.models, "gpu": self.gpu,
+            "batch": self.batch, "seq": self.seq,
+            "walls": self.walls, "totals": self.totals,
+            "cold_reduction": self.cold_reduction,
+            "warm_reduction": self.warm_reduction,
+            "configs_identical": self.configs_identical,
+            "tunedb": self.tunedb,
+            "counters": self.counters,
+            "wall_saved_s": self.wall_saved_s,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def render(self) -> str:
+        lines = ["tuning-bench (simulated tuning wall-clock, seconds)",
+                 "=" * 51]
+        lines.append(f"{'model':<10} {'baseline':>10} {'cold DB':>10} "
+                     f"{'warm DB':>10}")
+        for model in self.models:
+            w = self.walls[model]
+            lines.append(f"{model:<10} {w['baseline']:>10.4f} "
+                         f"{w['cold']:>10.4f} {w['warm']:>10.4f}")
+        t = self.totals
+        lines.append(f"{'total':<10} {t['baseline']:>10.4f} "
+                     f"{t['cold']:>10.4f} {t['warm']:>10.4f}")
+        lines.append(f"cold-DB reduction: {self.cold_reduction:.2f}x   "
+                     f"warm-DB reduction: {self.warm_reduction:.2f}x")
+        lines.append(f"configs identical across runs: "
+                     f"{self.configs_identical}")
+        lines.append(f"tunedb: {self.counters.get('tunedb.hits', 0)} hits, "
+                     f"{self.counters.get('tunedb.misses', 0)} misses, "
+                     f"{self.counters.get('tunedb.warm_starts', 0)} "
+                     f"warm starts, {self.counters.get('tunedb.guided', 0)} "
+                     f"guided; {self.wall_saved_s:.4f}s saved")
+        return "\n".join(lines)
+
+
+def _config_signature(model) -> list[tuple]:
+    """Order-stable (kernel, chosen config) signature of a compiled model."""
+    sig = []
+    for sub in model.subprograms:
+        for kernel in sub.schedule.kernels:
+            cfg = kernel.config
+            sig.append((kernel.name,
+                        None if cfg is None else (cfg.block, cfg.tile)))
+    return sig
+
+
+def run_tuning_bench(db_dir: str,
+                     models: tuple[str, ...] = DEFAULT_MODELS,
+                     gpu: GPUSpec | None = None,
+                     batch: int = 1, seq: int = 64) -> TuningBenchReport:
+    """Run the three-way comparison against ``db_dir`` (should be empty
+    or fresh — pre-existing entries would flatter the cold run)."""
+    if gpu is None:
+        from ..hw import AMPERE
+        gpu = AMPERE
+    report = TuningBenchReport(models=list(models), gpu=gpu.name,
+                               batch=batch, seq=seq)
+    programs = {m: build_model(m, batch=batch, seq=seq) for m in models}
+
+    baseline_sigs = {}
+    for name, program in programs.items():
+        compiled = compile_model_for(program, gpu)
+        baseline_sigs[name] = _config_signature(compiled)
+        report.walls[name] = {
+            "baseline": compiled.stats.tuning_wall_time}
+
+    metrics = ServeMetrics()
+    cold_db = TuneDB(db_dir)
+    identical = True
+    for name, program in programs.items():
+        compiled = compile_model_for(program, gpu, tune_db=cold_db,
+                                     tune_metrics=metrics)
+        identical &= _config_signature(compiled) == baseline_sigs[name]
+        report.walls[name]["cold"] = compiled.stats.tuning_wall_time
+
+    # Fresh TuneDB instance on the same directory: an empty LRU forces
+    # every lookup through the disk tier, modelling a process restart or
+    # a sibling fleet member.
+    warm_db = TuneDB(db_dir)
+    for name, program in programs.items():
+        compiled = compile_model_for(program, gpu, tune_db=warm_db,
+                                     tune_metrics=metrics)
+        identical &= _config_signature(compiled) == baseline_sigs[name]
+        report.walls[name]["warm"] = compiled.stats.tuning_wall_time
+
+    report.configs_identical = identical
+    for phase in ("baseline", "cold", "warm"):
+        report.totals[phase] = sum(report.walls[m][phase] for m in models)
+    report.cold_reduction = (report.totals["baseline"]
+                             / max(report.totals["cold"], 1e-12))
+    report.warm_reduction = (report.totals["baseline"]
+                             / max(report.totals["warm"], 1e-12))
+    report.tunedb = warm_db.disk_stats()
+    snap = metrics.snapshot()
+    report.counters = {k: v for k, v in snap.items()
+                       if k.startswith("tunedb.") and isinstance(v, int)}
+    report.wall_saved_s = metrics.get_gauge("tunedb.wall_saved_s")
+    return report

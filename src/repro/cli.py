@@ -310,6 +310,85 @@ def cmd_bench_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_tuning(args: argparse.Namespace) -> int:
+    """Cold vs warm TuneDB compile-time benchmark (Tables 4/5 amortized).
+
+    With ``--check-warm X`` / ``--check-cold X`` the command fails unless
+    the warm-database (cold-database) tuning-wall reduction reaches X —
+    CI's tuning smoke.  Chosen configs must always be identical to the
+    no-database baseline.
+    """
+    import json
+    import tempfile
+
+    from .bench import run_tuning_bench
+    from .hw import get_gpu
+
+    tmp = None
+    db_dir = args.db_dir
+    if db_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-tunedb-")
+        db_dir = tmp.name
+    try:
+        report = run_tuning_bench(db_dir, models=tuple(args.models),
+                                  gpu=get_gpu(args.gpu),
+                                  batch=args.batch, seq=args.seq)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"\njson written to {args.json}")
+    if not report.configs_identical:
+        print("FAILED: database-backed compile chose different configs "
+              "than the baseline", file=sys.stderr)
+        return 1
+    if args.check_warm is not None and \
+            report.warm_reduction < args.check_warm:
+        print(f"FAILED: warm-DB reduction {report.warm_reduction:.2f}x "
+              f"< required {args.check_warm:.2f}x", file=sys.stderr)
+        return 1
+    if args.check_cold is not None and \
+            report.cold_reduction < args.check_cold:
+        print(f"FAILED: cold-DB reduction {report.cold_reduction:.2f}x "
+              f"< required {args.check_cold:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_tunedb(args: argparse.Namespace) -> int:
+    """Inspect / maintain a tuning-database directory."""
+    import json
+
+    from .tune import TuneDB
+
+    db = TuneDB(args.dir)
+    if args.action == "stats":
+        stats = db.disk_stats()
+        entries = db.export()
+        by_gpu: dict[str, int] = {}
+        saved = 0.0
+        for entry in entries:
+            by_gpu[entry["gpu"]] = by_gpu.get(entry["gpu"], 0) + 1
+            saved += entry["tuning_wall_time"]
+        print(f"tunedb {args.dir}")
+        print(f"  entries:        {stats['disk_entries']}")
+        print(f"  size:           {stats['disk_bytes']} bytes")
+        print(f"  stored tuning:  {saved:.4f} simulated seconds "
+              f"(saved per warm fleet member)")
+        for gpu_key in sorted(by_gpu):
+            print(f"  {gpu_key}: {by_gpu[gpu_key]} entries")
+    elif args.action == "export":
+        print(json.dumps(db.export(), indent=1, sort_keys=True))
+    elif args.action == "prune":
+        removed = db.prune(max_age_s=args.max_age_s, keep=args.keep)
+        print(f"pruned {removed} entries "
+              f"({db.disk_stats()['disk_entries']} remain)")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Chaos harness: inject a seeded fault schedule into a live server,
     check every resilience invariant, write the robustness report."""
@@ -675,6 +754,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="OUT.json",
                    help="also write the rows as JSON (BENCH_runtime format)")
     p.set_defaults(fn=cmd_bench_runtime)
+
+    p = sub.add_parser("bench-tuning",
+                       help="cold vs warm tuning-database compile walls "
+                            "(Tables 4/5 amortization)")
+    p.add_argument("--models", nargs="*", default=["bert", "albert"],
+                   metavar="NAME",
+                   help="zoo models to compile (default: bert albert)")
+    p.add_argument("--gpu", default="ampere",
+                   choices=sorted(ARCHITECTURES),
+                   help="target architecture (default: ampere)")
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--seq", type=int, default=64)
+    p.add_argument("--db-dir", default=None, metavar="DIR",
+                   help="tuning-database directory (default: a fresh "
+                        "temporary directory)")
+    p.add_argument("--json", default=None, metavar="OUT.json",
+                   help="also write the report as JSON "
+                        "(BENCH_tuning format)")
+    p.add_argument("--check-warm", type=float, default=None, metavar="X",
+                   dest="check_warm",
+                   help="exit non-zero unless the warm-DB tuning-wall "
+                        "reduction is >= X (CI smoke floor)")
+    p.add_argument("--check-cold", type=float, default=None, metavar="X",
+                   dest="check_cold",
+                   help="exit non-zero unless the cold-DB reduction "
+                        "is >= X")
+    p.set_defaults(fn=cmd_bench_tuning)
+
+    p = sub.add_parser("tunedb",
+                       help="inspect or maintain a tuning database")
+    p.add_argument("action", choices=("stats", "export", "prune"))
+    p.add_argument("dir", help="tuning-database directory")
+    p.add_argument("--max-age-s", type=float, default=None,
+                   dest="max_age_s",
+                   help="prune: drop entries older than this many seconds")
+    p.add_argument("--keep", type=int, default=None,
+                   help="prune: keep only the N most recent entries")
+    p.set_defaults(fn=cmd_tunedb)
 
     p = sub.add_parser("report",
                        help="run every experiment into one markdown report")

@@ -114,6 +114,10 @@ class ClusterConfig:
     #: Shared disk schedule-cache directory (None = no cross-process
     #: cache — each worker compiles privately; set it in production).
     cache_dir: str | None = None
+    #: Shared tuning-database directory (None = per-process tuning only;
+    #: point the fleet at one directory so each kernel's campaign runs
+    #: once cluster-wide — see :mod:`repro.tune`).
+    tune_db_dir: str | None = None
     #: How many distinct workers host each workload (primary + warm
     #: fallbacks for routing around a down worker).
     replication: int = 2
@@ -262,6 +266,7 @@ class ClusterSupervisor:
             name=name, workloads=self._hosted_by(name),
             gpu=self.config.gpu, engine=self.config.engine,
             cache_dir=self.config.cache_dir,
+            tune_db_dir=self.config.tune_db_dir,
             max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms,
             threads=self.config.threads_per_worker,

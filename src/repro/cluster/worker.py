@@ -91,6 +91,12 @@ class WorkerConfig:
     threads: int = 2
     max_queue_depth: int | None = 64
     lock_timeout_s: float = 30.0
+    #: Shared tuning-database directory (see :mod:`repro.tune`).  With
+    #: the whole fleet pointed at one directory, a kernel's tuning
+    #: campaign runs in exactly one process — single-flighted by the
+    #: DB's per-fingerprint file lock — and every other worker replays
+    #: the stored winner.
+    tune_db_dir: str | None = None
     #: Failpoint plan armed at boot (restart-on-crash tests re-arm this
     #: way because a fresh worker process starts with a clean registry).
     fault_plan: dict[str, str] = field(default_factory=dict)
@@ -107,9 +113,14 @@ def build_server(config: WorkerConfig,
     disk = ScheduleCache(config.cache_dir) if config.cache_dir else None
     cache = TieredScheduleCache(disk=disk, metrics=metrics,
                                 lock_timeout_s=config.lock_timeout_s)
+    tune_db = None
+    if config.tune_db_dir:
+        from ..tune import TuneDB
+        tune_db = TuneDB(config.tune_db_dir)
     sessions = {
         name: InferenceSession(graph_from_dict(gdict), gpu, cache=cache,
-                               metrics=metrics, engine=config.engine)
+                               metrics=metrics, engine=config.engine,
+                               tune_db=tune_db)
         for name, gdict in sorted(config.workloads.items())
     }
     return FusionServer(sessions, max_batch=config.max_batch,

@@ -511,6 +511,13 @@ class _FusedEmitter:
             outputs = sorted((kernel_outputs - consumed)
                              | (declared & produced))
         self.outputs = tuple(t for t in outputs)
+        #: Outputs whose producing expression may ALIAS another array (an
+        #: identity/cast rename of an arena-backed intermediate, a
+        #: reshape/transpose view from a barrier kernel, a whole-kernel
+        #: passthrough).  These are materialised with a copy at publish
+        #: time — an aliased env output would be silently overwritten by
+        #: the plan's next execution reusing the same arena buffers.
+        self.maybe_alias: set[str] = set()
         for t in self.outputs:
             if t not in produced and t not in self.program_inputs:
                 raise CodegenError(
@@ -553,7 +560,12 @@ class _FusedEmitter:
         for t in self.outputs:
             if t in self.program_inputs:
                 continue  # already present in env (fed through)
-            self.emit(f"env[{t!r}] = {_var(t)}")
+            if t in self.maybe_alias:
+                # Values are identical; the copy severs the alias so the
+                # published array survives the next call's buffer reuse.
+                self.emit(f"env[{t!r}] = np.array({_var(t)}, dtype=_DT)")
+            else:
+                self.emit(f"env[{t!r}] = {_var(t)}")
         source = _PRELUDE + "\n".join(self.lines) + "\n"
         return source, self.segments, dict(self.whole_fns)
 
@@ -590,6 +602,8 @@ class _FusedEmitter:
                       f"{tuple(op.attrs['perm'])})")
         else:
             self.emit(f"{_var(dst)} = {_var(src)}")
+        if dst in self.outputs:
+            self.maybe_alias.add(dst)
         self.defined.add(dst)
         return "barrier"
 
@@ -624,6 +638,11 @@ class _FusedEmitter:
         self.emit(f"{name}({env_var})")
         for t in graph.output_tensors:
             self.emit(f"{_var(t)} = {env_var}[{t!r}]")
+            if t in self.outputs:
+                # ``evaluate_op`` may return an input array unchanged
+                # (identity/cast), so the value can alias a feed or an
+                # earlier kernel's arena buffer.
+                self.maybe_alias.add(t)
             self.defined.add(t)
         return "whole"
 
@@ -780,6 +799,8 @@ class _FusedEmitter:
                             f"{shape_of(op.output_axes)})")
                 expr, _used = _op_call(graph, op, None, out)
                 self.emit(f"{_var(op.output)} = {expr}")
+                if pub and op.kind in ("identity", "cast"):
+                    self.maybe_alias.add(op.output)
             self.defined.add(op.output)
         return "vector"
 

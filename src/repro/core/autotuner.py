@@ -48,7 +48,25 @@ class TuneResult:
     configs_quit_early: int
     #: Simulated wall-clock the measurement campaign would take (seconds).
     tuning_wall_time: float
+    #: The full (config, time) trace of the campaign.  Retention is
+    #: opt-in: the serve path evaluates with ``keep_timings=False``, so
+    #: large search spaces don't pin a timing list per kernel for the
+    #: session's lifetime; the Table 4/5 benchmarks keep it on.
     timings: list[tuple[ScheduleConfig, float]] = field(default_factory=list)
+
+
+def config_sort_key(cfg: ScheduleConfig | None) -> tuple:
+    """Stable, order-independent identity of one configuration.
+
+    Used to break *exact* timing ties deterministically: when two
+    configurations measure identical, the winner is the one with the
+    smaller key, no matter which was evaluated first.  Parallel
+    compilation, guided (reordered) search, and TuneDB replay therefore
+    all crown the same configuration.  ``None`` sorts last.
+    """
+    if cfg is None:
+        return (1, (), -2)
+    return (0, cfg.block, -1 if cfg.tile is None else cfg.tile)
 
 
 def evaluate_search_space(
@@ -56,7 +74,9 @@ def evaluate_search_space(
         timing_fn: Callable[[KernelSchedule, ScheduleConfig], float],
         alpha: float = DEFAULT_ALPHA,
         warmup_runs: int = WARMUP_RUNS,
-        measure_runs: int = MEASURE_RUNS) -> TuneResult:
+        measure_runs: int = MEASURE_RUNS,
+        candidates: list[ScheduleConfig] | None = None,
+        keep_timings: bool = True) -> TuneResult:
     """Run the tuning campaign over ``kernel.search_space`` without
     mutating the kernel.
 
@@ -64,6 +84,15 @@ def evaluate_search_space(
     compilation path in :mod:`repro.serve.parallel`) can evaluate kernels
     that other threads hold references to; callers then commit the choice
     with :func:`apply_tune_result` at a deterministic merge point.
+
+    ``candidates`` overrides the *evaluation order* (it must be a
+    permutation of the search space — the guided policy in
+    :mod:`repro.tune` feeds candidates best-first so the early-quit rule
+    bites sooner).  The chosen winner is order-independent: a
+    configuration strictly beating the incumbent always completes its
+    full campaign, and exact ties resolve by :func:`config_sort_key`, so
+    the winner is the lexicographic minimum of ``(time, key)`` under any
+    order.  Only the accounted wall-clock depends on the order.
     """
     _faults.fire(FP_TUNE)
     best_cfg: ScheduleConfig | None = None
@@ -71,16 +100,22 @@ def evaluate_search_space(
     wall = 0.0
     quit_early = 0
     timings: list[tuple[ScheduleConfig, float]] = []
+    space = kernel.search_space if candidates is None else candidates
 
-    for cfg in kernel.search_space:
+    for cfg in space:
         t = timing_fn(kernel, cfg)
-        timings.append((cfg, t))
+        if keep_timings:
+            timings.append((cfg, t))
         abandoned = False
-        if best_cfg is None or t < best_time:
+        wins_tie = (t == best_time
+                    and config_sort_key(cfg) < config_sort_key(best_cfg))
+        if best_cfg is None or t < best_time or wins_tie:
             # A configuration on track to beat the incumbent is never cut
             # short: the early-quit rule exists to stop wasting test runs
             # on losers, and a winner must complete (and be billed for)
-            # its full measurement campaign.
+            # its full measurement campaign.  An exact tie counts as
+            # "on track" only for the configuration with the smaller
+            # stable key, keeping the winner order-independent.
             runs = warmup_runs + measure_runs
         else:
             # Early quit: stop measuring once accumulated test time passes
@@ -98,7 +133,7 @@ def evaluate_search_space(
         # An abandoned configuration never had its full measurement
         # campaign, so per section 6.5 it cannot become the winner — it
         # only contributes its truncated test runs to the wall-clock.
-        if not abandoned and t < best_time:
+        if not abandoned and (t < best_time or wins_tie):
             best_time = t
             best_cfg = cfg
 
@@ -106,7 +141,7 @@ def evaluate_search_space(
         kernel=kernel,
         best_config=best_cfg,
         best_time=best_time,
-        configs_evaluated=len(kernel.search_space),
+        configs_evaluated=len(space),
         configs_quit_early=quit_early,
         tuning_wall_time=wall,
         timings=timings,
@@ -123,17 +158,46 @@ def tune_kernel(kernel: KernelSchedule,
                 timing_fn: Callable[[KernelSchedule, ScheduleConfig], float],
                 alpha: float = DEFAULT_ALPHA,
                 warmup_runs: int = WARMUP_RUNS,
-                measure_runs: int = MEASURE_RUNS) -> TuneResult:
+                measure_runs: int = MEASURE_RUNS,
+                candidates: list[ScheduleConfig] | None = None,
+                keep_timings: bool = True) -> TuneResult:
     """Search the kernel's config space and fix its best configuration."""
     result = evaluate_search_space(kernel, timing_fn, alpha=alpha,
                                    warmup_runs=warmup_runs,
-                                   measure_runs=measure_runs)
+                                   measure_runs=measure_runs,
+                                   candidates=candidates,
+                                   keep_timings=keep_timings)
     apply_tune_result(result)
     return result
 
 
 def pick_best(results: list[TuneResult]) -> TuneResult:
-    """Choose the fastest tuned candidate among scheduled variants."""
+    """Choose the fastest tuned candidate among scheduled variants.
+
+    Exact ``best_time`` ties resolve by the stable config key (then the
+    kernel name), never by list position: the parallel compilation merge
+    and a TuneDB replay then pick identical winners regardless of the
+    order tuning results arrive in.
+    """
     if not results:
         raise ValueError("no tuning results to choose from")
-    return min(results, key=lambda r: r.best_time)
+    return min(results, key=lambda r: (r.best_time,
+                                       config_sort_key(r.best_config),
+                                       r.kernel.name))
+
+
+class DefaultTuner:
+    """The paper's tuning procedure as a pluggable policy object.
+
+    :class:`~repro.core.compiler.SpaceFusionCompiler` routes every
+    campaign through a tuner with this interface; the TuneDB-backed
+    :class:`repro.tune.GuidedTuner` substitutes database hits and
+    feature-guided candidate ordering while preserving the winner.
+    """
+
+    def tune(self, kernel: KernelSchedule,
+             timing_fn: Callable[[KernelSchedule, ScheduleConfig], float],
+             alpha: float = DEFAULT_ALPHA,
+             keep_timings: bool = True) -> TuneResult:
+        return tune_kernel(kernel, timing_fn, alpha=alpha,
+                           keep_timings=keep_timings)

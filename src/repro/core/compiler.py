@@ -25,7 +25,7 @@ from typing import Callable
 from ..ir.graph import DataflowGraph
 from ..obs import get_tracer, timed_phase
 from ..ir.program import Subprogram, TensorProgram, partition_at_barriers
-from .autotuner import DEFAULT_ALPHA, TuneResult, pick_best, tune_kernel
+from .autotuner import DEFAULT_ALPHA, DefaultTuner, TuneResult, pick_best
 from .builder import build_smg
 from .memory_planner import apply_memory_plan
 from .partition import PartitionCandidate, partition_round
@@ -61,6 +61,12 @@ class FusionOptions:
     explore_partition_candidates: bool = True
     alpha: float = DEFAULT_ALPHA
     max_configs: int = 24
+    #: Retain the per-config (config, time) campaign trace on every
+    #: TuneResult.  The serve path turns this off to cut compile-path
+    #: memory on large search spaces; the Table 4/5 benchmarks keep it.
+    #: Excluded from repr() on purpose: it does not affect the compiled
+    #: schedule, so it must not perturb disk-cache keys.
+    keep_timings: bool = field(default=True, repr=False)
 
     def slicing_options(self) -> SlicingOptions:
         return SlicingOptions(
@@ -135,6 +141,7 @@ def schedule_single_op_kernels(graph: DataflowGraph, rc: ResourceConfig,
                                timing_fn: TimingFn | None = None,
                                efficiency: float = 1.0,
                                options: FusionOptions | None = None,
+                               tuner: DefaultTuner | None = None,
                                ) -> list[KernelSchedule]:
     """Schedule every operator of ``graph`` as its own kernel.
 
@@ -146,6 +153,7 @@ def schedule_single_op_kernels(graph: DataflowGraph, rc: ResourceConfig,
     from .partition import subgraph_from_ops
 
     options = options or FusionOptions()
+    tuner = tuner or DefaultTuner()
     kernels: list[KernelSchedule] = []
     outputs = set(graph.output_tensors)
     for op in graph.topological_ops():
@@ -173,7 +181,8 @@ def schedule_single_op_kernels(graph: DataflowGraph, rc: ResourceConfig,
         if timing_fn is not None and len(kernel.search_space) > 1:
             with get_tracer().span("tuning", category="compile",
                                    kernel=kernel.name) as sp:
-                res = tune_kernel(kernel, timing_fn)
+                res = tuner.tune(kernel, timing_fn,
+                                 keep_timings=options.keep_timings)
                 sp.note(modeled_wall_s=res.tuning_wall_time,
                         configs=res.configs_evaluated,
                         quit_early=res.configs_quit_early)
@@ -188,10 +197,16 @@ class SpaceFusionCompiler:
     """End-to-end SpaceFusion auto-scheduler."""
 
     def __init__(self, rc: ResourceConfig, timing_fn: TimingFn,
-                 options: FusionOptions | None = None) -> None:
+                 options: FusionOptions | None = None,
+                 tuner: DefaultTuner | None = None) -> None:
         self.rc = rc
         self.timing_fn = timing_fn
         self.options = options or FusionOptions()
+        #: Tuning policy every campaign routes through.  The default is
+        #: the paper's enumeration-with-early-quit; a TuneDB-backed
+        #: :class:`repro.tune.GuidedTuner` reuses and reorders campaigns
+        #: while choosing bitwise-identical winners.
+        self.tuner = tuner or DefaultTuner()
         #: Census of distinct fusion patterns discovered (Table 6).
         self.fusion_patterns: dict[str, dict] = {}
 
@@ -300,7 +315,8 @@ class SpaceFusionCompiler:
 
         if not candidates:
             kernels = schedule_single_op_kernels(
-                graph, self.rc, self.timing_fn, options=self.options)
+                graph, self.rc, self.timing_fn, options=self.options,
+                tuner=self.tuner)
             for k in kernels:
                 schedule.add(k)
             return sum(self.timing_fn(k, k.effective_config())
@@ -351,8 +367,9 @@ class SpaceFusionCompiler:
             if self.options.auto_tune:
                 with get_tracer().span("tuning", category="compile",
                                        kernel=kernel.name) as sp:
-                    res = tune_kernel(kernel, self.timing_fn,
-                                      alpha=self.options.alpha)
+                    res = self.tuner.tune(
+                        kernel, self.timing_fn, alpha=self.options.alpha,
+                        keep_timings=self.options.keep_timings)
                     sp.note(modeled_wall_s=res.tuning_wall_time,
                             configs=res.configs_evaluated,
                             quit_early=res.configs_quit_early)

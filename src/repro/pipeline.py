@@ -27,32 +27,58 @@ from .ir.program import TensorProgram
 
 
 def make_compiler(gpu: GPUSpec,
-                  options: FusionOptions | None = None) -> SpaceFusionCompiler:
-    """A SpaceFusion compiler targeting ``gpu``, timed by its cost model."""
+                  options: FusionOptions | None = None,
+                  tune_db=None,
+                  tune_metrics=None) -> SpaceFusionCompiler:
+    """A SpaceFusion compiler targeting ``gpu``, timed by its cost model.
+
+    ``tune_db`` (a :class:`repro.tune.TuneDB`) swaps the default tuning
+    procedure for the database-backed :class:`repro.tune.GuidedTuner`:
+    previously tuned kernels replay their stored winner, cold kernels
+    search guided by database history.  Chosen configurations are
+    identical either way; only tuning wall-clock changes.
+    ``tune_metrics`` (a :class:`repro.serve.metrics.ServeMetrics`)
+    receives the tuner's ``tunedb.*`` counters.
+    """
     sim = DeviceSimulator(gpu)
+    tuner = None
+    if tune_db is not None:
+        from .tune import GuidedTuner, gpu_fingerprint
+
+        tuner = GuidedTuner(tune_db, gpu_key=gpu_fingerprint(gpu),
+                            metrics=tune_metrics)
     return SpaceFusionCompiler(
         rc=gpu.resource_config(),
         timing_fn=lambda kernel, cfg: sim.kernel_time(kernel, cfg),
         options=options,
+        tuner=tuner,
     )
 
 
 def compile_for(graph: DataflowGraph, gpu: GPUSpec,
                 options: FusionOptions | None = None,
+                tune_db=None,
+                tune_metrics=None,
                 ) -> tuple[ProgramSchedule, CompileStats]:
     """Compile one barrier-free graph for ``gpu``."""
-    return make_compiler(gpu, options).compile_graph(graph)
+    return make_compiler(gpu, options, tune_db=tune_db,
+                         tune_metrics=tune_metrics).compile_graph(graph)
 
 
 def compile_model_for(program: TensorProgram, gpu: GPUSpec,
-                      options: FusionOptions | None = None) -> CompiledModel:
+                      options: FusionOptions | None = None,
+                      tune_db=None,
+                      tune_metrics=None) -> CompiledModel:
     """Compile a whole model program (repeated subprograms compile once)."""
-    return make_compiler(gpu, options).compile_model(program)
+    return make_compiler(gpu, options, tune_db=tune_db,
+                         tune_metrics=tune_metrics).compile_model(program)
 
 
 def compile_model_parallel_for(program: TensorProgram, gpu: GPUSpec,
                                options: FusionOptions | None = None,
                                max_workers: int | None = None,
+                               tune_db=None,
+                               tune_metrics=None,
                                ) -> CompiledModel:
     """Like :func:`compile_model_for` with subprograms tuned concurrently.
 
@@ -63,7 +89,9 @@ def compile_model_parallel_for(program: TensorProgram, gpu: GPUSpec,
     from .serve.parallel import compile_model_parallel
 
     return compile_model_parallel(program, gpu, options,
-                                  max_workers=max_workers)
+                                  max_workers=max_workers,
+                                  tune_db=tune_db,
+                                  tune_metrics=tune_metrics)
 
 
 def simulate(schedule: ProgramSchedule, gpu: GPUSpec,

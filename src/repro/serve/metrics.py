@@ -108,6 +108,15 @@ class ServeMetrics:
         with self._lock:
             self.gauges[name] = float(value)
 
+    def add_gauge(self, name: str, delta: float) -> None:
+        """Accumulate into a float gauge (e.g. tuning wall-time saved).
+
+        Counters are integers here; this is the float-valued analogue for
+        quantities that accumulate fractional seconds.
+        """
+        with self._lock:
+            self.gauges[name] = self.gauges.get(name, 0.0) + float(delta)
+
     def get_gauge(self, name: str, default: float = 0.0) -> float:
         with self._lock:
             return self.gauges.get(name, default)
@@ -182,7 +191,7 @@ class ServeMetrics:
             and ("." not in k
                  or k.startswith(("fallbacks.", "requests.", "cache.",
                                   "breaker.", "plans.", "faults.",
-                                  "lower."))))
+                                  "lower.", "tunedb.", "tuning."))))
         lines = ["serve-stats", "==========="]
         lines.append("counters:")
         for name in counter_keys:

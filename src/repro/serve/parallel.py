@@ -41,16 +41,25 @@ def compile_model_parallel(program: TensorProgram, gpu: GPUSpec,
                            options: FusionOptions | None = None,
                            max_workers: int | None = None,
                            compiler_factory: CompilerFactory | None = None,
+                           tune_db=None,
+                           tune_metrics=None,
                            ) -> CompiledModel:
     """Compile ``program`` with per-subprogram parallelism.
 
     Equivalent to ``make_compiler(gpu, options).compile_model(program)``
     but with unique subprograms compiled concurrently.  ``max_workers=1``
     degenerates to the serial path (still through the pool, same merge).
+
+    ``tune_db`` is shared across the workers: the database is
+    thread-safe, each worker still gets its own ``GuidedTuner`` (the
+    predictor is per-compiler state), and the deterministic tie-break in
+    the tuner means DB-induced evaluation reordering cannot change any
+    worker's chosen configs — the merge stays bit-identical.
     """
     if compiler_factory is None:
         from ..pipeline import make_compiler
-        compiler_factory = lambda: make_compiler(gpu, options)  # noqa: E731
+        compiler_factory = lambda: make_compiler(  # noqa: E731
+            gpu, options, tune_db=tune_db, tune_metrics=tune_metrics)
 
     subs = program.unique_subprograms()
     workers = max_workers or default_max_workers()

@@ -111,13 +111,18 @@ class InferenceSession:
                  eager: bool = False,
                  engine: str = ENGINE_COMPILED,
                  plan_cache: PlanCache | None = None,
-                 breaker: CircuitBreaker | None = None) -> None:
+                 breaker: CircuitBreaker | None = None,
+                 tune_db=None) -> None:
         if engine not in ENGINES:
             raise SessionError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.graph = graph
         self.gpu = gpu
         self.options = options
+        #: Optional :class:`repro.tune.TuneDB` — schedule-cache misses
+        #: compile through the guided tuner, so a cold schedule cache on
+        #: a warm tuning database still skips the tuning campaigns.
+        self.tune_db = tune_db
         self.engine = engine
         self.plan_cache = plan_cache
         self.metrics = metrics or (cache.metrics if cache is not None
@@ -148,7 +153,24 @@ class InferenceSession:
 
     def _default_compile(self) -> ProgramSchedule:
         from ..pipeline import compile_for
-        schedule, _stats = compile_for(self.graph, self.gpu, self.options)
+
+        # The serve path never reads per-config timing traces; dropping
+        # them keeps long-lived sessions from pinning one list per
+        # kernel.  Benchmarks pass explicit options with the default
+        # keep_timings=True.  The field is repr-excluded, so cache keys
+        # (derived from repr(options)) are unaffected.
+        options = self.options if self.options is not None \
+            else FusionOptions(keep_timings=False)
+        schedule, stats = compile_for(self.graph, self.gpu, options,
+                                      tune_db=self.tune_db,
+                                      tune_metrics=self.metrics)
+        if stats is not None:
+            self.metrics.add_gauge("tuning.wall_time_s",
+                                   stats.tuning_wall_time)
+            self.metrics.inc("tuning.configs_evaluated",
+                             stats.configs_evaluated)
+            self.metrics.inc("tuning.configs_quit_early",
+                             stats.configs_quit_early)
         return schedule
 
     def _options_repr(self) -> str:
@@ -338,6 +360,8 @@ class InferenceSession:
                 "breaker": self.breaker.snapshot()}
         if self.program is not None:
             meta["plan_kinds"] = self.program.kind_counts()
+        if self.tune_db is not None:
+            meta["tunedb"] = self.tune_db.disk_stats()
         return SessionInfo(
             workload=self.graph.name, gpu=self.gpu.name, state=self._state,
             engine=self.engine,

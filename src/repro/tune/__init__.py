@@ -1,0 +1,53 @@
+"""Persistent cross-run tuning database and feature-guided config search.
+
+The paper's §6.5 tuning procedure re-runs its full
+enumeration-with-α-early-quit campaign for every kernel every process has
+never seen — even when an identical schedule was tuned seconds earlier by
+a sibling worker in the same fleet.  This package amortizes that work:
+
+* :class:`TuneDB` — a two-tier (in-process LRU + on-disk) database keyed
+  by a canonical kernel-schedule fingerprint (SMG structure + search
+  space + GPU identity), storing the winning configuration, its timing,
+  and the campaign stats.  Disk writes are atomic (``os.replace``) and
+  corrupt or version-incompatible entries are contained as misses, the
+  same policy as :class:`~repro.core.serialize.ScheduleCache`.
+* :class:`GuidedTuner` — a tuning policy for
+  :class:`~repro.core.compiler.SpaceFusionCompiler`: exact-fingerprint
+  hits skip the campaign entirely (verified by one confirmation timing),
+  near-neighbor hits warm-start the incumbent, and a lightweight
+  predictor calibrated from DB history feeds candidates to the early-quit
+  rule best-first.  Chosen winners are bitwise-identical to the
+  enumeration order (see :func:`~repro.core.autotuner.config_sort_key`);
+  only the simulated tuning wall-clock shrinks.
+
+Fleet semantics: pointing every worker's ``TuneDB`` at one shared
+directory makes a kernel's campaign run once fleet-wide — cold
+fingerprints single-flight through a per-fingerprint advisory file lock
+(:class:`~repro.serve.filelock.FileLock`), and every other worker replays
+the winner as a one-run confirmation.
+"""
+
+from .db import DB_FORMAT_VERSION, TuneDB, TuneDBError, TuneEntry
+from .features import (
+    FEATURE_VERSION,
+    config_features,
+    feature_vector,
+    kernel_features,
+)
+from .fingerprint import gpu_fingerprint, kernel_fingerprint
+from .guided import GuidedTuner, RidgePredictor
+
+__all__ = [
+    "DB_FORMAT_VERSION",
+    "FEATURE_VERSION",
+    "GuidedTuner",
+    "RidgePredictor",
+    "TuneDB",
+    "TuneDBError",
+    "TuneEntry",
+    "config_features",
+    "feature_vector",
+    "gpu_fingerprint",
+    "kernel_features",
+    "kernel_fingerprint",
+]

@@ -1,0 +1,341 @@
+"""Two-tier persistent tuning database.
+
+Stores the outcome of one tuning campaign per kernel fingerprint: the
+winning configuration, its measured time, the campaign cost, and a small
+set of (feature-vector, time) samples the guided policy learns from.
+
+Tiers mirror :class:`~repro.serve.cache.TieredScheduleCache`:
+
+* an in-process LRU (bounded, thread-safe) absorbs the within-compile
+  reuse — the partition search re-tunes identical subgraphs across
+  candidate paths dozens of times per model;
+* an optional on-disk tier (one JSON file per fingerprint, atomic
+  ``os.replace`` writes) shares campaigns across processes, restarts,
+  and — via a common directory — the whole serving fleet.
+
+Failure policy follows :class:`~repro.core.serialize.ScheduleCache`: an
+unreadable, corrupt, or version-incompatible entry is *contained* as a
+miss and deleted, never raised into the compile path.  ``TuneDBError``
+is reserved for caller mistakes (bad entry payloads on ``put``).
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import pathlib
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..serve.filelock import FileLock
+from .features import FEATURE_VERSION
+
+#: Bump on any incompatible change to the entry payload below.  Entries
+#: written under another version are treated as misses and removed.
+DB_FORMAT_VERSION = 1
+
+#: Per-entry cap on retained (feature-vector, time) samples.
+MAX_ENTRY_SAMPLES = 64
+
+#: Process-wide cap on the predictor's training pool.
+MAX_SAMPLE_POOL = 2048
+
+
+class TuneDBError(Exception):
+    """Invalid entry payload handed to (or loaded by) the database."""
+
+
+@dataclass
+class TuneEntry:
+    """One persisted tuning outcome."""
+
+    fingerprint: str
+    gpu: str
+    kernel_name: str
+    #: Winning configuration in the ``_config_to_dict`` wire form.
+    config: dict | None
+    best_time: float
+    #: Simulated wall-clock the original full campaign cost — what a
+    #: replaying worker *saves* (minus its one confirmation run).
+    tuning_wall_time: float
+    configs_evaluated: int
+    configs_quit_early: int
+    feature_version: int = FEATURE_VERSION
+    kernel_features: list[float] = field(default_factory=list)
+    #: ``[[feature_vector, time], ...]`` — campaign measurements kept as
+    #: predictor training data, capped at MAX_ENTRY_SAMPLES.
+    samples: list[list] = field(default_factory=list)
+    created: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": DB_FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "gpu": self.gpu,
+            "kernel_name": self.kernel_name,
+            "config": self.config,
+            "best_time": self.best_time,
+            "tuning_wall_time": self.tuning_wall_time,
+            "configs_evaluated": self.configs_evaluated,
+            "configs_quit_early": self.configs_quit_early,
+            "feature_version": self.feature_version,
+            "kernel_features": self.kernel_features,
+            "samples": self.samples[:MAX_ENTRY_SAMPLES],
+            "created": self.created,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> TuneEntry:
+        if not isinstance(data, dict):
+            raise TuneDBError("entry payload is not an object")
+        if data.get("format_version") != DB_FORMAT_VERSION:
+            raise TuneDBError(
+                f"entry format {data.get('format_version')!r} != "
+                f"{DB_FORMAT_VERSION}")
+        try:
+            entry = cls(
+                fingerprint=str(data["fingerprint"]),
+                gpu=str(data["gpu"]),
+                kernel_name=str(data["kernel_name"]),
+                config=data["config"],
+                best_time=float(data["best_time"]),
+                tuning_wall_time=float(data["tuning_wall_time"]),
+                configs_evaluated=int(data["configs_evaluated"]),
+                configs_quit_early=int(data["configs_quit_early"]),
+                feature_version=int(data.get("feature_version", 0)),
+                kernel_features=list(data.get("kernel_features", [])),
+                samples=list(data.get("samples", [])),
+                created=float(data.get("created", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TuneDBError(f"malformed entry: {exc}") from exc
+        if entry.config is not None and not isinstance(entry.config, dict):
+            raise TuneDBError("entry config must be a dict or null")
+        return entry
+
+
+class _NullLock:
+    """Single-flight stand-in for a memory-only database: no other
+    process can share an in-process LRU, so there is nothing to lock."""
+
+    waited = False
+    held = True
+
+    def acquire(self) -> bool:
+        return True
+
+    def release(self) -> None:
+        pass
+
+    def __enter__(self) -> _NullLock:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class TuneDB:
+    """Two-tier (LRU + optional disk) store of tuning outcomes.
+
+    Args:
+        directory: disk tier root; ``None`` for a process-local DB.
+        capacity: in-process LRU bound (entries).
+    """
+
+    def __init__(self, directory: str | pathlib.Path | None = None,
+                 capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.directory = (pathlib.Path(directory)
+                          if directory is not None else None)
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.capacity = capacity
+        self._mu = threading.Lock()
+        self._mem: collections.OrderedDict[str, TuneEntry] = \
+            collections.OrderedDict()
+        self._pool: collections.deque = collections.deque(
+            maxlen=MAX_SAMPLE_POOL)
+        self._pooled: set[str] = set()
+        self.mem_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    # -- paths ---------------------------------------------------------
+
+    def _entry_path(self, fingerprint: str) -> pathlib.Path:
+        assert self.directory is not None
+        return self.directory / f"{fingerprint}.json"
+
+    def lock_path(self, fingerprint: str) -> pathlib.Path | None:
+        """Advisory-lock file for cross-process single-flight on one
+        cold fingerprint, or None for a memory-only DB."""
+        if self.directory is None:
+            return None
+        return self.directory / f"{fingerprint}.lock"
+
+    def lock(self, fingerprint: str,
+             timeout_s: float = 10.0) -> FileLock | _NullLock:
+        """Single-flight lock for one fingerprint's campaign."""
+        path = self.lock_path(fingerprint)
+        if path is None:
+            return _NullLock()
+        return FileLock(path, timeout_s=timeout_s)
+
+    # -- core get/put --------------------------------------------------
+
+    def get(self, fingerprint: str) -> TuneEntry | None:
+        """Look up one fingerprint; disk hits promote into the LRU.
+
+        Corrupt or version-incompatible disk entries are deleted and
+        counted as misses — the caller re-runs the campaign and its
+        ``put`` overwrites the bad file.
+        """
+        with self._mu:
+            entry = self._mem.get(fingerprint)
+            if entry is not None:
+                self._mem.move_to_end(fingerprint)
+                self.mem_hits += 1
+                return entry
+        if self.directory is None:
+            with self._mu:
+                self.misses += 1
+            return None
+        path = self._entry_path(fingerprint)
+        try:
+            entry = TuneEntry.from_dict(json.loads(path.read_text()))
+        except FileNotFoundError:
+            entry = None
+        except (OSError, ValueError, TuneDBError):
+            path.unlink(missing_ok=True)
+            entry = None
+        with self._mu:
+            if entry is None:
+                self.misses += 1
+                return None
+            self.disk_hits += 1
+            self._remember(entry)
+        return entry
+
+    def put(self, entry: TuneEntry) -> None:
+        """Store into both tiers; the disk write is atomic."""
+        if not entry.fingerprint:
+            raise TuneDBError("entry has no fingerprint")
+        entry.samples = entry.samples[:MAX_ENTRY_SAMPLES]
+        if not entry.created:
+            entry.created = time.time()
+        with self._mu:
+            self._remember(entry)
+        if self.directory is None:
+            return
+        path = self._entry_path(entry.fingerprint)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory,
+                                        prefix=path.stem + ".",
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry.to_dict(), fh)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def invalidate(self, fingerprint: str) -> None:
+        """Drop one entry from both tiers (stale confirmation, etc.)."""
+        with self._mu:
+            self._mem.pop(fingerprint, None)
+        if self.directory is not None:
+            self._entry_path(fingerprint).unlink(missing_ok=True)
+
+    def _remember(self, entry: TuneEntry) -> None:
+        """LRU insert + feed the sample pool.  Caller holds ``_mu``."""
+        self._mem[entry.fingerprint] = entry
+        self._mem.move_to_end(entry.fingerprint)
+        while len(self._mem) > self.capacity:
+            self._mem.popitem(last=False)
+        if (entry.feature_version == FEATURE_VERSION
+                and entry.fingerprint not in self._pooled):
+            self._pooled.add(entry.fingerprint)
+            for sample in entry.samples:
+                self._pool.append(sample)
+
+    # -- guided-policy views -------------------------------------------
+
+    def samples(self) -> list[list]:
+        """Snapshot of the predictor training pool."""
+        with self._mu:
+            return list(self._pool)
+
+    def entries(self) -> list[TuneEntry]:
+        """Snapshot of the in-memory tier (for neighbor search)."""
+        with self._mu:
+            return list(self._mem.values())
+
+    # -- maintenance / CLI ---------------------------------------------
+
+    def _disk_paths(self) -> list[pathlib.Path]:
+        if self.directory is None:
+            return []
+        return sorted(self.directory.glob("*.json"))
+
+    def disk_stats(self) -> dict:
+        paths = self._disk_paths()
+        return {
+            "directory": str(self.directory) if self.directory else None,
+            "disk_entries": len(paths),
+            "disk_bytes": sum(p.stat().st_size for p in paths
+                              if p.exists()),
+            "mem_entries": len(self._mem),
+            "mem_hits": self.mem_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+        }
+
+    def export(self) -> list[dict]:
+        """All readable disk entries (memory tier if disk-less)."""
+        if self.directory is None:
+            return [e.to_dict() for e in self.entries()]
+        out = []
+        for path in self._disk_paths():
+            try:
+                out.append(TuneEntry.from_dict(
+                    json.loads(path.read_text())).to_dict())
+            except (OSError, ValueError, TuneDBError):
+                continue
+        return out
+
+    def prune(self, max_age_s: float | None = None,
+              keep: int | None = None) -> int:
+        """Remove stale disk entries.
+
+        Deletes entries older than ``max_age_s`` (by their ``created``
+        stamp), unreadable entries, and — if ``keep`` is set — all but
+        the ``keep`` most recent.  Returns the number removed.
+        """
+        removed = 0
+        now = time.time()
+        survivors: list[tuple[float, pathlib.Path]] = []
+        for path in self._disk_paths():
+            try:
+                entry = TuneEntry.from_dict(json.loads(path.read_text()))
+            except (OSError, ValueError, TuneDBError):
+                path.unlink(missing_ok=True)
+                removed += 1
+                continue
+            if max_age_s is not None and now - entry.created > max_age_s:
+                self.invalidate(entry.fingerprint)
+                removed += 1
+                continue
+            survivors.append((entry.created, path))
+        if keep is not None and len(survivors) > keep:
+            survivors.sort(key=lambda item: item[0], reverse=True)
+            for _created, path in survivors[keep:]:
+                self.invalidate(path.stem)
+                removed += 1
+        return removed

@@ -1,0 +1,26 @@
+"""Tuning-amortization benchmark: the acceptance-criteria assertions."""
+
+import json
+
+from repro.bench import run_tuning_bench
+
+
+class TestTuningBench:
+    def test_warm_db_amortizes_and_preserves_configs(self, tmp_path):
+        """The PR's acceptance floor: warm-DB recompile cuts simulated
+        tuning wall >=5x, cold guided search beats plain enumeration,
+        and every chosen config matches the no-database baseline."""
+        report = run_tuning_bench(str(tmp_path / "db"), models=("bert",))
+        assert report.configs_identical
+        assert report.warm_reduction >= 5.0
+        assert report.cold_reduction > 1.0
+        assert report.counters.get("tunedb.hits", 0) > 0
+        assert report.wall_saved_s > 0.0
+
+    def test_report_roundtrips_and_renders(self, tmp_path):
+        report = run_tuning_bench(str(tmp_path / "db"), models=("bert",))
+        payload = json.loads(report.to_json())
+        assert payload["warm_reduction"] == report.warm_reduction
+        assert payload["tunedb"]["disk_entries"] > 0
+        text = report.render()
+        assert "warm-DB reduction" in text and "bert" in text

@@ -179,3 +179,24 @@ class TestCrashRecovery:
                     return False
 
             assert _wait(healed, 60.0)
+
+
+class TestTuneDBSharing:
+    def test_workers_populate_shared_tunedb(self, tmp_path):
+        """With a shared tune_db_dir, worker compiles land tuning entries
+        on disk (once per unique kernel) and requests stay correct."""
+        from repro.tune import TuneDB
+
+        graphs = _graphs()
+        db_dir = tmp_path / "tunedb"
+        config = _config(tmp_path, tune_db_dir=str(db_dir))
+        with ClusterSupervisor(graphs, config) as cluster:
+            for name, graph in graphs.items():
+                feeds = random_feeds(graph, seed=11)
+                reply = cluster.infer(name, feeds, timeout=120.0)
+                expected = execute_graph_reference(graph, feeds)
+                for tname, arr in expected.items():
+                    np.testing.assert_allclose(reply.outputs[tname],
+                                               arr, atol=1e-8)
+        stats = TuneDB(db_dir).disk_stats()
+        assert stats["disk_entries"] > 0

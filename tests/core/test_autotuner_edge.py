@@ -14,7 +14,9 @@ from repro.core.autotuner import (
     MEASURE_RUNS,
     WARMUP_RUNS,
     apply_tune_result,
+    config_sort_key,
     evaluate_search_space,
+    pick_best,
     tune_kernel,
 )
 from repro.core.builder import build_smg
@@ -137,4 +139,92 @@ class TestPureEvaluation:
         res = evaluate_search_space(kernel, lambda k, c: 1.0)
         assert kernel.config is None          # untouched by evaluation
         apply_tune_result(res)
+        assert kernel.config == res.best_config
+
+
+class TestDeterministicTieBreak:
+    def test_tie_resolves_by_config_key_not_order(self, small_mha):
+        """Exact timing ties crown the smallest config_sort_key whichever
+        side of the comparison it arrives on — forward and reversed
+        evaluation orders must agree."""
+        kernel = _kernel(small_mha, 6)
+        forward = evaluate_search_space(kernel, lambda k, c: 1.0)
+        reverse = evaluate_search_space(
+            kernel, lambda k, c: 1.0,
+            candidates=list(reversed(kernel.search_space)))
+        assert forward.best_config == reverse.best_config
+        assert forward.best_config == min(
+            kernel.search_space, key=config_sort_key)
+
+    def test_tie_winner_bills_full_campaign(self, small_mha):
+        """A tie-winning config counts as on-track: it completes (and is
+        billed for) the full campaign rather than being abandoned."""
+        kernel = _kernel(small_mha, 2)
+        # Reversed order: the smaller-key config arrives second, tied.
+        res = evaluate_search_space(
+            kernel, lambda k, c: 2.0,
+            candidates=list(reversed(kernel.search_space)))
+        assert res.configs_quit_early == 0
+        assert res.tuning_wall_time == pytest.approx(
+            2 * (WARMUP_RUNS + MEASURE_RUNS) * 2.0)
+
+    def test_pick_best_tie_ignores_result_order(self, small_mha):
+        ka = _kernel(small_mha, 2)
+        ka.name = "alpha"
+        kb = _kernel(small_mha, 3)
+        kb.name = "beta"
+        a = tune_kernel(ka, lambda k, c: 1.0)
+        b = tune_kernel(kb, lambda k, c: 1.0)
+        # Fully tied (time and config key): the kernel name breaks the
+        # tie, never the list position.
+        assert pick_best([a, b]) is a
+        assert pick_best([b, a]) is a
+
+
+class TestCandidatesOverride:
+    def test_candidates_change_wall_not_winner(self, small_mha):
+        """Feeding the eventual winner first lets the budget trim every
+        later config; the winner itself is order-independent."""
+        kernel = _kernel(small_mha, 6)
+        # Worst-first in enumeration order, so plain evaluation never
+        # gets to trim anything while guided trims everything.
+        times = {cfg: 6.0 - i
+                 for i, cfg in enumerate(kernel.search_space)}
+        plain = evaluate_search_space(kernel, lambda k, c: times[c])
+        best_first = sorted(kernel.search_space, key=lambda c: times[c])
+        guided = evaluate_search_space(kernel, lambda k, c: times[c],
+                                       candidates=best_first)
+        assert guided.best_config == plain.best_config
+        assert guided.best_time == plain.best_time
+        assert guided.tuning_wall_time < plain.tuning_wall_time
+
+    def test_candidates_counted_as_evaluated(self, small_mha):
+        kernel = _kernel(small_mha, 4)
+        res = evaluate_search_space(
+            kernel, lambda k, c: 1.0,
+            candidates=kernel.search_space[:2])
+        assert res.configs_evaluated == 2
+
+
+class TestKeepTimings:
+    def test_keep_timings_false_drops_trace_only(self, small_mha):
+        kernel = _kernel(small_mha, 5)
+        times = {cfg: 5.0 - i * 0.5
+                 for i, cfg in enumerate(kernel.search_space)}
+        kept = evaluate_search_space(kernel, lambda k, c: times[c])
+        dropped = evaluate_search_space(kernel, lambda k, c: times[c],
+                                        keep_timings=False)
+        assert len(kept.timings) == 5
+        assert dropped.timings == []
+        # Identical accounting either way: the trace is observability,
+        # not state the campaign depends on.
+        assert dropped.best_config == kept.best_config
+        assert dropped.tuning_wall_time == pytest.approx(
+            kept.tuning_wall_time)
+        assert dropped.configs_quit_early == kept.configs_quit_early
+
+    def test_tune_kernel_passes_keep_timings(self, small_mha):
+        kernel = _kernel(small_mha, 3)
+        res = tune_kernel(kernel, lambda k, c: 1.0, keep_timings=False)
+        assert res.timings == []
         assert kernel.config == res.best_config

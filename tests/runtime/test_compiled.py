@@ -245,6 +245,39 @@ class TestPlanCache:
                                       env_i[out])
 
 
+class TestOutputOwnership:
+    """Published outputs must survive the plan's next execution.
+
+    Regression: an identity-renamed output (layernorm's ``Y``) was
+    published as an alias of a reused arena buffer, so a session's
+    *next* request silently overwrote the array already handed to the
+    previous caller — wrong answers under concurrent serving load.
+    """
+
+    def test_identity_published_output_not_overwritten(self):
+        graph = layernorm_graph(48, 64, name="own_ln")
+        sched, _ = compile_for(graph, AMPERE)
+        cache = PlanCache()
+        f0, f1 = random_feeds(graph, seed=0), random_feeds(graph, seed=1)
+        out0 = execute_compiled(sched, f0, cache=cache)
+        snap = {k: v.copy() for k, v in out0.items()}
+        out1 = execute_compiled(sched, f1, cache=cache)
+        for name in snap:
+            np.testing.assert_array_equal(out0[name], snap[name])
+            assert not np.shares_memory(out0[name], out1[name])
+
+    def test_outputs_never_alias_feeds(self):
+        b = GraphBuilder("own_id")
+        x = b.input("X", [("m", 8), ("n", 16)])
+        b.unary("identity", x, out_name="Y")
+        graph = b.build()
+        sched, _ = compile_for(graph, AMPERE)
+        feeds = random_feeds(graph, seed=2)
+        out = execute_compiled(sched, feeds, cache=PlanCache())
+        np.testing.assert_array_equal(out["Y"], feeds["X"])
+        assert not np.shares_memory(out["Y"], feeds["X"])
+
+
 class TestObservability:
     def test_lower_and_execute_emit_spans(self, small_ln):
         sched, _ = compile_for(small_ln, AMPERE)

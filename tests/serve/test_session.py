@@ -152,3 +152,46 @@ class TestGracefulDegradation:
         assert not reply2.degraded
         for name, arr in expected.items():
             np.testing.assert_allclose(reply2.outputs[name], arr, atol=1e-9)
+
+
+class TestTuneDBIntegration:
+    def test_sessions_share_tuning_campaigns(self, small_mha, tmp_path):
+        """Second session over the same workload replays every kernel's
+        stored winner: zero cold campaigns, identical schedule."""
+        from repro.tune import TuneDB
+
+        m1, m2 = ServeMetrics(), ServeMetrics()
+        db_dir = tmp_path / "tunedb"
+        s1 = InferenceSession(small_mha, AMPERE, metrics=m1,
+                              tune_db=TuneDB(db_dir))
+        s1.execute(random_feeds(small_mha, seed=0))
+        assert m1.get("tunedb.misses") > 0
+
+        # Fresh session, fresh cache, fresh TuneDB instance on the same
+        # directory — only the disk tier carries over.
+        s2 = InferenceSession(small_mha, AMPERE, metrics=m2,
+                              cache=TieredScheduleCache(metrics=m2),
+                              tune_db=TuneDB(db_dir))
+        reply = s2.execute(random_feeds(small_mha, seed=1))
+        assert not reply.degraded
+        assert m2.get("tunedb.hits") > 0
+        assert m2.get("tunedb.misses") == 0
+        assert m2.get_gauge("tuning.wall_time_s") < \
+            m1.get_gauge("tuning.wall_time_s")
+        # Same chosen configs = same compiled schedule.
+        assert [k.config for k in s2.schedule.kernels] == \
+            [k.config for k in s1.schedule.kernels]
+        assert s2.info().meta["tunedb"]["disk_entries"] > 0
+
+    def test_tuning_counters_scrapeable(self, small_ln, tmp_path):
+        """Satellite: compile-path tuning counters reach to_prometheus."""
+        from repro.tune import TuneDB
+
+        metrics = ServeMetrics()
+        session = InferenceSession(small_ln, AMPERE, metrics=metrics,
+                                   tune_db=TuneDB(tmp_path / "db"))
+        session.execute(random_feeds(small_ln, seed=0))
+        prom = metrics.to_prometheus()
+        assert "repro_tuning_wall_time_s" in prom
+        assert "repro_tuning_configs_evaluated" in prom
+        assert "repro_tunedb_misses" in prom

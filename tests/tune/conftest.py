@@ -1,0 +1,24 @@
+"""Shared kernel fixtures for the tuning-database tests."""
+
+import pytest
+
+from repro.core.builder import build_smg
+from repro.core.schedule import KernelSchedule, ScheduleConfig
+from repro.core.temporal_slicer import plan_temporal_slice
+
+
+def make_kernel(graph, n_configs, name="k"):
+    """A KernelSchedule over ``graph`` with a synthetic n-point space."""
+    smg = build_smg(graph)
+    plan = plan_temporal_slice(smg, "l")
+    kernel = KernelSchedule(name, smg, ("m",), plan)
+    kernel.search_space = [
+        ScheduleConfig(block=(("m", 8 * (i + 1)),), tile=16)
+        for i in range(n_configs)
+    ]
+    return kernel
+
+
+@pytest.fixture
+def mha_kernel(small_mha):
+    return make_kernel(small_mha, 6)

@@ -1,0 +1,144 @@
+"""TuneDB storage behaviour: tiers, containment, maintenance."""
+
+import json
+
+import pytest
+
+from repro.tune import DB_FORMAT_VERSION, TuneDB, TuneDBError, TuneEntry
+from repro.tune.db import MAX_ENTRY_SAMPLES
+
+
+def entry(fp="a" * 24, best=1.5, **kw):
+    defaults = dict(
+        fingerprint=fp, gpu="gpu-x", kernel_name="k",
+        config={"block": [["m", 8]], "tile": 16},
+        best_time=best, tuning_wall_time=120.0,
+        configs_evaluated=4, configs_quit_early=2,
+        kernel_features=[1.0, 2.0], samples=[[[1.0, 2.0, 3.0], 1.5]],
+    )
+    defaults.update(kw)
+    return TuneEntry(**defaults)
+
+
+class TestRoundtrip:
+    def test_memory_only(self):
+        db = TuneDB()
+        assert db.get("a" * 24) is None
+        db.put(entry())
+        got = db.get("a" * 24)
+        assert got is not None and got.best_time == 1.5
+        assert db.mem_hits == 1 and db.misses == 1
+
+    def test_disk_roundtrip_fresh_instance(self, tmp_path):
+        TuneDB(tmp_path).put(entry())
+        got = TuneDB(tmp_path).get("a" * 24)
+        assert got is not None
+        assert got.config == {"block": [["m", 8]], "tile": 16}
+        assert got.tuning_wall_time == 120.0
+        assert got.created > 0  # stamped at put time
+
+    def test_entry_dict_roundtrip(self):
+        e = entry()
+        assert TuneEntry.from_dict(e.to_dict()).to_dict() == e.to_dict()
+
+    def test_put_without_fingerprint_raises(self):
+        with pytest.raises(TuneDBError):
+            TuneDB().put(entry(fp=""))
+
+    def test_samples_capped(self, tmp_path):
+        big = entry(samples=[[[float(i)], 1.0]
+                             for i in range(MAX_ENTRY_SAMPLES * 2)])
+        db = TuneDB(tmp_path)
+        db.put(big)
+        got = TuneDB(tmp_path).get("a" * 24)
+        assert len(got.samples) == MAX_ENTRY_SAMPLES
+
+
+class TestLRU:
+    def test_capacity_bound(self):
+        db = TuneDB(capacity=2)
+        for i in range(4):
+            db.put(entry(fp=f"{i:024d}"))
+        assert len(db.entries()) == 2
+        # Oldest evicted, newest retained.
+        assert db.get(f"{0:024d}") is None
+        assert db.get(f"{3:024d}") is not None
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        TuneDB(tmp_path).put(entry())
+        db = TuneDB(tmp_path)
+        assert db.get("a" * 24) is not None
+        assert db.disk_hits == 1
+        assert db.get("a" * 24) is not None
+        assert db.mem_hits == 1  # second read served from the LRU
+
+
+class TestContainment:
+    def test_corrupt_entry_is_miss_and_deleted(self, tmp_path):
+        db = TuneDB(tmp_path)
+        path = tmp_path / ("a" * 24 + ".json")
+        path.write_text("{not json")
+        assert db.get("a" * 24) is None
+        assert not path.exists()
+        assert db.misses == 1
+
+    def test_version_mismatch_is_miss_and_deleted(self, tmp_path):
+        db = TuneDB(tmp_path)
+        payload = entry().to_dict()
+        payload["format_version"] = DB_FORMAT_VERSION + 1
+        path = tmp_path / ("a" * 24 + ".json")
+        path.write_text(json.dumps(payload))
+        assert db.get("a" * 24) is None
+        assert not path.exists()
+
+    def test_invalidate_drops_both_tiers(self, tmp_path):
+        db = TuneDB(tmp_path)
+        db.put(entry())
+        db.invalidate("a" * 24)
+        assert db.get("a" * 24) is None
+        assert not (tmp_path / ("a" * 24 + ".json")).exists()
+
+
+class TestMaintenance:
+    def test_export_skips_unreadable(self, tmp_path):
+        db = TuneDB(tmp_path)
+        db.put(entry())
+        (tmp_path / ("b" * 24 + ".json")).write_text("junk")
+        dumped = db.export()
+        assert len(dumped) == 1
+        assert dumped[0]["fingerprint"] == "a" * 24
+
+    def test_prune_keep_most_recent(self, tmp_path):
+        db = TuneDB(tmp_path)
+        for i in range(5):
+            db.put(entry(fp=f"{i:024d}", created=float(i + 1)))
+        removed = db.prune(keep=2)
+        assert removed == 3
+        remaining = {e["fingerprint"] for e in db.export()}
+        assert remaining == {f"{3:024d}", f"{4:024d}"}
+
+    def test_prune_max_age(self, tmp_path):
+        db = TuneDB(tmp_path)
+        db.put(entry(fp="c" * 24, created=1.0))  # ancient
+        db.put(entry(fp="d" * 24))               # stamped now
+        assert db.prune(max_age_s=3600.0) == 1
+        assert [e["fingerprint"] for e in db.export()] == ["d" * 24]
+
+    def test_prune_removes_corrupt_files(self, tmp_path):
+        db = TuneDB(tmp_path)
+        (tmp_path / ("e" * 24 + ".json")).write_text("junk")
+        assert db.prune() == 1
+        assert db.export() == []
+
+
+class TestSamplePool:
+    def test_pool_fed_once_per_fingerprint(self):
+        db = TuneDB()
+        db.put(entry())
+        db.put(entry())  # same fingerprint again: no duplicate samples
+        assert len(db.samples()) == 1
+
+    def test_stale_feature_version_excluded(self):
+        db = TuneDB()
+        db.put(entry(feature_version=0))
+        assert db.samples() == []

@@ -1,0 +1,59 @@
+"""Fingerprint canonicalization: what must and must not change the key."""
+
+import dataclasses
+
+from repro.hw import AMPERE, HOPPER
+from repro.tune import gpu_fingerprint, kernel_fingerprint
+
+from .conftest import make_kernel
+
+
+class TestKernelFingerprint:
+    def test_stable_across_calls(self, mha_kernel):
+        key = gpu_fingerprint(AMPERE)
+        assert kernel_fingerprint(mha_kernel, key) == \
+            kernel_fingerprint(mha_kernel, key)
+
+    def test_graph_name_is_blanked(self, small_mha):
+        """Partition-path naming (model.c0 vs model.g1.c0) must not split
+        entries for structurally identical subgraphs."""
+        a = make_kernel(small_mha, 4)
+        b = make_kernel(small_mha, 4)
+        b.smg.graph.name = "model.c0.g1"
+        key = gpu_fingerprint(AMPERE)
+        assert kernel_fingerprint(a, key) == kernel_fingerprint(b, key)
+
+    def test_kernel_name_irrelevant(self, small_mha):
+        a = make_kernel(small_mha, 4, name="first")
+        b = make_kernel(small_mha, 4, name="second")
+        key = gpu_fingerprint(AMPERE)
+        assert kernel_fingerprint(a, key) == kernel_fingerprint(b, key)
+
+    def test_search_space_changes_key(self, small_mha):
+        """Same graph, different candidate set = a different campaign."""
+        a = make_kernel(small_mha, 4)
+        b = make_kernel(small_mha, 5)
+        key = gpu_fingerprint(AMPERE)
+        assert kernel_fingerprint(a, key) != kernel_fingerprint(b, key)
+
+    def test_gpu_changes_key(self, mha_kernel):
+        assert kernel_fingerprint(mha_kernel, gpu_fingerprint(AMPERE)) != \
+            kernel_fingerprint(mha_kernel, gpu_fingerprint(HOPPER))
+
+    def test_memory_levels_change_key(self, small_mha):
+        a = make_kernel(small_mha, 4)
+        b = make_kernel(small_mha, 4)
+        b.memory_levels = {"QK": "smem"}
+        key = gpu_fingerprint(AMPERE)
+        assert kernel_fingerprint(a, key) != kernel_fingerprint(b, key)
+
+
+class TestGPUFingerprint:
+    def test_distinct_presets_distinct_keys(self):
+        assert gpu_fingerprint(AMPERE) != gpu_fingerprint(HOPPER)
+
+    def test_same_name_different_spec_distinct(self):
+        """A what-if spec sharing the preset's name must not alias its
+        database entries — the key hashes every field."""
+        tweaked = dataclasses.replace(AMPERE, sm_count=AMPERE.sm_count + 1)
+        assert gpu_fingerprint(tweaked) != gpu_fingerprint(AMPERE)

@@ -1,0 +1,206 @@
+"""GuidedTuner policy: replay, invariance, warm starts, accounting."""
+
+import random
+
+import pytest
+
+from repro.core.autotuner import (
+    DefaultTuner,
+    config_sort_key,
+    evaluate_search_space,
+)
+from repro.hw import AMPERE
+from repro.serve.metrics import ServeMetrics
+from repro.tune import GuidedTuner, RidgePredictor, TuneDB, gpu_fingerprint
+
+from .conftest import make_kernel
+
+GPU_KEY = gpu_fingerprint(AMPERE)
+
+
+def block_timing(kernel, cfg):
+    """Deterministic synthetic cost: best at block=24, unique winner."""
+    return 1.0 + abs(cfg.block_of("m") - 24) / 8.0
+
+
+class CountingTimer:
+    def __init__(self, fn=block_timing):
+        self.fn = fn
+        self.calls = 0
+
+    def __call__(self, kernel, cfg):
+        self.calls += 1
+        return self.fn(kernel, cfg)
+
+
+class TestReplay:
+    def test_exact_hit_costs_one_timing_call(self, small_mha):
+        db = TuneDB()
+        tuner = GuidedTuner(db, GPU_KEY)
+        cold = tuner.tune(make_kernel(small_mha, 6), block_timing)
+
+        timer = CountingTimer()
+        warm_kernel = make_kernel(small_mha, 6)
+        warm = tuner.tune(warm_kernel, timer)
+        assert timer.calls == 1
+        assert warm.best_config == cold.best_config
+        assert warm.configs_evaluated == 1
+        assert warm.tuning_wall_time < cold.tuning_wall_time
+        assert warm_kernel.config == cold.best_config  # committed
+
+    def test_replay_matches_default_tuner_winner(self, small_mha):
+        db = TuneDB()
+        tuner = GuidedTuner(db, GPU_KEY)
+        default = DefaultTuner().tune(make_kernel(small_mha, 6),
+                                      block_timing)
+        tuner.tune(make_kernel(small_mha, 6), block_timing)
+        replay = tuner.tune(make_kernel(small_mha, 6), block_timing)
+        assert replay.best_config == default.best_config
+
+    def test_stale_entry_falls_through_to_full_campaign(self, small_mha):
+        metrics = ServeMetrics()
+        db = TuneDB()
+        tuner = GuidedTuner(db, GPU_KEY, metrics=metrics)
+        tuner.tune(make_kernel(small_mha, 6), block_timing)
+
+        # A changed cost model: confirmation disagrees far beyond rtol.
+        timer = CountingTimer(lambda k, c: block_timing(k, c) * 10.0)
+        res = tuner.tune(make_kernel(small_mha, 6), timer)
+        assert metrics.get("tunedb.stale") == 1
+        assert res.configs_evaluated == 6  # full campaign re-ran
+        assert timer.calls > 1
+
+    def test_replay_respects_keep_timings(self, small_mha):
+        db = TuneDB()
+        tuner = GuidedTuner(db, GPU_KEY)
+        tuner.tune(make_kernel(small_mha, 6), block_timing)
+        kept = tuner.tune(make_kernel(small_mha, 6), block_timing,
+                          keep_timings=True)
+        dropped = tuner.tune(make_kernel(small_mha, 6), block_timing,
+                             keep_timings=False)
+        assert len(kept.timings) == 1
+        assert dropped.timings == []
+
+    def test_trivial_space_skips_database(self, small_mha):
+        db = TuneDB()
+        tuner = GuidedTuner(db, GPU_KEY)
+        res = tuner.tune(make_kernel(small_mha, 1), block_timing)
+        assert res.best_config is not None
+        assert db.entries() == []  # nothing stored, nothing looked up
+
+
+class TestWinnerInvariance:
+    def test_any_candidate_order_same_winner(self, small_mha):
+        """The guided policy only reorders evaluation; the §6.5 winner
+        must be the lexicographic (time, key) minimum under any order —
+        including with exact timing ties."""
+        kernel = make_kernel(small_mha, 8)
+
+        def tie_timing(k, cfg):  # three-way exact tie at the optimum
+            return max(1.0, abs(cfg.block_of("m") - 24) / 16.0)
+
+        reference = evaluate_search_space(kernel, tie_timing)
+        rng = random.Random(7)
+        for _ in range(10):
+            order = list(kernel.search_space)
+            rng.shuffle(order)
+            res = evaluate_search_space(kernel, tie_timing,
+                                        candidates=order)
+            assert res.best_config == reference.best_config
+            assert res.best_time == reference.best_time
+
+    def test_guided_tuner_matches_default_on_cold_runs(self, small_mha):
+        for n in (2, 5, 8):
+            default = DefaultTuner().tune(make_kernel(small_mha, n),
+                                          block_timing)
+            guided = GuidedTuner(TuneDB(), GPU_KEY).tune(
+                make_kernel(small_mha, n), block_timing)
+            assert guided.best_config == default.best_config
+
+
+class TestWarmStart:
+    def test_neighbor_config_promoted_and_counted(self, small_mha):
+        metrics = ServeMetrics()
+        db = TuneDB()
+        tuner = GuidedTuner(db, GPU_KEY, metrics=metrics)
+        tuner.tune(make_kernel(small_mha, 6), block_timing)
+
+        # Different search space -> different fingerprint (a miss), but
+        # the stored winner is a member, so the neighbor path promotes it.
+        other = make_kernel(small_mha, 7)
+        res = tuner.tune(other, block_timing, keep_timings=True)
+        assert metrics.get("tunedb.warm_starts") == 1
+        assert metrics.get("tunedb.misses") == 2
+        # The promoted incumbent was evaluated first.
+        first_cfg, _t = res.timings[0]
+        assert first_cfg.block_of("m") == 24
+        # And the winner is still the enumeration-order winner.
+        default = DefaultTuner().tune(make_kernel(small_mha, 7),
+                                      block_timing)
+        assert res.best_config == default.best_config
+
+    def test_warm_start_reduces_wall_clock(self, small_mha):
+        """Fronting the eventual winner lets the early-quit budget trim
+        every other candidate, so the campaign's accounted wall shrinks."""
+        db = TuneDB()
+        tuner = GuidedTuner(db, GPU_KEY)
+        tuner.tune(make_kernel(small_mha, 6), block_timing)
+        cold = DefaultTuner().tune(make_kernel(small_mha, 7), block_timing)
+        warm = tuner.tune(make_kernel(small_mha, 7), block_timing)
+        assert warm.best_config == cold.best_config
+        assert warm.tuning_wall_time < cold.tuning_wall_time
+
+
+class TestPredictor:
+    def test_needs_min_samples(self):
+        p = RidgePredictor(min_samples=4)
+        assert not p.fit([[[1.0, 2.0], 1.0]] * 3)
+        assert p.predict([[1.0, 2.0]]) is None
+
+    def test_learns_monotone_trend(self):
+        p = RidgePredictor(min_samples=4)
+        samples = [[[float(i), 1.0], 0.5 + 0.25 * i] for i in range(16)]
+        assert p.fit(samples)
+        lo, hi = p.predict([[1.0, 1.0], [14.0, 1.0]])
+        assert lo < hi
+
+    def test_rejects_nonpositive_times(self):
+        p = RidgePredictor(min_samples=4)
+        assert not p.fit([[[1.0], 0.0]] * 8)
+
+    def test_guided_ordering_kicks_in_with_history(self, small_mha):
+        metrics = ServeMetrics()
+        db = TuneDB()
+        tuner = GuidedTuner(db, GPU_KEY, metrics=metrics,
+                            predictor=RidgePredictor(min_samples=4))
+        tuner.tune(make_kernel(small_mha, 6), block_timing)
+        res = tuner.tune(make_kernel(small_mha, 8), block_timing)
+        assert metrics.get("tunedb.guided") == 1
+        default = DefaultTuner().tune(make_kernel(small_mha, 8),
+                                      block_timing)
+        assert res.best_config == default.best_config
+
+
+class TestAccounting:
+    def test_hit_and_saved_gauge(self, small_mha):
+        metrics = ServeMetrics()
+        db = TuneDB()
+        tuner = GuidedTuner(db, GPU_KEY, metrics=metrics)
+        cold = tuner.tune(make_kernel(small_mha, 6), block_timing)
+        warm = tuner.tune(make_kernel(small_mha, 6), block_timing)
+        assert metrics.get("tunedb.hits") == 1
+        assert metrics.get("tunedb.misses") == 1
+        saved = metrics.get_gauge("tunedb.wall_saved_s")
+        assert saved == pytest.approx(
+            cold.tuning_wall_time - warm.tuning_wall_time)
+
+    def test_counters_render_and_scrape(self, small_mha):
+        metrics = ServeMetrics()
+        tuner = GuidedTuner(TuneDB(), GPU_KEY, metrics=metrics)
+        tuner.tune(make_kernel(small_mha, 6), block_timing)
+        tuner.tune(make_kernel(small_mha, 6), block_timing)
+        report = metrics.render_report()
+        assert "tunedb.hits" in report and "tunedb.misses" in report
+        prom = metrics.to_prometheus()
+        assert "repro_tunedb_hits 1" in prom
+        assert "repro_tunedb_wall_saved_s" in prom
