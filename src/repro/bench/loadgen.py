@@ -113,6 +113,8 @@ class LoadReport:
     worker_restarts: int = 0
     worker_crashes: int = 0
     cache: dict = field(default_factory=dict)
+    hedges: dict = field(default_factory=dict)
+    deadlines: dict = field(default_factory=dict)
     per_workload: dict = field(default_factory=dict)
     placement: dict = field(default_factory=dict)
 
@@ -150,6 +152,8 @@ class LoadReport:
             "worker_restarts": self.worker_restarts,
             "worker_crashes": self.worker_crashes,
             "cache": self.cache,
+            "hedges": self.hedges,
+            "deadlines": self.deadlines,
             "per_workload": self.per_workload,
             "placement": self.placement,
         }
@@ -188,6 +192,10 @@ class LoadReport:
             f"crashes={self.worker_crashes}")
         if self.cache:
             lines.append(f"  cache         {self.cache}")
+        if self.hedges:
+            lines.append(f"  hedges        {self.hedges}")
+        if self.deadlines:
+            lines.append(f"  deadlines     {self.deadlines}")
         lines.append(f"verdict: {'OK' if self.ok else 'FAILED'}")
         return "\n".join(lines)
 
@@ -356,8 +364,11 @@ def run_loadtest(config: LoadConfig | None = None,
     })
     shed_reasons: dict[str, int] = {}
     supervisor = ClusterSupervisor(graphs, cluster_config)
+    restore_signals = lambda: None  # noqa: E731
     try:
         supervisor.start()
+        # Ctrl-C mid-run drains the fleet instead of orphaning workers.
+        restore_signals = supervisor.install_signal_handlers()
         start = time.monotonic()
         for i, (offset, workload, seed) in enumerate(schedule):
             now = time.monotonic()
@@ -384,6 +395,7 @@ def run_loadtest(config: LoadConfig | None = None,
         report.elapsed_s = time.monotonic() - start
         aggregate = supervisor.aggregate()
     finally:
+        restore_signals()
         supervisor.stop()
         if tmp is not None:
             tmp.cleanup()
@@ -422,6 +434,23 @@ def run_loadtest(config: LoadConfig | None = None,
         "disk_hits": int(totals.get("cache.disk_hits", 0)),
         "compile_misses": int(totals.get("cache.compile_misses", 0)),
         "lock_timeouts": int(totals.get("cache.lock_timeouts", 0)),
+    }
+    sup_snap = aggregate["supervisor"]
+    report.hedges = {
+        "issued": int(sup_snap.get("hedge.issued", 0)),
+        "won": int(sup_snap.get("hedge.won", 0)),
+        "wasted": int(sup_snap.get("hedge.wasted", 0)),
+        "suppressed": int(sup_snap.get("hedge.suppressed", 0)),
+        "peak_outstanding": int(
+            sup_snap.get("gauge.hedge.peak_outstanding", 0)),
+        "peak_open_requests": int(
+            sup_snap.get("gauge.hedge.peak_open_requests", 0)),
+        "max_fraction": cluster_config.hedge_max_fraction,
+    }
+    report.deadlines = {
+        key.split("deadline.", 1)[1]: int(value)
+        for key, value in {**sup_snap, **totals}.items()
+        if key.startswith("deadline.") and isinstance(value, (int, float))
     }
     report.placement = aggregate["placement"]
 

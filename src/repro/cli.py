@@ -390,17 +390,26 @@ def cmd_tunedb(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    """Chaos harness: inject a seeded fault schedule into a live server,
-    check every resilience invariant, write the robustness report."""
+    """Chaos harness: inject a seeded fault schedule into a live server
+    (or, with ``--cluster``, a forked multi-worker fleet), check every
+    resilience invariant, write the robustness report."""
     from .resilience.chaos import ChaosError, load_fault_plan, run_chaos
 
     try:
-        plan = load_fault_plan(args.faults) if args.faults else None
-        report = run_chaos(seed=args.seed, requests=args.requests,
-                           workload=args.workload, fault_plan=plan,
-                           queue_depth=args.queue_depth,
-                           workers=args.workers,
-                           report_path=args.report)
+        if args.cluster:
+            from .resilience.cluster_chaos import run_cluster_chaos
+
+            report = run_cluster_chaos(seed=args.seed,
+                                       workers=args.workers,
+                                       requests=args.requests,
+                                       report_path=args.report)
+        else:
+            plan = load_fault_plan(args.faults) if args.faults else None
+            report = run_chaos(seed=args.seed, requests=args.requests,
+                               workload=args.workload, fault_plan=plan,
+                               queue_depth=args.queue_depth,
+                               workers=args.workers,
+                               report_path=args.report)
     except ChaosError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -648,11 +657,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-depth", type=int, default=8,
                    help="admission-control queue bound (default: 8)")
     p.add_argument("--workers", type=int, default=2,
-                   help="server worker threads (default: 2)")
+                   help="server worker threads — or, with --cluster, "
+                        "forked worker processes (default: 2)")
+    p.add_argument("--cluster", action="store_true",
+                   help="run the cluster-tier chaos plan instead: forked "
+                        "workers, crash/hang recovery, hedged replicas, "
+                        "end-to-end deadline enforcement (ignores "
+                        "--workload/--faults/--queue-depth)")
     p.add_argument("--report", default="BENCH_robustness.json",
                    metavar="OUT.json",
                    help="where to write the robustness report "
-                        "(default: BENCH_robustness.json; '' to skip)")
+                        "(default: BENCH_robustness.json; '' to skip; "
+                        "--cluster merges into the file's 'cluster' "
+                        "section)")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("loadtest",

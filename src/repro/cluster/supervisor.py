@@ -32,16 +32,21 @@ worker (never an error).
 
 from __future__ import annotations
 
+import heapq
 import itertools
+import math
 import multiprocessing as mp
+import signal as _signal
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from ..ir.graph import DataflowGraph
 from ..obs import event as obs_event
+from ..resilience import faults as _faults
 from ..resilience.retry import CircuitBreaker
 from ..serve import (
     Overloaded,
@@ -67,6 +72,13 @@ from .worker import (
     WorkerConfig,
     worker_main,
 )
+
+
+#: Failpoint on the supervisor's dispatch path (between ingress and the
+#: wire send).  A ``delay(ms)`` here simulates slow routing/queueing so
+#: tests can prove supervisor-side elapsed time is deducted from the
+#: request's end-to-end budget before the worker sees it.
+FP_DISPATCH = _faults.register("cluster.dispatch")
 
 
 class ClusterError(Exception):
@@ -139,6 +151,59 @@ class ClusterConfig:
     drain_timeout_s: float = 60.0
     #: Failpoint plan armed inside every worker at boot (chaos/tests).
     fault_plan: dict[str, str] = field(default_factory=dict)
+    #: Hedged replica requests: when the routed worker has not answered
+    #: within the hedge delay, re-issue to the next live replica; first
+    #: response wins, the loser is cancelled.
+    hedge: bool = True
+    #: Fixed hedge delay in seconds; ``None`` adapts online to each
+    #: workload's observed p95 reply latency (no hedging until
+    #: ``hedge_min_samples`` replies have been seen — cold workloads
+    #: include compile time and must not be double-compiled by hedges).
+    hedge_delay_s: float | None = None
+    hedge_min_delay_s: float = 0.01
+    hedge_min_samples: int = 50
+    #: Cap on concurrently outstanding hedges as a fraction of open
+    #: requests (a brown-out must not double the fleet's load); at least
+    #: one hedge is always allowed so light traffic can still hedge.
+    hedge_max_fraction: float = 0.1
+    #: Per-session compile budget inside workers: retry backoff never
+    #: sleeps past it (``retry.deadline_capped`` counts when it bites).
+    compile_deadline_s: float | None = None
+
+
+class _Tracked:
+    """Supervisor-side book entry for one *logical* client request.
+
+    A request has one :class:`~repro.serve.batching.Request` the client
+    holds and one or two *wire copies* (the routed original plus at most
+    one hedge), each outstanding on some worker under its own wire id.
+    All completion paths — replies, wire errors, crash drains, deadline
+    expiry — converge on :meth:`ClusterSupervisor._finish_copy`, which
+    uses ``done_handled`` under ``lock`` as the single exactly-once
+    latch: whatever races, the client's Request resolves exactly once.
+    """
+
+    __slots__ = ("request", "workload", "tenant", "priority", "deadline",
+                 "lock", "copies", "done_handled", "first_error",
+                 "hedged", "hedge_req_id", "sent_at")
+
+    def __init__(self, request: Request, workload: str, tenant: str,
+                 priority: int, deadline: float | None) -> None:
+        self.request = request
+        self.workload = workload
+        self.tenant = tenant
+        self.priority = priority
+        #: Absolute monotonic end-to-end deadline (None = unbounded).
+        self.deadline = deadline
+        self.lock = threading.Lock()
+        #: Outstanding wire copies: wire req_id → worker name.
+        self.copies: dict[int, str] = {}
+        self.done_handled = False
+        #: First copy error, held while another copy may still answer.
+        self.first_error: Exception | None = None
+        self.hedged = False
+        self.hedge_req_id: int | None = None
+        self.sent_at = time.monotonic()
 
 
 class _Worker:
@@ -150,7 +215,7 @@ class _Worker:
         self.conn = conn
         self.generation = generation
         self.send_lock = threading.Lock()
-        self.inflight: dict[int, tuple[Request, str]] = {}
+        self.inflight: dict[int, _Tracked] = {}
         self.inflight_lock = threading.Lock()
         self.up = True
         self.draining = False
@@ -169,13 +234,13 @@ class _Worker:
         with self.send_lock:
             self.conn.send(msg)
 
-    def take_inflight(self, req_id: int) -> tuple[Request, str] | None:
+    def take_inflight(self, req_id: int) -> _Tracked | None:
         with self.inflight_lock:
             return self.inflight.pop(req_id, None)
 
-    def drain_inflight(self) -> list[tuple[Request, str]]:
+    def drain_inflight(self) -> list[tuple[int, _Tracked]]:
         with self.inflight_lock:
-            items = list(self.inflight.values())
+            items = list(self.inflight.items())
             self.inflight.clear()
             return items
 
@@ -210,6 +275,14 @@ class ClusterSupervisor:
         self._health_thread: threading.Thread | None = None
         self._ping_seq = itertools.count(1)
         self._stats_seq = itertools.count(1)
+        # Hedge/deadline timer machinery: one heap of (at, seq, kind,
+        # tracked) events drained by a single timer thread.
+        self._timer_heap: list[tuple[float, int, str, _Tracked]] = []
+        self._timer_cond = threading.Condition()
+        self._timer_seq = itertools.count()
+        self._timer_thread: threading.Thread | None = None
+        self._hedge_lock = threading.Lock()
+        self._hedges_out = 0
 
     # ------------------------------------------------------------------
     # Placement
@@ -258,6 +331,9 @@ class ClusterSupervisor:
         self._health_thread = threading.Thread(
             target=self._health_loop, name="cluster-health", daemon=True)
         self._health_thread.start()
+        self._timer_thread = threading.Thread(
+            target=self._timer_loop, name="cluster-timer", daemon=True)
+        self._timer_thread.start()
         return self
 
     def _spawn(self, name: str) -> _Worker:
@@ -272,7 +348,8 @@ class ClusterSupervisor:
             threads=self.config.threads_per_worker,
             max_queue_depth=self.config.worker_queue_depth,
             lock_timeout_s=self.config.lock_timeout_s,
-            fault_plan=dict(self.config.fault_plan))
+            fault_plan=dict(self.config.fault_plan),
+            compile_deadline_s=self.config.compile_deadline_s)
         proc = self._ctx.Process(target=worker_main,
                                  args=(child_conn, wconfig),
                                  name=f"cluster-{name}", daemon=True)
@@ -294,9 +371,13 @@ class ClusterSupervisor:
         if self._stopping:
             return
         self._stopping = True
+        with self._timer_cond:
+            self._timer_cond.notify_all()
         if self._health_thread is not None:
             self._health_thread.join(
                 timeout=self.config.health_interval_s * 4 + 1.0)
+        if self._timer_thread is not None:
+            self._timer_thread.join(timeout=2.0)
         workers = list(self._workers.values())
         if drain:
             deadline = time.monotonic() + self.config.drain_timeout_s
@@ -322,11 +403,13 @@ class ClusterSupervisor:
                 w.proc.join(timeout=5.0)
             # Anything still in flight after a full drain+stop cycle is
             # dead — never strand the submitter.
-            for request, tenant in w.drain_inflight():
-                self.admission.release(w.name, tenant)
-                request.fail(WorkerCrashed(
-                    w.name, "cluster stopped with request in flight"))
+            for req_id, tracked in w.drain_inflight():
                 self.metrics.inc("requests.worker_crashed")
+                self._finish_copy(w, req_id, tracked,
+                                  error=WorkerCrashed(
+                                      w.name,
+                                      "cluster stopped with request "
+                                      "in flight"))
             try:
                 w.conn.close()
             except OSError:
@@ -337,6 +420,38 @@ class ClusterSupervisor:
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    def install_signal_handlers(self) -> Callable[[], None]:
+        """Drain the fleet on SIGTERM/SIGINT instead of orphaning
+        children: Ctrl-C on ``repro loadtest``/``repro serve`` answers
+        everything queued, collects worker stats, then re-raises
+        (``KeyboardInterrupt`` for SIGINT, ``SystemExit(143)`` for
+        SIGTERM).  Returns a callable restoring the previous handlers;
+        a no-op off the main thread, where signals cannot be installed.
+        """
+        previous: dict[int, object] = {}
+
+        def _handler(signum, frame):
+            obs_event("signal_drain", category="cluster", signum=signum)
+            self.stop(drain=True)
+            if signum == _signal.SIGINT:
+                raise KeyboardInterrupt
+            raise SystemExit(143)
+
+        try:
+            for sig in (_signal.SIGTERM, _signal.SIGINT):
+                previous[sig] = _signal.signal(sig, _handler)
+        except ValueError:      # not the main thread
+            return lambda: None
+
+        def restore() -> None:
+            for sig, old in previous.items():
+                try:
+                    _signal.signal(sig, old)
+                except (ValueError, TypeError):
+                    pass
+
+        return restore
 
     def _try_send(self, worker: _Worker, msg: tuple) -> bool:
         try:
@@ -356,6 +471,11 @@ class ClusterSupervisor:
                on_done=None) -> Request:
         """Route one request to its shard; returns a future-like handle.
 
+        ``timeout`` is the request's whole end-to-end budget, anchored
+        *here* at ingress: supervisor-side routing, queueing, and wire
+        time are deducted before the worker sees the remaining budget,
+        and the request is never answered past it.
+
         Raises :class:`ClusterShed` (a typed
         :class:`~repro.serve.batching.Overloaded`) when admission policy
         or fleet health rejects the request *before* dispatch.
@@ -369,8 +489,14 @@ class ClusterSupervisor:
             raise ClusterError(
                 f"unknown workload {workload!r}; registered: "
                 f"{sorted(self.graphs)}")
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
         self.metrics.inc("requests.submitted")
         validate_feeds(feeds, required=graph.input_tensors)
+        try:
+            _faults.fire(FP_DISPATCH)
+        except _faults.FaultInjected:
+            self.metrics.inc("faults.dispatch")
         worker = self._route(workload)
         if worker is None:
             self._shed(SHED_WORKER_DOWN, workload)
@@ -379,19 +505,44 @@ class ClusterSupervisor:
             self._shed(reason, workload, worker.name)
         req_id = next(self._req_ids)
         request = Request(workload=workload, feeds=feeds,
-                          timeout_s=timeout, on_done=on_done)
+                          timeout_s=timeout, on_done=on_done,
+                          deadline_s=deadline)
+        tracked = _Tracked(request, workload, tenant, priority, deadline)
+        remaining = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # The budget died on the supervisor (routing/queue
+                # time): never dispatch a dead deadline.
+                self.admission.release(worker.name, tenant)
+                self.metrics.inc("deadline.expired_dispatch")
+                tracked.done_handled = True
+                request.fail(TimeoutError(
+                    f"request for {workload!r} spent its whole "
+                    f"{timeout:.3g}s budget before dispatch"))
+                return request
+        with tracked.lock:
+            tracked.copies[req_id] = worker.name
         with worker.inflight_lock:
-            worker.inflight[req_id] = (request, tenant)
+            worker.inflight[req_id] = tracked
         try:
-            worker.send(("req", req_id, workload, feeds, timeout))
+            worker.send(("req", req_id, workload, feeds, remaining))
         except (OSError, ValueError, BrokenPipeError):
             # The worker died between routing and send: fail typed, give
             # the slot back, and let the health loop handle the corpse.
             if worker.take_inflight(req_id) is not None:
-                self.admission.release(worker.name, tenant)
                 self.metrics.inc("requests.worker_crashed")
-                request.fail(WorkerCrashed(worker.name,
-                                           "pipe broke at dispatch"))
+                self._finish_copy(worker, req_id, tracked,
+                                  error=WorkerCrashed(
+                                      worker.name,
+                                      "pipe broke at dispatch"))
+            return request
+        if deadline is not None:
+            self._schedule_at(deadline, "deadline", tracked)
+        hedge_delay = self._hedge_delay(workload)
+        if hedge_delay is not None:
+            self._schedule_at(time.monotonic() + hedge_delay,
+                              "hedge", tracked)
         return request
 
     def infer(self, workload: str, feeds: dict[str, np.ndarray],
@@ -419,6 +570,211 @@ class ClusterSupervisor:
         return None
 
     # ------------------------------------------------------------------
+    # Completion (exactly-once) and hedging
+    # ------------------------------------------------------------------
+
+    def _finish_copy(self, worker: _Worker, req_id: int,
+                     tracked: _Tracked, payload: dict | None = None,
+                     error: Exception | None = None) -> None:
+        """One wire copy finished (reply, wire error, or crash drain).
+
+        Every copy passes through here exactly once — ``take_inflight``
+        /``drain_inflight`` pop atomically — so the admission slot it
+        held is released exactly once, and the ``done_handled`` latch
+        resolves the client's Request exactly once no matter how the
+        copies race.
+        """
+        self.admission.release(worker.name, tracked.tenant)
+        now = time.monotonic()
+        outcome = None
+        with tracked.lock:
+            tracked.copies.pop(req_id, None)
+            copies_left = len(tracked.copies)
+            was_done = tracked.done_handled
+            is_hedge_copy = (req_id == tracked.hedge_req_id)
+            was_hedged = tracked.hedged
+            late = (tracked.deadline is not None
+                    and now > tracked.deadline)
+            if not was_done:
+                if payload is not None:
+                    tracked.done_handled = True
+                    outcome = "late" if late else "resolve"
+                elif error is not None:
+                    if copies_left:
+                        # Another copy may still answer: hold the error.
+                        tracked.first_error = error
+                    else:
+                        tracked.done_handled = True
+                        outcome = "fail"
+        if is_hedge_copy:
+            with self._hedge_lock:
+                self._hedges_out -= 1
+        if outcome == "resolve":
+            self.metrics.observe_request(payload["latency_s"],
+                                         workload=tracked.workload)
+            if payload["degraded"]:
+                self.metrics.record_fallback(payload["reason"]
+                                             or "unknown")
+            if is_hedge_copy:
+                self.metrics.inc("hedge.won")
+                obs_event("hedge_won", category="cluster",
+                          workload=tracked.workload, worker=worker.name)
+            tracked.request.resolve(SessionReply(**payload))
+            self._cancel_copies(tracked)
+        elif outcome == "late":
+            # The answer exists but the budget is spent: a strict
+            # deadline is never answered late, at any boundary.
+            self.metrics.inc("deadline.expired_reply")
+            tracked.request.fail(TimeoutError(
+                f"request for {tracked.workload!r} answered past its "
+                "end-to-end deadline; result withheld"))
+            self._cancel_copies(tracked)
+        elif outcome == "fail":
+            tracked.request.fail(error)
+        elif was_done and was_hedged:
+            # The losing copy of a settled hedge pair came back.
+            self.metrics.inc("hedge.wasted")
+
+    def _cancel_copies(self, tracked: _Tracked) -> None:
+        """Best-effort cancel of every still-outstanding wire copy."""
+        with tracked.lock:
+            copies = dict(tracked.copies)
+        for rid, wname in copies.items():
+            with self._lock:
+                w = self._workers.get(wname)
+            if w is not None and w.up:
+                self._try_send(w, ("cancel", rid))
+
+    def _hedge_delay(self, workload: str) -> float | None:
+        """Seconds to wait before hedging, or None = don't hedge."""
+        cfg = self.config
+        if not cfg.hedge or cfg.workers < 2 or cfg.replication < 2:
+            return None
+        if cfg.hedge_delay_s is not None:
+            return max(cfg.hedge_delay_s, cfg.hedge_min_delay_s)
+        p95 = self.metrics.workload_latency_quantile(
+            workload, 0.95, min_samples=cfg.hedge_min_samples)
+        if p95 is None:
+            return None
+        return max(p95, cfg.hedge_min_delay_s)
+
+    def _schedule_at(self, at: float, kind: str,
+                     tracked: _Tracked) -> None:
+        with self._timer_cond:
+            heapq.heappush(self._timer_heap,
+                           (at, next(self._timer_seq), kind, tracked))
+            self._timer_cond.notify_all()
+
+    def _timer_loop(self) -> None:
+        while not self._stopping:
+            with self._timer_cond:
+                if not self._timer_heap:
+                    self._timer_cond.wait(0.5)
+                    continue
+                at = self._timer_heap[0][0]
+                delay = at - time.monotonic()
+                if delay > 0:
+                    self._timer_cond.wait(min(delay, 0.5))
+                    continue
+                _, _, kind, tracked = heapq.heappop(self._timer_heap)
+            if kind == "deadline":
+                self._expire_tracked(tracked)
+            else:
+                self._maybe_hedge(tracked)
+
+    def _expire_tracked(self, tracked: _Tracked) -> None:
+        """Deadline fired supervisor-side: fail now, cancel the copies."""
+        with tracked.lock:
+            if tracked.done_handled:
+                return
+            tracked.done_handled = True
+        self.metrics.inc("deadline.expired_supervisor")
+        obs_event("deadline_expired", category="cluster",
+                  workload=tracked.workload)
+        tracked.request.fail(TimeoutError(
+            f"request for {tracked.workload!r} exceeded its "
+            "end-to-end budget"))
+        self._cancel_copies(tracked)
+
+    def _maybe_hedge(self, tracked: _Tracked) -> None:
+        """Hedge timer fired: re-issue to the next replica if warranted."""
+        with tracked.lock:
+            if (tracked.done_handled or tracked.hedged
+                    or len(tracked.copies) != 1):
+                return
+            routed = next(iter(tracked.copies.values()))
+        if (tracked.deadline is not None
+                and time.monotonic() >= tracked.deadline):
+            return
+        # Next live replica in owner order that isn't the routed worker.
+        target = None
+        with self._lock:
+            for name in self.owners_for(tracked.workload):
+                w = self._workers.get(name)
+                if (name != routed and w is not None and w.up
+                        and not w.draining):
+                    target = w
+                    break
+        if target is None:
+            return
+        # Budget cap: outstanding hedges never exceed the configured
+        # fraction of open requests (but one is always allowed, or
+        # light traffic could never hedge at all).
+        open_total = max(1, self.admission.outstanding_total())
+        cap = max(1, math.floor(
+            self.config.hedge_max_fraction * open_total))
+        with self._hedge_lock:
+            if self._hedges_out >= cap:
+                self.metrics.inc("hedge.suppressed")
+                return
+            self._hedges_out += 1
+            peak = max(self.metrics.get_gauge("hedge.peak_outstanding"),
+                       self._hedges_out)
+        self.metrics.set_gauge("hedge.peak_outstanding", peak)
+        self.metrics.set_gauge(
+            "hedge.peak_open_requests",
+            max(self.metrics.get_gauge("hedge.peak_open_requests"),
+                open_total))
+        reason = self.admission.admit(target.name, tracked.tenant,
+                                      tracked.priority)
+        if reason is not None:
+            with self._hedge_lock:
+                self._hedges_out -= 1
+            self.metrics.inc("hedge.suppressed")
+            return
+        hedge_id = next(self._req_ids)
+        with tracked.lock:
+            if tracked.done_handled:        # settled while we admitted
+                self.admission.release(target.name, tracked.tenant)
+                with self._hedge_lock:
+                    self._hedges_out -= 1
+                return
+            tracked.hedged = True
+            tracked.hedge_req_id = hedge_id
+            tracked.copies[hedge_id] = target.name
+        with target.inflight_lock:
+            target.inflight[hedge_id] = tracked
+        remaining = (tracked.deadline - time.monotonic()
+                     if tracked.deadline is not None else None)
+        try:
+            target.send(("req", hedge_id, tracked.workload,
+                         tracked.request.feeds, remaining))
+        except (OSError, ValueError, BrokenPipeError):
+            if target.take_inflight(hedge_id) is not None:
+                self.admission.release(target.name, tracked.tenant)
+                with tracked.lock:
+                    tracked.copies.pop(hedge_id, None)
+                    tracked.hedge_req_id = None
+                    tracked.hedged = False
+                with self._hedge_lock:
+                    self._hedges_out -= 1
+            return
+        self.metrics.inc("hedge.issued")
+        obs_event("hedge_issued", category="cluster",
+                  workload=tracked.workload, original=routed,
+                  hedge=target.name)
+
+    # ------------------------------------------------------------------
     # Receive / health / crash handling
     # ------------------------------------------------------------------
 
@@ -428,27 +784,24 @@ class ClusterSupervisor:
                 msg = worker.conn.recv()
             except (EOFError, OSError):
                 break
+            except (TypeError, ValueError):
+                # conn.close() raced the blocking recv (crash handling
+                # closes the pipe from another thread): same as EOF.
+                break
             kind = msg[0]
             if kind == "reply":
-                entry = worker.take_inflight(msg[1])
-                if entry is None:
+                tracked = worker.take_inflight(msg[1])
+                if tracked is None:
                     continue  # already failed (crash race); count dupes
-                request, tenant = entry
-                self.admission.release(worker.name, tenant)
-                payload = msg[2]
-                self.metrics.observe_request(payload["latency_s"])
-                if payload["degraded"]:
-                    self.metrics.record_fallback(payload["reason"]
-                                                 or "unknown")
-                request.resolve(SessionReply(**payload))
+                self._finish_copy(worker, msg[1], tracked, payload=msg[2])
             elif kind == "error":
-                entry = worker.take_inflight(msg[1])
-                if entry is None:
+                tracked = worker.take_inflight(msg[1])
+                if tracked is None:
                     continue
-                request, tenant = entry
-                self.admission.release(worker.name, tenant)
                 self.metrics.inc("requests.remote_errors")
-                request.fail(_rebuild_error(msg[2], msg[3], worker.name))
+                self._finish_copy(worker, msg[1], tracked,
+                                  error=_rebuild_error(msg[2], msg[3],
+                                                       worker.name))
             elif kind == "pong":
                 worker.last_pong = time.monotonic()
                 worker.health = msg[2]
@@ -480,11 +833,15 @@ class ClusterSupervisor:
         self.metrics.inc("workers.crashed")
         obs_event("worker_crash", category="cluster", worker=worker.name,
                   generation=worker.generation)
-        for request, tenant in worker.drain_inflight():
-            self.admission.release(worker.name, tenant)
+        for req_id, tracked in worker.drain_inflight():
             self.metrics.inc("requests.worker_crashed")
-            request.fail(WorkerCrashed(worker.name,
-                                       "process died mid-flight"))
+            # Through the same exactly-once funnel as replies: a request
+            # that already resolved (hedge won, reply raced the crash)
+            # is not failed again, and a hedged request with a live copy
+            # elsewhere survives the crash entirely.
+            self._finish_copy(worker, req_id, tracked,
+                              error=WorkerCrashed(
+                                  worker.name, "process died mid-flight"))
         try:
             worker.conn.close()
         except OSError:
@@ -535,6 +892,7 @@ class ClusterSupervisor:
                             > self.config.heartbeat_timeout_s):
                         # Hung, not dead: a worker that cannot answer a
                         # ping cannot answer requests either.
+                        self.metrics.inc("workers.hung")
                         obs_event("worker_hung", category="cluster",
                                   worker=w.name)
                         w.proc.terminate()
@@ -614,7 +972,8 @@ class ClusterSupervisor:
     _AGG_PREFIXES = ("cache.", "breaker.", "fallbacks", "requests",
                      "plans.", "faults.", "workers.", "lower.",
                      "compile_failures", "batches_dispatched",
-                     "request_errors")
+                     "request_errors", "deadline.", "hedge.", "retry.",
+                     "tunedb.")
 
     def aggregate(self) -> dict:
         """Cluster-wide report: supervisor counters plus the sum of every

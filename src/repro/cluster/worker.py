@@ -11,7 +11,12 @@ and speaks a small tuple protocol with the supervisor:
 supervisor → worker        meaning
 ========================  =====================================================
 ``("req", id, wl, feeds,
-timeout)``                 answer one inference request
+remaining_s)``             answer one inference request within the *remaining*
+                           end-to-end budget (the supervisor already deducted
+                           its own routing/queue time; the worker re-anchors
+                           the deadline on its own monotonic clock at receipt)
+``("cancel", id)``         best-effort cancel (hedge lost / deadline expired
+                           supervisor-side); idempotent, never an error
 ``("ping", seq)``          heartbeat; worker answers ``("pong", seq, health)``
 ``("stats", seq)``         request a metrics snapshot
 ``("arm", plan)``          arm failpoints in *this* process (tests/chaos)
@@ -37,7 +42,9 @@ from __future__ import annotations
 
 import os
 import queue
+import signal
 import threading
+import time
 from dataclasses import dataclass, field
 
 from ..core.serialize import ScheduleCache, graph_from_dict, graph_to_dict
@@ -54,6 +61,13 @@ from ..serve import (
     TieredScheduleCache,
     WorkerCrashed,
 )
+
+#: Chaos failpoints in the worker's pipe loop (armed only by tests):
+#: ``hang`` with a big delay makes the worker unresponsive to pings —
+#: the reap-a-hung-worker path; ``slow`` delays request intake only —
+#: the slow-replica path that forces supervisor hedges.
+FP_HANG = faults.register("cluster.worker.hang")
+FP_SLOW = faults.register("cluster.worker.slow")
 
 #: Wire error kinds (worker → supervisor) and the exceptions they map to.
 ERR_OVERLOADED = "overloaded"
@@ -100,6 +114,9 @@ class WorkerConfig:
     #: Failpoint plan armed at boot (restart-on-crash tests re-arm this
     #: way because a fresh worker process starts with a clean registry).
     fault_plan: dict[str, str] = field(default_factory=dict)
+    #: Relative compile budget per session: retry backoff never sleeps
+    #: past it (see :class:`~repro.serve.session.InferenceSession`).
+    compile_deadline_s: float | None = None
 
     @staticmethod
     def pack_workloads(graphs: dict[str, DataflowGraph]) -> dict[str, dict]:
@@ -116,11 +133,12 @@ def build_server(config: WorkerConfig,
     tune_db = None
     if config.tune_db_dir:
         from ..tune import TuneDB
-        tune_db = TuneDB(config.tune_db_dir)
+        tune_db = TuneDB(config.tune_db_dir, metrics=metrics)
     sessions = {
         name: InferenceSession(graph_from_dict(gdict), gpu, cache=cache,
                                metrics=metrics, engine=config.engine,
-                               tune_db=tune_db)
+                               tune_db=tune_db,
+                               compile_deadline_s=config.compile_deadline_s)
         for name, gdict in sorted(config.workloads.items())
     }
     return FusionServer(sessions, max_batch=config.max_batch,
@@ -129,19 +147,44 @@ def build_server(config: WorkerConfig,
                         max_queue_depth=config.max_queue_depth)
 
 
+class _SigTerm(Exception):
+    """Raised out of the pipe loop by the SIGTERM handler: the worker
+    drains in flight work and exits cleanly instead of dying mid-batch."""
+
+
 def worker_main(conn, config: WorkerConfig) -> None:
     """Process entry point; returns only at clean shutdown."""
     # The forked child inherits the parent's failpoint registry — and,
     # worst case, a lock some parent thread held at fork time.  Start
     # from a clean, self-owned registry and re-arm from the config.
     registry = faults.reset_after_fork()
-    for name, spec in config.fault_plan.items():
-        registry.arm(name, spec)
+
+    # Graceful termination: SIGTERM drains (no orphaned in-flight work),
+    # SIGINT is ignored — a terminal Ctrl-C signals the whole process
+    # group, and shutdown must stay the supervisor's decision.
+    def _on_sigterm(signum, frame):
+        raise _SigTerm()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:      # not the main thread (embedded test use)
+        pass
 
     metrics = ServeMetrics()
     server = build_server(config, metrics)
+    # Arm the boot fault plan only after build_server: constructing the
+    # stack imports every instrumented module (serve cache, tuning DB),
+    # so each plan entry's failpoint name is registered by now even
+    # under the spawn start method, where the child imports from
+    # scratch.  Nothing can fire in between — serving starts below.
+    for name, spec in config.fault_plan.items():
+        registry.arm(name, spec)
     outbox: "queue.Queue" = queue.Queue()
     accepting = True
+    #: Live request handles by wire id — the ``cancel`` book.
+    handles: dict[int, object] = {}
+    handles_lock = threading.Lock()
 
     def sender() -> None:
         while True:
@@ -158,6 +201,8 @@ def worker_main(conn, config: WorkerConfig) -> None:
     send_thread.start()
 
     def on_done(request, req_id: int) -> None:
+        with handles_lock:
+            handles.pop(req_id, None)
         if request.error is not None:
             outbox.put(("error", req_id, error_kind(request.error),
                         f"{type(request.error).__name__}: {request.error}"))
@@ -180,47 +225,90 @@ def worker_main(conn, config: WorkerConfig) -> None:
     outbox.put(("ready", config.name, sorted(config.workloads)))
 
     stopping = False
-    while not stopping:
-        try:
-            msg = conn.recv()
-        except (EOFError, OSError):
-            break  # supervisor died; daemon worker just exits
-        kind = msg[0]
-        if kind == "req":
-            _, req_id, workload, feeds, timeout = msg
-            if not accepting:
-                outbox.put(("error", req_id, ERR_DRAINING,
-                            f"worker {config.name} is draining"))
-                continue
+    graceful = False
+    try:
+        while not stopping:
             try:
-                server.submit(
-                    workload, feeds, timeout=timeout,
-                    on_done=lambda r, rid=req_id: on_done(r, rid))
-            except Exception as exc:  # noqa: BLE001 — typed over the wire
-                outbox.put(("error", req_id, error_kind(exc),
-                            f"{type(exc).__name__}: {exc}"))
-        elif kind == "ping":
-            health = server.health()
-            outbox.put(("pong", msg[1], {
-                "status": health["status"],
-                "queue_depth": health["queue_depth"],
-            }))
-        elif kind == "stats":
-            outbox.put(("stats_reply", msg[1], snapshot()))
-        elif kind == "arm":
-            for name, spec in msg[1].items():
-                registry.arm(name, spec)
-            outbox.put(("armed",))
-        elif kind == "kill":
-            os._exit(msg[1] if len(msg) > 1 else 1)
-        elif kind == "drain":
-            accepting = False
-            server.stop(drain=True)
-            outbox.put(("drained", snapshot()))
-        elif kind == "stop":
-            stopping = True
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break  # supervisor died; daemon worker just exits
+            try:
+                # A delay() armed here makes the worker *hung*, not
+                # dead: it stops answering pings without exiting — the
+                # health loop's reap path, untestable any other way.
+                faults.fire(FP_HANG)
+            except faults.FaultInjected:
+                metrics.inc("faults.worker_hang")
+            kind = msg[0]
+            if kind == "req":
+                _, req_id, workload, feeds, remaining_s = msg
+                # Re-anchor the end-to-end deadline on this process's
+                # clock *now*, before any local processing: failpoint
+                # delays and queue time below burn the request's
+                # remaining budget, never a fresh one.
+                deadline = (time.monotonic() + remaining_s
+                            if remaining_s is not None else None)
+                if not accepting:
+                    outbox.put(("error", req_id, ERR_DRAINING,
+                                f"worker {config.name} is draining"))
+                    continue
+                try:
+                    faults.fire(FP_SLOW)    # slow replica (chaos)
+                except faults.FaultInjected:
+                    metrics.inc("faults.worker_slow")
+                if (deadline is not None
+                        and time.monotonic() >= deadline):
+                    metrics.inc("deadline.expired_ingress")
+                    outbox.put(("error", req_id, ERR_TIMEOUT,
+                                f"request {req_id} reached worker "
+                                f"{config.name} past its deadline"))
+                    continue
+                try:
+                    handle = server.submit(
+                        workload, feeds, deadline_s=deadline,
+                        on_done=lambda r, rid=req_id: on_done(r, rid))
+                    with handles_lock:
+                        handles[req_id] = handle
+                    if handle.done():   # answered before we booked it
+                        with handles_lock:
+                            handles.pop(req_id, None)
+                except Exception as exc:  # noqa: BLE001 — typed over the wire
+                    outbox.put(("error", req_id, error_kind(exc),
+                                f"{type(exc).__name__}: {exc}"))
+            elif kind == "cancel":
+                # Best-effort and idempotent: the request may be done,
+                # unknown (already answered), or still queued — a queued
+                # one is failed here and silently dropped by the batcher.
+                with handles_lock:
+                    handle = handles.pop(msg[1], None)
+                if handle is not None and not handle.done():
+                    metrics.inc("requests.cancelled")
+                    handle.fail(TimeoutError(
+                        f"request {msg[1]} cancelled by supervisor"))
+            elif kind == "ping":
+                health = server.health()
+                outbox.put(("pong", msg[1], {
+                    "status": health["status"],
+                    "queue_depth": health["queue_depth"],
+                }))
+            elif kind == "stats":
+                outbox.put(("stats_reply", msg[1], snapshot()))
+            elif kind == "arm":
+                for name, spec in msg[1].items():
+                    registry.arm(name, spec)
+                outbox.put(("armed",))
+            elif kind == "kill":
+                os._exit(msg[1] if len(msg) > 1 else 1)
+            elif kind == "drain":
+                accepting = False
+                server.stop(drain=True)
+                outbox.put(("drained", snapshot()))
+            elif kind == "stop":
+                stopping = True
+    except _SigTerm:
+        graceful = True
 
-    server.stop(drain=False)
+    server.stop(drain=graceful)
     outbox.put(("stopped", snapshot()))
     outbox.put(None)
     send_thread.join(timeout=5.0)

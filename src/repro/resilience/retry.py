@@ -56,12 +56,22 @@ class RetryPolicy:
              on_retry: Callable[[int, BaseException, float], None]
              | None = None,
              rng: random.Random | None = None,
-             sleep: Callable[[float], None] = time.sleep):
+             sleep: Callable[[float], None] = time.sleep,
+             deadline_s: float | None = None,
+             on_deadline: Callable[[int, BaseException, float], None]
+             | None = None,
+             clock: Callable[[], float] = time.monotonic):
         """Run ``fn`` with retries; re-raises the last error when the
         attempt count or the sleep budget is exhausted.
 
         ``on_retry(attempt, exc, delay_s)`` is called before each backoff
         sleep (attempt numbering starts at 1 for the first *retry*).
+
+        ``deadline_s`` is an absolute monotonic deadline: a backoff sleep
+        that would cross it is never scheduled — the last error is raised
+        immediately instead, after ``on_deadline(attempt, exc, delay_s)``
+        (same signature as ``on_retry``).  ``None`` keeps the
+        budget-only behaviour.
         """
         if rng is None:
             rng = random.Random(self.seed)
@@ -73,6 +83,15 @@ class RetryPolicy:
                 delay = self.delay_for(attempt, rng)
                 if (attempt + 1 >= self.max_attempts
                         or slept + delay > self.sleep_budget_s):
+                    raise
+                if (deadline_s is not None
+                        and clock() + delay > deadline_s):
+                    # Sleeping would outlive the request's budget: the
+                    # caller gets the error *now*, while there is still
+                    # time to degrade (e.g. answer from the reference
+                    # path) before the deadline.
+                    if on_deadline is not None:
+                        on_deadline(attempt + 1, exc, delay)
                     raise
                 if on_retry is not None:
                     on_retry(attempt + 1, exc, delay)

@@ -117,6 +117,13 @@ class Request:
     #: and non-raising; it runs on the answering worker's thread.
     on_done: Callable[["Request"], None] | None = field(default=None,
                                                        repr=False)
+    #: Absolute monotonic deadline (end-to-end budget).  When set it wins
+    #: over ``timeout_s``: the clock was anchored once at ingress and is
+    #: *not* restarted by re-enqueues or process hops, so time spent in a
+    #: supervisor queue or on the wire counts against the budget.  The
+    #: server also refuses to *publish* a result past this deadline (the
+    #: plain ``timeout_s`` path keeps its lenient legacy semantics).
+    deadline_s: float | None = None
 
     @property
     def key(self) -> tuple:
@@ -124,6 +131,8 @@ class Request:
 
     def remaining(self) -> float | None:
         """Seconds left before this request's deadline (None = unbounded)."""
+        if self.deadline_s is not None:
+            return self.deadline_s - time.monotonic()
         if self.timeout_s is None:
             return None
         return self.timeout_s - (time.monotonic() - self.enqueued_at)
@@ -238,9 +247,12 @@ class RequestQueue:
 
     def _expire(self, request: Request) -> None:
         """Fail a request whose deadline passed while it sat queued."""
+        budget = (f"after {request.timeout_s:.3g}s"
+                  if request.timeout_s is not None
+                  else "past its end-to-end deadline")
         request.fail(TimeoutError(
             f"request {request.seq} for {request.workload!r} expired "
-            f"after {request.timeout_s:.3g}s before dispatch"))
+            f"{budget} before dispatch"))
         if self._on_expired is not None:
             self._on_expired(request)
 
@@ -254,6 +266,11 @@ class RequestQueue:
         i = 0
         while i < len(self._items):
             req = self._items[i]
+            if req.done():
+                # Cancelled (or hedge-lost) while queued: the resolution
+                # already happened elsewhere, just drop it silently.
+                del self._items[i]
+                continue
             remaining = req.remaining()
             if remaining is not None and remaining <= 0:
                 del self._items[i]

@@ -115,13 +115,19 @@ class TieredScheduleCache:
 
     def get_or_compile(self, graph: DataflowGraph, gpu_name: str,
                        compile_fn: CompileFn,
-                       options_repr: str = "") -> ProgramSchedule:
+                       options_repr: str = "",
+                       deadline_s: float | None = None) -> ProgramSchedule:
         """Return the schedule for ``graph`` on ``gpu_name``.
 
         Resolution order: memory LRU, disk cache, ``compile_fn()`` (which
         runs at most once per key at a time; losers of the race reuse the
         winner's result).  Whatever tier resolves, the result is promoted
         into every tier above it.
+
+        ``deadline_s`` (absolute monotonic, optional) caps the compile
+        retry backoff: a retry sleep that would cross the deadline is
+        skipped and the last compile error raised immediately, so the
+        caller can degrade while its request still has budget.
         """
         key = self.key_for(graph, gpu_name, options_repr)
         with obs_span("cache_lookup", category="serve",
@@ -141,7 +147,8 @@ class TieredScheduleCache:
             try:
                 with flight.lock:
                     return self._resolve_cold(key, graph, gpu_name,
-                                              compile_fn, options_repr, sp)
+                                              compile_fn, options_repr, sp,
+                                              deadline_s)
             finally:
                 with self._lock:
                     flight.waiters -= 1
@@ -151,7 +158,7 @@ class TieredScheduleCache:
 
     def _resolve_cold(self, key: str, graph: DataflowGraph, gpu_name: str,
                       compile_fn: CompileFn, options_repr: str,
-                      sp) -> ProgramSchedule:
+                      sp, deadline_s: float | None = None) -> ProgramSchedule:
         """Resolve a memory miss while holding the key's flight lock."""
         sched = self._memory_get(key)
         if sched is not None:           # raced: the winner already filled it
@@ -160,7 +167,7 @@ class TieredScheduleCache:
             return sched
         if self.disk is None:
             return self._compile_and_store(graph, gpu_name, compile_fn,
-                                           options_repr, key, sp)
+                                           options_repr, key, sp, deadline_s)
         sched = self._disk_get(key, graph, gpu_name, options_repr, sp)
         if sched is not None:
             return sched
@@ -190,7 +197,7 @@ class TieredScheduleCache:
                 self.metrics.inc("cache.lock_timeouts")
                 sp.note(fleet_lock="timeout")
             return self._compile_and_store(graph, gpu_name, compile_fn,
-                                           options_repr, key, sp)
+                                           options_repr, key, sp, deadline_s)
         finally:
             lock.release()
 
@@ -215,11 +222,12 @@ class TieredScheduleCache:
 
     def _compile_and_store(self, graph: DataflowGraph, gpu_name: str,
                            compile_fn: CompileFn, options_repr: str,
-                           key: str, sp) -> ProgramSchedule:
+                           key: str, sp,
+                           deadline_s: float | None = None) -> ProgramSchedule:
         self.metrics.inc("cache.compile_misses")
         sp.note(tier="compile")
         t0 = time.perf_counter()
-        sched = self._compile_with_retry(compile_fn, sp)
+        sched = self._compile_with_retry(compile_fn, sp, deadline_s)
         self.metrics.observe_compile(time.perf_counter() - t0)
         if self.disk is not None:
             # Same policy on the write side: the compiled schedule is
@@ -233,8 +241,9 @@ class TieredScheduleCache:
         self._memory_put(key, sched)
         return sched
 
-    def _compile_with_retry(self, compile_fn: CompileFn,
-                            sp) -> ProgramSchedule:
+    def _compile_with_retry(self, compile_fn: CompileFn, sp,
+                            deadline_s: float | None = None,
+                            ) -> ProgramSchedule:
         def attempt() -> ProgramSchedule:
             _faults.fire(FP_COMPILE)
             return compile_fn()
@@ -245,7 +254,14 @@ class TieredScheduleCache:
             sp.note(compile_retries=attempt_no,
                     last_error=f"{type(exc).__name__}: {exc}")
 
-        return self.retry_policy.call(attempt, on_retry=on_retry)
+        def on_deadline(attempt_no: int, exc: BaseException,
+                        delay_s: float) -> None:
+            self.metrics.inc("retry.deadline_capped")
+            sp.note(retry_deadline_capped=attempt_no)
+
+        return self.retry_policy.call(attempt, on_retry=on_retry,
+                                      deadline_s=deadline_s,
+                                      on_deadline=on_deadline)
 
     def inflight_keys(self) -> int:
         """Live single-flight registry size (0 whenever nothing compiles)."""

@@ -83,6 +83,9 @@ class ServeMetrics:
         self.queue_wait = Histogram()
         self.batch_sizes = Histogram(buckets=(1, 2, 4, 8, 16, 32, 64))
         self.queue_depths = Histogram(buckets=(0, 1, 2, 4, 8, 16, 32, 64))
+        #: Per-workload request latency — the online estimate behind the
+        #: supervisor's adaptive hedge delay (p95 per workload).
+        self._workload_latency: dict[str, Histogram] = {}
 
     def _histograms(self) -> tuple[tuple[str, Histogram], ...]:
         return (("request_latency", self.request_latency),
@@ -132,11 +135,32 @@ class ServeMetrics:
         submitted = self.counters.get("requests.submitted", 0)
         return {"shed_rate": shed / submitted if submitted else 0.0}
 
-    def observe_request(self, latency_s: float) -> None:
+    def observe_request(self, latency_s: float,
+                        workload: str | None = None) -> None:
         with self._lock:
             self.counters["requests_served"] = \
                 self.counters.get("requests_served", 0) + 1
             self.request_latency.observe(latency_s)
+            if workload is not None:
+                hist = self._workload_latency.get(workload)
+                if hist is None:
+                    hist = self._workload_latency[workload] = Histogram()
+                hist.observe(latency_s)
+
+    def workload_latency_quantile(self, workload: str, q: float,
+                                  min_samples: int = 1) -> float | None:
+        """Online latency quantile for one workload, or ``None`` until at
+        least ``min_samples`` requests have been observed.
+
+        The ``min_samples`` gate matters for hedging: the first requests
+        of a cold workload include compile time, and hedging off those
+        samples would double-compile the fleet for nothing.
+        """
+        with self._lock:
+            hist = self._workload_latency.get(workload)
+            if hist is None or hist.samples < min_samples:
+                return None
+            return hist.quantile(q)
 
     def observe_compile(self, latency_s: float) -> None:
         with self._lock:
@@ -180,6 +204,9 @@ class ServeMetrics:
                 snap[f"{name}.p95"] = hist.quantile(0.95)
                 snap[f"{name}.p99"] = hist.quantile(0.99)
                 snap[f"{name}.max"] = hist.max_seen
+            for wl, hist in self._workload_latency.items():
+                snap[f"workload_latency.{wl}.count"] = hist.samples
+                snap[f"workload_latency.{wl}.p95"] = hist.quantile(0.95)
             return snap
 
     def render_report(self) -> str:

@@ -134,7 +134,7 @@ class FusionServer:
 
     def submit(self, workload: str, feeds: dict[str, np.ndarray],
                timeout: float | None = None,
-               on_done=None) -> Request:
+               on_done=None, deadline_s: float | None = None) -> Request:
         """Enqueue one request; returns its future-like handle.
 
         Raises :class:`~repro.serve.batching.InvalidRequestError` for
@@ -147,6 +147,10 @@ class FusionServer:
         resolve/fail — push-style completion for callers (the cluster
         worker, the load harness) that must not block a thread per
         request.
+
+        ``deadline_s`` (optional) is an *absolute* monotonic deadline —
+        the end-to-end budget anchored at cluster ingress.  Unlike
+        ``timeout`` it is strict: results are never published past it.
         """
         if self._stopped:
             raise ServerError("server is stopped")
@@ -154,7 +158,7 @@ class FusionServer:
         session = self.session(workload)  # validate early, before enqueueing
         validate_feeds(feeds, required=session.graph.input_tensors)
         request = Request(workload=workload, feeds=feeds, timeout_s=timeout,
-                          on_done=on_done)
+                          on_done=on_done, deadline_s=deadline_s)
         try:
             depth = self.queue.put(request)
         except Overloaded:
@@ -250,6 +254,17 @@ class FusionServer:
                 reply = session.execute(request.feeds,
                                         timeout=request.remaining())
                 sp.note(degraded=reply.degraded, reason=reply.reason)
+            # Publish gate: a strict end-to-end deadline is never
+            # answered late — a reply that became stale during execution
+            # is dropped here, the last boundary before the client.
+            if (request.deadline_s is not None
+                    and time.monotonic() > request.deadline_s):
+                self.metrics.inc("deadline.expired_publish")
+                request.fail(TimeoutError(
+                    f"request {request.seq} for {request.workload!r} "
+                    "completed past its end-to-end deadline; "
+                    "result withheld"))
+                return
             request.resolve(reply)
         except Exception as exc:  # noqa: BLE001 — surface to the client
             self.metrics.inc("request_errors")

@@ -112,7 +112,8 @@ class InferenceSession:
                  engine: str = ENGINE_COMPILED,
                  plan_cache: PlanCache | None = None,
                  breaker: CircuitBreaker | None = None,
-                 tune_db=None) -> None:
+                 tune_db=None,
+                 compile_deadline_s: float | None = None) -> None:
         if engine not in ENGINES:
             raise SessionError(
                 f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -129,6 +130,11 @@ class InferenceSession:
                                    else ServeMetrics())
         self.cache = cache if cache is not None else \
             TieredScheduleCache(metrics=self.metrics)
+        #: Relative budget for the whole compile (cache resolution plus
+        #: lowering): past it, retry backoff sleeps are skipped and the
+        #: last error surfaces so the session degrades promptly instead
+        #: of retrying into a dead deadline (None = retry freely).
+        self.compile_deadline_s = compile_deadline_s
         self.breaker = breaker or CircuitBreaker()
         if self.breaker.on_transition is None:
             self.breaker.on_transition = self._on_breaker_transition
@@ -177,12 +183,14 @@ class InferenceSession:
         return repr(self.options) if self.options is not None else ""
 
     def _compile_once(self) -> None:
+        deadline = (time.monotonic() + self.compile_deadline_s
+                    if self.compile_deadline_s is not None else None)
         try:
             with obs_span("session_compile", category="compile",
                           workload=self.graph.name, gpu=self.gpu.name):
                 schedule = self.cache.get_or_compile(
                     self.graph, self.gpu.name, self._compile_fn,
-                    self._options_repr())
+                    self._options_repr(), deadline_s=deadline)
             with obs_span("session_lower", category="compile",
                           workload=self.graph.name, engine=self.engine):
                 if self.engine == ENGINE_COMPILED:
@@ -192,7 +200,10 @@ class InferenceSession:
                         lambda: compile_schedule(
                             schedule, cache=self.plan_cache),
                         on_retry=lambda n, exc, d:
-                            self.metrics.inc("lower.retries"))
+                            self.metrics.inc("lower.retries"),
+                        deadline_s=deadline,
+                        on_deadline=lambda n, exc, d:
+                            self.metrics.inc("retry.deadline_capped"))
                 else:
                     self._interpreter = ScheduleExecutor()
             self.schedule = schedule
@@ -341,7 +352,7 @@ class InferenceSession:
             self._requests += 1
             if degraded_reason is not None:
                 self._degraded += 1
-        self.metrics.observe_request(latency)
+        self.metrics.observe_request(latency, workload=self.graph.name)
         return SessionReply(outputs=outputs,
                             degraded=degraded_reason is not None,
                             reason=degraded_reason, latency_s=latency)

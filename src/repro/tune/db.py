@@ -30,8 +30,14 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from ..resilience import faults as _faults
 from ..serve.filelock import FileLock
 from .features import FEATURE_VERSION
+
+#: Failpoints on the disk tier (armed only by tests/chaos): a fault here
+#: must degrade to a miss (get) or a lost persist (put), never an error.
+FP_DB_GET = _faults.register("tune.db.get")
+FP_DB_PUT = _faults.register("tune.db.put")
 
 #: Bump on any incompatible change to the entry payload below.  Entries
 #: written under another version are treated as misses and removed.
@@ -146,7 +152,7 @@ class TuneDB:
     """
 
     def __init__(self, directory: str | pathlib.Path | None = None,
-                 capacity: int = 256) -> None:
+                 capacity: int = 256, metrics=None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.directory = (pathlib.Path(directory)
@@ -154,6 +160,10 @@ class TuneDB:
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.capacity = capacity
+        #: Optional :class:`~repro.serve.metrics.ServeMetrics` — contained
+        #: disk-tier errors are counted as ``tunedb.disk_errors`` so the
+        #: chaos harness can assert the faults were absorbed, not hidden.
+        self.metrics = metrics
         self._mu = threading.Lock()
         self._mem: collections.OrderedDict[str, TuneEntry] = \
             collections.OrderedDict()
@@ -206,11 +216,13 @@ class TuneDB:
             return None
         path = self._entry_path(fingerprint)
         try:
+            _faults.fire(FP_DB_GET)
             entry = TuneEntry.from_dict(json.loads(path.read_text()))
         except FileNotFoundError:
             entry = None
-        except (OSError, ValueError, TuneDBError):
+        except (OSError, ValueError, TuneDBError, _faults.FaultInjected):
             path.unlink(missing_ok=True)
+            self._count_disk_error()
             entry = None
         with self._mu:
             if entry is None:
@@ -232,19 +244,36 @@ class TuneDB:
         if self.directory is None:
             return
         path = self._entry_path(entry.fingerprint)
-        fd, tmp_name = tempfile.mkstemp(dir=self.directory,
-                                        prefix=path.stem + ".",
-                                        suffix=".tmp")
+        try:
+            _faults.fire(FP_DB_PUT)
+            fd, tmp_name = tempfile.mkstemp(dir=self.directory,
+                                            prefix=path.stem + ".",
+                                            suffix=".tmp")
+        except (OSError, _faults.FaultInjected):
+            # Disk-tier write failure is contained: the entry is already
+            # in the memory tier, only warm restarts lose it.
+            self._count_disk_error()
+            return
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(entry.to_dict(), fh)
             os.replace(tmp_name, path)
+        except OSError:
+            self._count_disk_error()
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
         except BaseException:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
             raise
+
+    def _count_disk_error(self) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("tunedb.disk_errors")
 
     def invalidate(self, fingerprint: str) -> None:
         """Drop one entry from both tiers (stale confirmation, etc.)."""

@@ -1,0 +1,294 @@
+"""End-to-end deadline propagation, hedged replicas, graceful signals,
+and the exactly-once completion funnel.
+
+The process-level tests fork real workers (chaos-sized workloads, all
+context-managed); the race tests drive the supervisor's ``_finish_copy``
+funnel directly on an unstarted supervisor, where both sides of each
+race can be sequenced deterministically.
+"""
+
+import math
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterSupervisor
+from repro.cluster.supervisor import _Tracked, _Worker
+from repro.models import layernorm_graph, mlp_graph
+from repro.resilience import faults
+from repro.runtime.kernels import execute_graph_reference, random_feeds
+from repro.serve import HAVE_FCNTL, Request, WorkerCrashed
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_FCNTL, reason="cluster tests assume POSIX (fcntl, fork)")
+
+
+def _graphs():
+    return {
+        "mlp": mlp_graph(3, 64, 32, 48, name="ddl_mlp"),
+        "ln": layernorm_graph(48, 64, name="ddl_ln"),
+    }
+
+
+def _config(tmp_path, **overrides):
+    defaults = dict(workers=2, cache_dir=str(tmp_path / "cache"),
+                    health_interval_s=0.1, heartbeat_timeout_s=10.0)
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def _wait(predicate, timeout_s=60.0, interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+class TestDeadlinePropagation:
+    def test_supervisor_elapsed_deducted_before_dispatch(self, tmp_path):
+        """The regression the re-timing fix guards: time the request
+        spends on the supervisor (routing, queueing) must come out of
+        its end-to-end budget.  With 60ms of injected dispatch delay and
+        a 30ms budget, a supervisor that forwarded the *full* budget
+        would have the warm worker answer comfortably; deducting elapsed
+        time leaves nothing, so the request must die at dispatch and
+        never cross the wire."""
+        graphs = _graphs()
+        with ClusterSupervisor(graphs, _config(tmp_path)) as sup:
+            # Warm the shard so a dispatched request would answer in ~ms.
+            sup.infer("mlp", random_feeds(graphs["mlp"], seed=0),
+                      timeout=60.0)
+            served_before = sum(
+                snap.get("requests_served", 0)
+                for snap in sup.worker_stats().values())
+            with faults.registry().armed({"cluster.dispatch": "delay(60)"}):
+                req = sup.submit("mlp", random_feeds(graphs["mlp"], seed=1),
+                                 timeout=0.03)
+            with pytest.raises(TimeoutError, match="budget before dispatch"):
+                req.result(timeout=5.0)
+            assert req.resolutions == 1
+            assert sup.metrics.get("deadline.expired_dispatch") == 1
+            served_after = sum(
+                snap.get("requests_served", 0)
+                for snap in sup.worker_stats().values())
+        assert served_after == served_before
+
+    def test_generous_budget_survives_dispatch_delay(self, tmp_path):
+        """Same injected delay, budget big enough to absorb it: the
+        worker receives the *remaining* budget and still answers in
+        time — deduction must not expire healthy requests."""
+        graphs = _graphs()
+        expected = execute_graph_reference(graphs["mlp"],
+                                           random_feeds(graphs["mlp"],
+                                                        seed=0))
+        with ClusterSupervisor(graphs, _config(tmp_path)) as sup:
+            sup.infer("mlp", random_feeds(graphs["mlp"], seed=0),
+                      timeout=60.0)
+            with faults.registry().armed({"cluster.dispatch": "delay(60)"}):
+                reply = sup.infer("mlp",
+                                  random_feeds(graphs["mlp"], seed=0),
+                                  timeout=10.0)
+            for name, arr in expected.items():
+                np.testing.assert_allclose(reply.outputs[name], arr,
+                                           atol=1e-8)
+            assert sup.metrics.get("deadline.expired_dispatch") == 0
+
+
+class TestHedging:
+    def test_hedge_wins_on_slow_replica(self, tmp_path):
+        """A slow routed worker forces the hedge timer to re-issue to
+        the replica; the hedge answers correctly, the slow original is
+        counted as wasted, and outstanding hedges never exceed the
+        configured fraction of open requests."""
+        graphs = _graphs()
+        config = _config(tmp_path, replication=2, hedge_delay_s=0.05,
+                         hedge_max_fraction=0.5)
+        expected = execute_graph_reference(graphs["mlp"],
+                                           random_feeds(graphs["mlp"],
+                                                        seed=0))
+        with ClusterSupervisor(graphs, config) as sup:
+            for name in graphs:        # warm both shards' compiles
+                sup.infer(name, random_feeds(graphs[name], seed=0),
+                          timeout=60.0)
+            primary = sup.owners_for("mlp")[0]
+            assert sup.arm_faults(primary,
+                                  {"cluster.worker.slow": "delay(500)"})
+            t0 = time.monotonic()
+            reply = sup.infer("mlp", random_feeds(graphs["mlp"], seed=0),
+                              timeout=30.0)
+            elapsed = time.monotonic() - t0
+            for name, arr in expected.items():
+                np.testing.assert_allclose(reply.outputs[name], arr,
+                                           atol=1e-8)
+            # Answered by the hedge, not by waiting out the slow worker.
+            assert elapsed < 0.45
+            assert sup.metrics.get("hedge.issued") >= 1
+            _wait(lambda: sup.metrics.get("hedge.won") >= 1, timeout_s=5.0)
+            assert sup.metrics.get("hedge.won") >= 1
+            snap = sup.metrics.snapshot()
+            peak_out = snap.get("gauge.hedge.peak_outstanding", 0)
+            peak_open = snap.get("gauge.hedge.peak_open_requests", 1)
+            assert peak_out <= max(
+                1, math.floor(config.hedge_max_fraction * peak_open))
+
+    def test_no_hedge_without_replica_or_when_disabled(self, tmp_path):
+        graphs = _graphs()
+        config = _config(tmp_path, hedge=False, hedge_delay_s=0.01)
+        with ClusterSupervisor(graphs, config) as sup:
+            sup.infer("mlp", random_feeds(graphs["mlp"], seed=0),
+                      timeout=60.0)
+            assert sup.metrics.get("hedge.issued") == 0
+            assert sup._hedge_delay("mlp") is None
+
+
+class TestGracefulSignals:
+    def test_worker_sigterm_drains_and_exits_zero(self, tmp_path):
+        """SIGTERM to one worker process: it finishes in-flight work and
+        exits cleanly (code 0), and the supervisor replaces it."""
+        graphs = _graphs()
+        with ClusterSupervisor(graphs, _config(tmp_path)) as sup:
+            sup.infer("mlp", random_feeds(graphs["mlp"], seed=0),
+                      timeout=60.0)
+            name = sup.owners_for("mlp")[0]
+            victim = sup._workers[name].proc
+            restarts_before = sup.metrics.get("workers.restarts")
+            os.kill(victim.pid, signal.SIGTERM)
+            assert _wait(lambda: victim.exitcode is not None,
+                         timeout_s=30.0)
+            assert victim.exitcode == 0
+            # The supervisor sees the pipe close and brings up a fresh
+            # generation; the shard keeps serving.
+            assert _wait(lambda: sup.metrics.get("workers.restarts")
+                         > restarts_before
+                         and sup.health()["workers"][name]["up"],
+                         timeout_s=30.0)
+            sup.infer("mlp", random_feeds(graphs["mlp"], seed=1),
+                      timeout=60.0)
+
+    def test_supervisor_sigterm_drains_fleet(self, tmp_path):
+        """SIGTERM with the cluster's handlers installed: the whole
+        fleet drains (workers exit 0, final stats collected) before the
+        process re-raises SystemExit(143)."""
+        graphs = _graphs()
+        sup = ClusterSupervisor(graphs, _config(tmp_path))
+        sup.start()
+        restore = sup.install_signal_handlers()
+        try:
+            sup.infer("mlp", random_feeds(graphs["mlp"], seed=0),
+                      timeout=60.0)
+            procs = [w.proc for w in sup._workers.values()]
+            with pytest.raises(SystemExit) as excinfo:
+                os.kill(os.getpid(), signal.SIGTERM)
+                time.sleep(5.0)     # interrupted by the handler
+            assert excinfo.value.code == 143
+            for proc in procs:
+                assert _wait(lambda: proc.exitcode is not None,
+                             timeout_s=30.0)
+                assert proc.exitcode == 0
+            assert sup.worker_stats()      # drain collected final stats
+        finally:
+            restore()
+            sup.stop(drain=False)
+
+
+def _payload(latency_s=0.001):
+    return {"outputs": {"y": np.zeros(2)}, "degraded": False,
+            "reason": None, "latency_s": latency_s}
+
+
+class TestExactlyOnceRaces:
+    """Both sides of each completion race, sequenced deterministically
+    against the ``_finish_copy`` funnel of an unstarted supervisor."""
+
+    def _sup(self):
+        sup = ClusterSupervisor({"mlp": mlp_graph(3, 64, 32, 48,
+                                                  name="race_mlp")})
+        wa = _Worker("wa", None, None, 1)
+        wb = _Worker("wb", None, None, 1)
+        return sup, wa, wb
+
+    def _tracked(self, deadline=None):
+        request = Request(workload="mlp", feeds={})
+        return _Tracked(request, "mlp", "default", 1, deadline)
+
+    def test_hedge_winner_then_original_resolves_once(self):
+        sup, wa, wb = self._sup()
+        tracked = self._tracked()
+        tracked.copies = {1: "wa", 2: "wb"}
+        tracked.hedged, tracked.hedge_req_id = True, 2
+        sup._hedges_out = 1
+        sup._finish_copy(wb, 2, tracked, payload=_payload())   # hedge wins
+        sup._finish_copy(wa, 1, tracked, payload=_payload())   # loser lands
+        assert tracked.request.resolutions == 1
+        assert tracked.request.error is None
+        assert sup.metrics.get("hedge.won") == 1
+        assert sup.metrics.get("hedge.wasted") == 1
+        assert sup._hedges_out == 0
+
+    def test_original_beats_hedge_no_double_resolution(self):
+        sup, wa, wb = self._sup()
+        tracked = self._tracked()
+        tracked.copies = {1: "wa", 2: "wb"}
+        tracked.hedged, tracked.hedge_req_id = True, 2
+        sup._hedges_out = 1
+        sup._finish_copy(wa, 1, tracked, payload=_payload())
+        sup._finish_copy(wb, 2, tracked, payload=_payload())
+        assert tracked.request.resolutions == 1
+        assert sup.metrics.get("hedge.won") == 0
+        assert sup.metrics.get("hedge.wasted") == 1
+        assert sup._hedges_out == 0
+
+    def test_expiry_racing_reply_withholds_the_result(self):
+        sup, wa, _ = self._sup()
+        tracked = self._tracked(deadline=time.monotonic() + 10.0)
+        tracked.copies = {1: "wa"}
+        sup._expire_tracked(tracked)              # timer fires first
+        sup._finish_copy(wa, 1, tracked, payload=_payload())
+        assert tracked.request.resolutions == 1
+        assert isinstance(tracked.request.error, TimeoutError)
+        assert sup.metrics.get("deadline.expired_supervisor") == 1
+
+    def test_reply_past_deadline_is_never_published(self):
+        sup, wa, _ = self._sup()
+        tracked = self._tracked(deadline=time.monotonic() - 0.01)
+        tracked.copies = {1: "wa"}
+        sup._finish_copy(wa, 1, tracked, payload=_payload())
+        assert tracked.request.resolutions == 1
+        assert isinstance(tracked.request.error, TimeoutError)
+        assert sup.metrics.get("deadline.expired_reply") == 1
+
+    def test_crash_drain_skips_already_resolved_requests(self):
+        """``_handle_crash`` drains the dead worker's book through the
+        same funnel: a request whose reply already resolved it must not
+        be failed again by the crash sweep."""
+        sup, wa, wb = self._sup()
+        tracked = self._tracked()
+        tracked.copies = {1: "wa", 2: "wb"}
+        tracked.hedged, tracked.hedge_req_id = True, 2
+        sup._hedges_out = 1
+        sup._finish_copy(wb, 2, tracked, payload=_payload())
+        sup._finish_copy(wa, 1, tracked,
+                         error=WorkerCrashed("wa", "died mid-flight"))
+        assert tracked.request.resolutions == 1
+        assert tracked.request.error is None
+
+    def test_first_copy_error_held_until_last_copy_fails(self):
+        """An error on one copy while another is still out must wait:
+        only the final copy's failure fails the request."""
+        sup, wa, wb = self._sup()
+        tracked = self._tracked()
+        tracked.copies = {1: "wa", 2: "wb"}
+        tracked.hedged, tracked.hedge_req_id = True, 2
+        sup._hedges_out = 1
+        sup._finish_copy(wa, 1, tracked,
+                         error=WorkerCrashed("wa", "died mid-flight"))
+        assert not tracked.request.done()         # hedge may still win
+        sup._finish_copy(wb, 2, tracked,
+                         error=WorkerCrashed("wb", "also died"))
+        assert tracked.request.resolutions == 1
+        assert isinstance(tracked.request.error, WorkerCrashed)

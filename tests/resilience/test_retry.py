@@ -102,6 +102,75 @@ class _Clock:
         return self.now
 
 
+class TestRetryDeadline:
+    """``deadline_s``: an absolute budget no backoff sleep may cross."""
+
+    def test_none_deadline_keeps_legacy_behaviour(self):
+        fn = _Flaky(2)
+        policy = RetryPolicy(max_attempts=3, seed=0)
+        assert policy.call(fn, sleep=lambda s: None,
+                           deadline_s=None) == "ok"
+        assert fn.calls == 3
+
+    def test_sleep_that_would_cross_deadline_is_skipped(self):
+        clock = _Clock()
+        clock.now = 100.0
+        fn = _Flaky(9)
+        capped = []
+        slept = []
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.05,
+                             jitter=0.0, seed=0)
+        # First retry would sleep until 100.05 > 100.02: raise instead,
+        # with the deadline hook (not the retry hook) observing it.
+        with pytest.raises(RuntimeError, match="transient #1"):
+            policy.call(fn, sleep=slept.append, clock=clock,
+                        deadline_s=100.02,
+                        on_deadline=lambda n, e, d: capped.append((n, d)))
+        assert fn.calls == 1
+        assert slept == []
+        assert capped == [(1, 0.05)]
+
+    def test_far_deadline_never_caps(self):
+        clock = _Clock()
+        fn = _Flaky(2)
+        capped = []
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.01,
+                             jitter=0.0, seed=0)
+        assert policy.call(fn, sleep=lambda s: clock.__setattr__(
+                               "now", clock.now + s),
+                           clock=clock, deadline_s=1e9,
+                           on_deadline=lambda n, e, d: capped.append(n)
+                           ) == "ok"
+        assert fn.calls == 3
+        assert capped == []
+
+    def test_deadline_mid_chain_caps_remaining_retries(self):
+        clock = _Clock()
+        fn = _Flaky(9)
+        slept = []
+
+        def sleep(s):
+            slept.append(s)
+            clock.now += s
+
+        policy = RetryPolicy(max_attempts=10, base_delay_s=0.05,
+                             multiplier=1.0, jitter=0.0, seed=0)
+        # Budget fits two backoffs (0.05 + 0.05 = 0.10 ≤ 0.12); the
+        # third would end at 0.15 > 0.12 and must be skipped.
+        with pytest.raises(RuntimeError, match="transient #3"):
+            policy.call(fn, sleep=sleep, clock=clock, deadline_s=0.12)
+        assert fn.calls == 3
+        assert slept == pytest.approx([0.05, 0.05])
+
+    def test_on_deadline_is_optional(self):
+        clock = _Clock()
+        policy = RetryPolicy(max_attempts=3, base_delay_s=1.0,
+                             jitter=0.0, seed=0)
+        with pytest.raises(RuntimeError):
+            policy.call(_Flaky(9), sleep=lambda s: None, clock=clock,
+                        deadline_s=0.5)
+
+
 class TestCircuitBreaker:
     def test_closed_allows(self):
         b = CircuitBreaker()
