@@ -3,6 +3,8 @@
 Paper: SpaceFusion's cross-architecture performance ratio averages
 1 : 2.26 : 4.34 against the 1 : 2.79 : 6.75 peak ratio (the CPU-side
 overhead dilutes the fastest parts), and speedups grow with capability.
+The widened sweep continues past the paper with the H200 (same Hopper
+compute class, 2.4x the DRAM bandwidth) and a Blackwell-class part.
 """
 
 from repro.bench import fig16c_arch_sensitivity, geomean
@@ -16,3 +18,19 @@ def test_fig16c_arch_sensitivity(report):
     assert amp < hop < 6.75
     print(f"\nperf ratio volta:ampere:hopper = 1:{amp:.2f}:{hop:.2f} "
           f"(paper: 1:2.26:4.34, peak 1:2.79:6.75)")
+
+
+def test_fig16c_new_presets_extend_the_curve(report):
+    """H200 and Blackwell must continue the capability scaling: each at
+    least as fast as the part below it, each below its own peak-ratio
+    headroom (the realised/peak gap keeps widening off-paper too)."""
+    result = report(lambda: fig16c_arch_sensitivity())
+    hop = geomean(result.column("perf_hopper"))
+    h200 = geomean(result.column("perf_h200"))
+    bw = geomean(result.column("perf_blackwell"))
+    assert hop <= h200 <= bw
+    # Peak tensor-flop ratios over Volta: H200 8.83x, Blackwell 20.1x.
+    assert h200 < 8.83
+    assert bw < 20.1
+    print(f"\nperf ratio hopper:h200:blackwell = "
+          f"{hop:.2f}:{h200:.2f}:{bw:.2f} (volta = 1)")

@@ -9,6 +9,7 @@ from .ablations import (
     ablation_uta_vs_split,
 )
 from .compile_time import table4_mha_breakdown, table5_model_compile_times
+from .costmodel import COSTMODEL_WORKLOADS, bench_costmodel
 from .end_to_end import (
     fig14_end_to_end,
     fig16a_ablation,
@@ -35,7 +36,9 @@ from .subgraphs import (
 )
 
 __all__ = [
+    "COSTMODEL_WORKLOADS",
     "ExperimentResult",
+    "bench_costmodel",
     "LOAD_WORKLOADS",
     "LoadConfig",
     "LoadReport",

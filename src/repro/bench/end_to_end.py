@@ -132,30 +132,40 @@ def fig16b_input_sensitivity(arch: str = "ampere", models=DEFAULT_MODELS,
     return result
 
 
+#: Figure 16(c) sweep: the paper's three platforms plus the post-paper
+#: presets that extend the bandwidth/compute axes.
+FIG16C_ARCHS: tuple[str, ...] = ("volta", "ampere", "hopper", "h200",
+                                 "blackwell")
+
+
 def fig16c_arch_sensitivity(models=DEFAULT_MODELS, batch: int = 32,
-                            seq: int = 512) -> ExperimentResult:
-    """Figure 16(c): SpaceFusion performance and speedup across Volta /
-    Ampere / Hopper, normalised to Volta (paper: average performance ratio
-    1 : 2.26 : 4.34 against a peak ratio of 1 : 2.79 : 6.75)."""
+                            seq: int = 512,
+                            archs=FIG16C_ARCHS) -> ExperimentResult:
+    """Figure 16(c): SpaceFusion performance and speedup across GPU
+    generations, normalised to Volta (paper: average performance ratio
+    1 : 2.26 : 4.34 over Volta/Ampere/Hopper against a peak ratio of
+    1 : 2.79 : 6.75).  The widened sweep adds the H200 (Hopper compute,
+    2.4x the bandwidth) and a Blackwell-class part beyond the paper."""
+    archs = tuple(archs)
+    columns = ["model"]
+    columns += [f"perf_{a}" for a in archs]
+    columns += [f"su_{a}" for a in archs]
     result = ExperimentResult(
         "fig16c", "Architecture sensitivity (normalised to Volta)",
-        ["model", "perf_volta", "perf_ampere", "perf_hopper",
-         "su_volta", "su_ampere", "su_hopper"])
+        columns)
+    base_arch = archs[0]
     for model in models:
         perf = {}
         su = {}
-        for arch in ("volta", "ampere", "hopper"):
+        for arch in archs:
             gpu = ARCHITECTURES[arch]
             base = _model_time(model, batch, gpu, "pytorch", seq=seq)
             sf = _model_time(model, batch, gpu, "spacefusion", seq=seq)
             perf[arch] = 1.0 / sf
             su[arch] = base / sf
-        result.add_row(
-            model=model,
-            perf_volta=1.0,
-            perf_ampere=perf["ampere"] / perf["volta"],
-            perf_hopper=perf["hopper"] / perf["volta"],
-            su_volta=1.0,
-            su_ampere=su["ampere"] / su["volta"],
-            su_hopper=su["hopper"] / su["volta"])
+        row = {"model": model}
+        for arch in archs:
+            row[f"perf_{arch}"] = perf[arch] / perf[base_arch]
+            row[f"su_{arch}"] = su[arch] / su[base_arch]
+        result.add_row(**row)
     return result

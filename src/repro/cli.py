@@ -358,6 +358,57 @@ def cmd_bench_tuning(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_costmodel(args: argparse.Namespace) -> int:
+    """Cost-model calibration smoke: analytic vs event-sim vs traced run.
+
+    Cross-validates the analytical cost model over the workload zoo on
+    every GPU preset: byte-exact traced-load agreement, top-1 config-rank
+    agreement with the event-driven simulator, and read-hit-rate deltas
+    against its granule replay.  ``--check-*`` flags turn the floors into
+    exit codes — CI's calibration smoke.
+    """
+    import json
+
+    from .bench import bench_costmodel
+
+    result = bench_costmodel(workloads=args.workloads or None,
+                             archs=args.gpus or None)
+    print(result.render(float_fmt="{:.3f}"))
+    rc = 0
+    if args.check_bytes:
+        inexact = [r for r in result.rows if not r["bytes_exact"]]
+        for r in inexact:
+            print(f"FAILED: {r['workload']}/{r['arch']}/{r['kernel']} "
+                  f"traced {r['traced_mb']:.3f}MB != modeled "
+                  f"{r['modeled_mb']:.3f}MB", file=sys.stderr)
+        rc |= bool(inexact)
+    if args.check_rank is not None:
+        worst = max(result.column("top1_ratio"))
+        if worst > args.check_rank:
+            print(f"FAILED: worst top1 ratio {worst:.3f} > allowed "
+                  f"{args.check_rank:.3f}", file=sys.stderr)
+            rc = 1
+    if args.check_hit is not None:
+        worst = max(result.column("hit_delta"))
+        if worst > args.check_hit:
+            print(f"FAILED: worst hit-rate delta {worst:.3f} > allowed "
+                  f"{args.check_hit:.3f}", file=sys.stderr)
+            rc = 1
+    if args.json:
+        payload = {
+            "experiment": "bench_costmodel",
+            "gpus": args.gpus or sorted(ARCHITECTURES),
+            "rows": result.rows,
+            "bytes_exact_all": all(result.column("bytes_exact")),
+            "worst_top1_ratio": max(result.column("top1_ratio")),
+            "worst_hit_delta": max(result.column("hit_delta")),
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+        print(f"\njson written to {args.json}")
+    return rc
+
+
 def cmd_tunedb(args: argparse.Namespace) -> int:
     """Inspect / maintain a tuning-database directory."""
     import json
@@ -798,6 +849,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero unless the cold-DB reduction "
                         "is >= X")
     p.set_defaults(fn=cmd_bench_tuning)
+
+    p = sub.add_parser("bench-costmodel",
+                       help="cross-validate the analytic cost model "
+                            "against the event simulator and traced "
+                            "execution on every preset")
+    p.add_argument("--workloads", nargs="*", default=None,
+                   metavar="NAME",
+                   choices=sorted(bench_mod.COSTMODEL_WORKLOADS),
+                   help="subset of calibration workloads (default: all)")
+    p.add_argument("--gpus", nargs="*", default=None,
+                   choices=sorted(ARCHITECTURES), metavar="ARCH",
+                   help="presets to calibrate on (default: all, "
+                        "including h200 and blackwell)")
+    p.add_argument("--check-bytes", action="store_true",
+                   dest="check_bytes",
+                   help="exit non-zero unless traced loads equal modeled "
+                        "loads byte-exactly on every kernel")
+    p.add_argument("--check-rank", type=float, default=None, metavar="X",
+                   dest="check_rank",
+                   help="exit non-zero if the analytic winner's "
+                        "event-simulated time exceeds X times the event "
+                        "sim's best (1.0 = strict top-1 agreement)")
+    p.add_argument("--check-hit", type=float, default=None, metavar="X",
+                   dest="check_hit",
+                   help="exit non-zero if any analytic-vs-replay read "
+                        "hit-rate delta exceeds X")
+    p.add_argument("--json", default=None, metavar="OUT.json",
+                   help="also write the rows as JSON "
+                        "(BENCH_costmodel format)")
+    p.set_defaults(fn=cmd_bench_costmodel)
 
     p = sub.add_parser("tunedb",
                        help="inspect or maintain a tuning database")

@@ -1,19 +1,41 @@
-"""Hardware substrate: GPU specs, memory model, and the cost simulator."""
+"""Hardware substrate: GPU specs, memory model, and the cost simulators."""
 
 from .counters import PerfCounters
-from .memory import L2State
-from .simulator import DeviceSimulator, KernelCostBreakdown
-from .specs import AMPERE, ARCHITECTURES, HOPPER, VOLTA, GPUSpec, get_gpu
+from .event_sim import EventDrivenSimulator, EventSimResult, cross_check, \
+    cross_check_hierarchy
+from .memory import GranuleCache, L2State, streaming_hit_rate
+from .simulator import DeviceSimulator, KernelCostBreakdown, TensorTraffic
+from .specs import (
+    AMPERE,
+    ARCHITECTURES,
+    BLACKWELL,
+    H200,
+    HOPPER,
+    PAPER_ARCHITECTURES,
+    VOLTA,
+    GPUSpec,
+    get_gpu,
+)
 
 __all__ = [
     "AMPERE",
     "ARCHITECTURES",
+    "BLACKWELL",
     "DeviceSimulator",
+    "EventDrivenSimulator",
+    "EventSimResult",
     "GPUSpec",
+    "GranuleCache",
+    "H200",
     "HOPPER",
     "KernelCostBreakdown",
     "L2State",
+    "PAPER_ARCHITECTURES",
     "PerfCounters",
+    "TensorTraffic",
     "VOLTA",
+    "cross_check",
+    "cross_check_hierarchy",
     "get_gpu",
+    "streaming_hit_rate",
 ]

@@ -2,12 +2,13 @@
 
 The memory/cache analysis of Figure 15 reports L1 miss counts, L2 miss
 counts, and device-memory data movement; these counters carry exactly those
-quantities plus the timing totals the speedup figures need.
+quantities plus the timing totals the speedup figures need and the per-tier
+hit bytes of the cache-hierarchy model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
@@ -19,8 +20,14 @@ class PerfCounters:
     #: Bytes moved between device memory and L2 (the "data movement" of
     #: Figure 15's right panel).
     dram_bytes: int = 0
-    #: Bytes the SMs pulled past the L1/shared level (global loads+stores).
+    #: Bytes the SMs pulled past the L1/shared level into L2 (global
+    #: loads+stores minus the loads served out of L1).
     l1_fill_bytes: int = 0
+    #: Bytes served out of L1/shared without reaching L2 (intra-block
+    #: pass-2 re-reads that stayed resident).
+    l1_hit_bytes: int = 0
+    #: Bytes served out of L2 without reaching DRAM.
+    l2_hit_bytes: int = 0
     flops_tensor: float = 0.0
     flops_simt: float = 0.0
 
@@ -34,11 +41,25 @@ class PerfCounters:
     def l2_miss_count(self) -> int:
         return self.dram_bytes // self.line_bytes
 
+    @property
+    def l1_hit_rate(self) -> float:
+        """Fraction of global accesses served at the L1/shared level."""
+        total = self.l1_fill_bytes + self.l1_hit_bytes
+        return self.l1_hit_bytes / total if total else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """Fraction of L2 accesses served without going to DRAM."""
+        return self.l2_hit_bytes / self.l1_fill_bytes \
+            if self.l1_fill_bytes else 0.0
+
     def add(self, other: "PerfCounters") -> "PerfCounters":
         self.time_s += other.time_s
         self.kernel_launches += other.kernel_launches
         self.dram_bytes += other.dram_bytes
         self.l1_fill_bytes += other.l1_fill_bytes
+        self.l1_hit_bytes += other.l1_hit_bytes
+        self.l2_hit_bytes += other.l2_hit_bytes
         self.flops_tensor += other.flops_tensor
         self.flops_simt += other.flops_simt
         return self
@@ -50,6 +71,8 @@ class PerfCounters:
             kernel_launches=self.kernel_launches * factor,
             dram_bytes=self.dram_bytes * factor,
             l1_fill_bytes=self.l1_fill_bytes * factor,
+            l1_hit_bytes=self.l1_hit_bytes * factor,
+            l2_hit_bytes=self.l2_hit_bytes * factor,
             flops_tensor=self.flops_tensor * factor,
             flops_simt=self.flops_simt * factor,
             line_bytes=self.line_bytes,
@@ -58,4 +81,5 @@ class PerfCounters:
     def summary(self) -> str:
         return (f"time={self.time_s*1e3:.3f}ms launches={self.kernel_launches} "
                 f"dram={self.dram_bytes/1e6:.2f}MB "
-                f"l1_miss={self.l1_miss_count} l2_miss={self.l2_miss_count}")
+                f"l1_miss={self.l1_miss_count} l2_miss={self.l2_miss_count} "
+                f"l1_hit={self.l1_hit_rate:.0%} l2_hit={self.l2_hit_rate:.0%}")

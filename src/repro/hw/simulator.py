@@ -3,34 +3,45 @@
 For each scheduled kernel the simulator derives, from the schedule structure
 alone (no numerical execution):
 
-* **global traffic** — per-block input slices times the grid, so One-to-All
-  duplication across blocks is visible; pass-2 epilogues re-read their
-  inputs; intermediates inside a fused kernel cost nothing (they stay
-  on-chip, the whole point of operator fusion);
-* **DRAM traffic** — global loads filtered through an inter-kernel L2
-  residency model plus an intra-kernel reuse rule (data re-read by many
-  blocks is fetched once if it fits in L2, once per block otherwise);
-* **time** — max of tensor-core time, SIMT time and memory time, scaled by
-  occupancy/wave effects, plus per-kernel launch overhead (CUDA-graph aware).
+* **global traffic** — exact per-tensor load accounting over the grid
+  (sliced dimensions are partitioned exactly, so edge blocks on
+  indivisible grids are not over-counted; spatial dimensions absent from a
+  tensor duplicate its fetch once per block along them — the One-to-All
+  duplication), with pass-2 epilogues re-reading their inputs;
+  intermediates inside a fused kernel cost nothing (they stay on-chip, the
+  whole point of operator fusion);
+* **cache hierarchy** — a two-tier hit-rate model: intra-block pass-2
+  re-reads hit L1/shared when the block's staged footprint fits
+  (reuse-distance approximation), cross-block re-reads hit L2 as a
+  function of the kernel's streamed working set vs capacity, and an
+  inter-kernel :class:`~repro.hw.memory.L2State` LRU carries producer
+  outputs to consumer kernels;
+* **time** — max of tensor-core time, SIMT time (per-architecture
+  instruction latency tables) and per-tier memory time, scaled by a
+  Little's-law memory-level-parallelism/occupancy factor and wave effects,
+  plus per-kernel launch overhead (CUDA-graph aware).
 
 The absolute numbers are a model, not silicon; what the reproduction relies
 on is that the *ratios* between schedules (fused vs unfused, SpaceFusion vs
 FlashAttention, Volta vs Hopper) are governed by the same first-order terms
-as on the paper's hardware: data movement, launch count, parallelism and
-peak throughput.
+as on the paper's hardware: data movement, cache behaviour, launch count,
+parallelism and peak throughput.  The model is cross-validated two ways:
+byte-exact global-load agreement with the tracing executor
+(``tests/integration/test_model_validation.py``) and hit-rate/ranking
+agreement with the event-driven simulator (``repro bench-costmodel``).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.resources import estimate_block_resources
 from ..core.schedule import KernelSchedule, ProgramSchedule, ScheduleConfig
-from ..ir.ops import transcendental_weight
+from ..ir.ops import ceil_div
 from ..ir.tensor import DTYPE_BYTES
 from .counters import PerfCounters
-from .memory import L2State
+from .memory import L2State, streaming_hit_rate
 from .specs import GPUSpec
 
 #: Baseline fraction of peak tensor-core throughput a generated kernel
@@ -40,9 +51,36 @@ _GEMM_BASE_EFFICIENCY = 0.70
 _SIMT_EFFICIENCY = 0.60
 #: Fraction of peak DRAM bandwidth streaming kernels achieve.
 _DRAM_EFFICIENCY = 0.80
-#: Fraction of over-L2 re-reads that still miss to DRAM after block
-#: rasterisation (swizzled scheduling shares slices between neighbours).
+#: Asymptotic fraction of over-L2 re-reads that still miss to DRAM after
+#: block rasterisation (swizzled scheduling shares slices between
+#: neighbours even when the working set overflows the cache).
 _L2_SPILL_REUSE = 0.25
+
+
+@dataclass(frozen=True)
+class TensorTraffic:
+    """Structural traffic of one input tensor under one configuration."""
+
+    tensor: str
+    #: The tensor's full size in device memory.
+    full_bytes: int
+    #: Exact global-load bytes of one pass over the whole grid: sliced
+    #: dimensions partition exactly (edge blocks read only the remainder),
+    #: absent spatial dimensions duplicate the fetch per block.
+    pass_bytes: int
+    #: One block's staged slice (nominal, interior block).
+    block_bytes: int
+    #: Number of passes over the grid (pass-1/pass-2 membership times any
+    #: manual ``input_read_multiplier``).
+    passes: float
+    #: Blocks sharing one slice: product of grid extents along spatial
+    #: dimensions the tensor does not carry (One-to-All duplication).
+    dup: int
+
+    @property
+    def load_bytes(self) -> int:
+        """Total global loads across all passes."""
+        return int(self.pass_bytes * self.passes)
 
 
 @dataclass
@@ -58,6 +96,21 @@ class KernelCostBreakdown:
     compute_time: float
     memory_time: float
     time_s: float
+    #: Hierarchy detail: bytes served per tier and the resulting rates.
+    l1_hit_bytes: int = 0
+    l2_hit_bytes: int = 0
+    #: Fraction of global load bytes that never left the SM (L1/shared).
+    l1_hit_rate: float = 0.0
+    #: Fraction of load bytes reaching L2 that were served without DRAM.
+    l2_hit_rate: float = 0.0
+    #: Fraction of input-tensor load bytes served above DRAM (any tier) —
+    #: the quantity the event-driven simulator replays and cross-checks.
+    read_hit_rate: float = 0.0
+    #: DRAM bytes attributable to input-tensor reads alone (no stores, no
+    #: spilled-output re-reads) — the replayed quantity.
+    read_dram_bytes: int = 0
+    #: Per-input-tensor structural traffic (the event sim replays these).
+    traffic: list[TensorTraffic] = field(default_factory=list)
 
 
 class DeviceSimulator:
@@ -72,9 +125,9 @@ class DeviceSimulator:
 
     def _block_bytes(self, kernel: KernelSchedule, tensor: str,
                      config: ScheduleConfig) -> int:
-        """Bytes of ``tensor`` one SMG block reads over its whole lifetime
-        (the temporal dimension is streamed, so it contributes its full
-        extent; spatial dimensions contribute the block size)."""
+        """Bytes of ``tensor`` one interior SMG block stages over its whole
+        lifetime (the temporal dimension is streamed, so it contributes its
+        full extent; spatial dimensions contribute the block size)."""
         graph = kernel.exec_graph
         spec = graph.tensors[tensor]
         elems = 1
@@ -83,6 +136,31 @@ class DeviceSimulator:
             size = graph.dims.size(d)
             elems *= min(block, size) if block is not None else size
         return elems * DTYPE_BYTES[spec.dtype]
+
+    def _pass_loads(self, kernel: KernelSchedule, tensor: str,
+                    config: ScheduleConfig) -> tuple[int, int]:
+        """(exact bytes of ``tensor`` the whole grid loads in one pass,
+        blocks sharing one slice).
+
+        Spatially sliced dimensions the tensor carries are partitioned
+        exactly across their blocks — summing the edge blocks' remainders,
+        not rounding them up — so indivisible grids are not over-counted.
+        Spatial dimensions the tensor lacks re-fetch it once per block
+        along them (the One-to-All duplication)."""
+        graph = kernel.exec_graph
+        spec = graph.tensors[tensor]
+        elems = 1
+        for d in spec.dims:
+            elems *= graph.dims.size(d)
+        tensor_dims = set(spec.dims)
+        dup = 1
+        for d in kernel.spatial_dims:
+            if d in tensor_dims:
+                continue
+            block = config.block_of(d)
+            if block is not None:
+                dup *= ceil_div(kernel.smg.dim_size(d), block)
+        return elems * dup * DTYPE_BYTES[spec.dtype], dup
 
     def _pass_inputs(self, kernel: KernelSchedule) -> tuple[set[str], set[str]]:
         """Input tensors read in pass 1 and (again) in pass 2."""
@@ -100,9 +178,35 @@ class DeviceSimulator:
         }
         return p1, p2
 
+    def input_traffic(self, kernel: KernelSchedule,
+                      config: ScheduleConfig | None = None,
+                      ) -> list[TensorTraffic]:
+        """Structural per-input traffic (shared with the event simulator)."""
+        cfg = config or kernel.effective_config()
+        p1_inputs, p2_inputs = self._pass_inputs(kernel)
+        # Manual kernels may stream their inputs more often than the
+        # canonical two-pass structure (e.g. the Triton LayerNorm tutorial
+        # makes separate mean / variance / normalise loops: three reads).
+        read_multiplier = float(kernel.meta.get("input_read_multiplier", 1.0))
+        graph = kernel.exec_graph
+        out = []
+        for tensor in sorted(p1_inputs | p2_inputs):
+            pass_bytes, dup = self._pass_loads(kernel, tensor, cfg)
+            passes = ((1 if tensor in p1_inputs else 0)
+                      + (1 if tensor in p2_inputs else 0)) * read_multiplier
+            out.append(TensorTraffic(
+                tensor=tensor,
+                full_bytes=graph.tensors[tensor].nbytes(graph.dims),
+                pass_bytes=pass_bytes,
+                block_bytes=self._block_bytes(kernel, tensor, cfg),
+                passes=passes,
+                dup=dup,
+            ))
+        return out
+
     def _op_flops(self, kernel: KernelSchedule) -> tuple[float, float]:
         """(tensor-core flops, weighted SIMT flops) including pass-2
-        recomputation."""
+        recomputation, weighted by the architecture's instruction table."""
         graph = kernel.exec_graph
         if kernel.plan is None:
             op_names = [op.name for op in graph.ops]
@@ -117,7 +221,7 @@ class DeviceSimulator:
             if op.is_contraction:
                 ftc += f
             else:
-                fsimt += f * transcendental_weight(op.kind)
+                fsimt += f * self.spec.instruction_weight(op.kind)
         return ftc, fsimt
 
     # ------------------------------------------------------------------
@@ -141,13 +245,22 @@ class DeviceSimulator:
 
     def _occupancy(self, kernel: KernelSchedule, config: ScheduleConfig,
                    ) -> tuple[int, float]:
-        """(blocks per SM, memory-latency-hiding factor)."""
+        """(blocks per SM, memory-latency-hiding factor).
+
+        The hiding factor is Little's law: covering the DRAM latency at
+        full effective bandwidth needs ``bandwidth x latency`` bytes in
+        flight; each resident block sustains ``mlp_per_block`` outstanding
+        cache lines, so low occupancy leaves the memory pipeline
+        under-fed and caps achievable bandwidth."""
+        spec = self.spec
         res = estimate_block_resources(kernel, config,
-                                       self.spec.resource_config())
-        by_smem = max(1, self.spec.smem_per_sm // max(res.smem_bytes, 1))
-        by_regs = max(1, self.spec.regfile_per_sm // max(res.reg_bytes, 1))
-        bps = max(1, min(self.spec.max_blocks_per_sm, by_smem, by_regs))
-        hide = 0.75 if bps == 1 else 1.0
+                                       spec.resource_config())
+        by_smem = max(1, spec.smem_per_sm // max(res.smem_bytes, 1))
+        by_regs = max(1, spec.regfile_per_sm // max(res.reg_bytes, 1))
+        bps = max(1, min(spec.max_blocks_per_sm, by_smem, by_regs))
+        inflight = bps * spec.mlp_per_block * spec.line_bytes * spec.sm_count
+        needed = spec.dram_bandwidth * _DRAM_EFFICIENCY * spec.dram_latency
+        hide = min(1.0, inflight / max(needed, 1.0))
         return bps, hide
 
     # ------------------------------------------------------------------
@@ -167,33 +280,56 @@ class DeviceSimulator:
             return self._barrier_cost(kernel, l2, launch_overhead)
 
         grid = kernel.grid_size(cfg)
+        traffic = self.input_traffic(kernel, cfg)
 
-        p1_inputs, p2_inputs = self._pass_inputs(kernel)
-        # Manual kernels may stream their inputs more often than the
-        # canonical two-pass structure (e.g. the Triton LayerNorm tutorial
-        # makes separate mean / variance / normalise loops: three reads).
-        read_multiplier = float(kernel.meta.get("input_read_multiplier", 1.0))
+        # --- L1/shared tier: intra-block re-reads ----------------------
+        # A block stages each operand slice once per pass; re-reads in
+        # later passes (pass-2 epilogues, extra manual sweeps) hit L1 when
+        # the block's staged footprint still fits.
+        block_fp = sum(t.block_bytes for t in traffic)
+        block_fp += sum(self._block_bytes(kernel, t, cfg)
+                        for t in graph.output_tensors)
+        l1_hit_frac = streaming_hit_rate(block_fp, spec.l1_capacity)
+
+        # --- L2 tier: cross-block re-reads -----------------------------
+        # The kernel's streamed working set competing for L2: every
+        # distinct byte it moves (inputs and outputs), each capped at the
+        # capacity.  The reuse hit rate decays as the set overflows, with
+        # a rasterisation floor: neighbouring blocks walk the same slices,
+        # so at most ``_L2_SPILL_REUSE`` of over-capacity re-reads miss.
+        stream_set = sum(min(t.full_bytes, spec.l2_capacity)
+                         for t in traffic)
+        stream_set += sum(
+            min(graph.tensors[t].nbytes(graph.dims), spec.l2_capacity)
+            for t in graph.output_tensors)
+        l2_hit_raw = streaming_hit_rate(stream_set, spec.l2_capacity)
+        reuse_miss_frac = (1.0 - l2_hit_raw) * _L2_SPILL_REUSE
+
         load_bytes = 0
         dram_bytes = 0
-        for tensor in sorted(p1_inputs | p2_inputs):
-            per_block = self._block_bytes(kernel, tensor, cfg)
-            passes = ((1 if tensor in p1_inputs else 0)
-                      + (1 if tensor in p2_inputs else 0)) * read_multiplier
-            total_loads = int(grid * per_block * passes)
+        l1_hit_bytes = 0
+        l2_access_bytes = 0
+        read_l2_access = 0
+        for t in traffic:
+            total_loads = t.load_bytes
             load_bytes += total_loads
-            full = graph.tensors[tensor].nbytes(graph.dims)
-            if l2 is not None and l2.is_resident(tensor):
-                l2.touch(tensor)
+            # Only the re-read passes can hit in L1.
+            l1_hits = int((total_loads - t.pass_bytes) * l1_hit_frac) \
+                if total_loads > t.pass_bytes else 0
+            l1_hit_bytes += l1_hits
+            l2_access = total_loads - l1_hits
+            l2_access_bytes += l2_access
+            read_l2_access += l2_access
+            if l2 is not None and l2.is_resident(t.tensor):
+                # Still resident from a producer kernel: no DRAM at all.
+                l2.touch(t.tensor)
                 tensor_dram = 0
-            elif full <= spec.l2_capacity // 2:
-                # Cross-block reuse is captured by L2: compulsory only.
-                tensor_dram = min(full, total_loads)
             else:
-                # Working set exceeds L2: blocks refetch their slices, but
-                # rasterised block scheduling keeps neighbouring blocks on
-                # the same slice, recovering partial reuse.
-                tensor_dram = max(full, int(total_loads * _L2_SPILL_REUSE))
+                compulsory = min(t.full_bytes, l2_access)
+                reuse = l2_access - compulsory
+                tensor_dram = compulsory + int(reuse * reuse_miss_frac)
             dram_bytes += tensor_dram
+        read_dram = dram_bytes
 
         spill = kernel.meta.get("output_spill_factor", 1.0)
         store_bytes = 0
@@ -202,10 +338,19 @@ class DeviceSimulator:
             store_bytes += int(full * spill)
             if spill > 1.0:
                 # Re-read of spilled partial outputs (FlashAttention-1's
-                # outer K/V loop rewrites O in device memory).
-                load_bytes += int(full * (spill - 1.0))
-                dram_bytes += int(full * (spill - 1.0))
+                # outer K/V loop rewrites O in device memory).  The
+                # partial output was just written, so the re-read goes
+                # through the same residency model as every other read:
+                # it hits L2 unless the kernel's streamed working set
+                # overflows the cache.  No rasterisation floor — each
+                # block re-reads its *own* slice a full outer iteration
+                # later, so neighbours share nothing.
+                re_read = int(full * (spill - 1.0))
+                load_bytes += re_read
+                l2_access_bytes += re_read
+                dram_bytes += int(re_read * (1.0 - l2_hit_raw))
         dram_bytes += store_bytes
+        l2_access_bytes += store_bytes
 
         if l2 is not None:
             for tensor in graph.output_tensors:
@@ -226,7 +371,6 @@ class DeviceSimulator:
             waves = math.ceil(grid / spec.sm_count)
             quant = waves / (grid / spec.sm_count)
             compute_time = compute_raw * quant
-            par_frac = 1.0
         else:
             par_frac = grid / spec.sm_count
             compute_time = compute_raw / max(par_frac, 1e-6)
@@ -234,18 +378,24 @@ class DeviceSimulator:
         bw_frac = min(1.0, grid / (spec.sm_count * 0.5)) * hide
         dram_time = dram_bytes / (spec.dram_bandwidth * _DRAM_EFFICIENCY
                                   * max(bw_frac, 1e-6))
-        l2_time = (load_bytes + store_bytes) / (spec.l2_bandwidth
-                                                * max(bw_frac, 1e-6))
+        l2_time = l2_access_bytes / (spec.l2_bandwidth * max(bw_frac, 1e-6))
+        l1_frac = min(1.0, grid / spec.sm_count)
+        l1_time = (load_bytes + store_bytes) / (spec.l1_bandwidth
+                                                * max(l1_frac, 1e-6))
         overhead = (spec.kernel_launch_overhead
                     if launch_overhead is None else launch_overhead)
-        exec_time = max(compute_time, dram_time, l2_time)
+        exec_time = max(compute_time, dram_time, l2_time, l1_time)
         time_s = exec_time + overhead
 
+        l1_fill = load_bytes + store_bytes - l1_hit_bytes
+        l2_hit_bytes = max(0, l1_fill - dram_bytes)
         counters = PerfCounters(
             time_s=time_s,
             kernel_launches=1,
             dram_bytes=dram_bytes,
-            l1_fill_bytes=load_bytes + store_bytes,
+            l1_fill_bytes=l1_fill,
+            l1_hit_bytes=l1_hit_bytes,
+            l2_hit_bytes=l2_hit_bytes,
             flops_tensor=ftc,
             flops_simt=fsimt,
             line_bytes=spec.line_bytes,
@@ -253,8 +403,18 @@ class DeviceSimulator:
         breakdown = KernelCostBreakdown(
             grid=grid, load_bytes=load_bytes, store_bytes=store_bytes,
             dram_bytes=dram_bytes, flops_tensor=ftc, flops_simt=fsimt,
-            compute_time=compute_time, memory_time=max(dram_time, l2_time),
+            compute_time=compute_time,
+            memory_time=max(dram_time, l2_time, l1_time),
             time_s=time_s,
+            l1_hit_bytes=l1_hit_bytes,
+            l2_hit_bytes=l2_hit_bytes,
+            l1_hit_rate=l1_hit_bytes / load_bytes if load_bytes else 0.0,
+            l2_hit_rate=(1.0 - dram_bytes / l2_access_bytes
+                         if l2_access_bytes else 0.0),
+            read_hit_rate=(1.0 - read_dram / max(read_l2_access, 1)
+                           if read_l2_access else 1.0),
+            read_dram_bytes=read_dram,
+            traffic=traffic,
         )
         return counters, breakdown
 
@@ -283,11 +443,17 @@ class DeviceSimulator:
         time_s = dram / (spec.dram_bandwidth * _DRAM_EFFICIENCY) + overhead
         counters = PerfCounters(
             time_s=time_s, kernel_launches=1, dram_bytes=dram,
-            l1_fill_bytes=load + store, line_bytes=spec.line_bytes)
+            l1_fill_bytes=load + store,
+            l2_hit_bytes=max(0, load + store - dram),
+            line_bytes=spec.line_bytes)
         breakdown = KernelCostBreakdown(
             grid=1, load_bytes=load, store_bytes=store, dram_bytes=dram,
             flops_tensor=0.0, flops_simt=0.0, compute_time=0.0,
-            memory_time=time_s - overhead, time_s=time_s)
+            memory_time=time_s - overhead, time_s=time_s,
+            l2_hit_bytes=max(0, load + store - dram),
+            l2_hit_rate=(1.0 - dram / (load + store)) if load + store else 0.0,
+            read_hit_rate=(1.0 - (dram - store) / load) if load else 1.0,
+            read_dram_bytes=dram - store)
         return counters, breakdown
 
     def kernel_time(self, kernel: KernelSchedule,

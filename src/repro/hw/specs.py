@@ -1,14 +1,17 @@
-"""GPU hardware specifications: the paper's three evaluation platforms.
+"""GPU hardware specifications: the paper's evaluation platforms and newer parts.
 
 The presets carry the public spec-sheet numbers for the V100 (Volta/SM70),
 A100 (Ampere/SM80) and H100 PCIe (Hopper/SM90) — the machines of section 6.
 The FP16 tensor-core peak ratio across the three presets is 1 : 2.79 : 6.75,
 the exact ratio the paper quotes in its architecture sensitivity study
-(Figure 16c).
+(Figure 16c).  Two post-paper presets — the Hopper-refresh H200 and a
+Blackwell-class B200 — widen the Figure 16c sweep beyond the paper's range.
 
 Only quantities the scheduling and cost models consume are included:
-SM count, on-chip capacities (the RCfg of Algorithm 1), bandwidths, peak
-throughputs, and kernel-launch overheads.
+SM count, on-chip capacities (the RCfg of Algorithm 1), cache capacities
+and bandwidths per tier, peak throughputs, per-family SIMT instruction
+weights, the DRAM latency/MLP parameters of the latency-hiding model, and
+kernel-launch overheads.
 """
 
 from __future__ import annotations
@@ -16,6 +19,34 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.resources import ResourceConfig
+from ..ir.ops import transcendental_weight
+
+#: Per-family SIMT instruction weights, in FMA-equivalents per scalar
+#: application.  These override the generic table in
+#: :func:`repro.ir.ops.transcendental_weight`: Volta's special-function
+#: units are narrow relative to its FMA pipes, while Hopper/Blackwell run
+#: fast-math transcendentals closer to FMA rate.  Entries are (kind, weight)
+#: pairs so a :class:`GPUSpec` stays frozen/hashable.
+VOLTA_INSTRUCTION_WEIGHTS = (
+    ("exp", 5.0), ("log", 5.0), ("erf", 8.0), ("gelu", 10.0),
+    ("tanh", 8.0), ("sigmoid", 6.0), ("silu", 6.0),
+    ("sqrt", 5.0), ("rsqrt", 5.0), ("pow", 8.0),
+)
+AMPERE_INSTRUCTION_WEIGHTS = (
+    ("exp", 4.0), ("log", 4.0), ("erf", 6.0), ("gelu", 8.0),
+    ("tanh", 6.0), ("sigmoid", 5.0), ("silu", 5.0),
+    ("sqrt", 4.0), ("rsqrt", 4.0), ("pow", 6.0),
+)
+HOPPER_INSTRUCTION_WEIGHTS = (
+    ("exp", 3.0), ("log", 3.0), ("erf", 5.0), ("gelu", 6.0),
+    ("tanh", 5.0), ("sigmoid", 4.0), ("silu", 4.0),
+    ("sqrt", 3.0), ("rsqrt", 3.0), ("pow", 5.0),
+)
+BLACKWELL_INSTRUCTION_WEIGHTS = (
+    ("exp", 2.5), ("log", 2.5), ("erf", 4.0), ("gelu", 5.0),
+    ("tanh", 4.0), ("sigmoid", 3.5), ("silu", 3.5),
+    ("sqrt", 2.5), ("rsqrt", 2.5), ("pow", 4.0),
+)
 
 
 @dataclass(frozen=True)
@@ -23,7 +54,7 @@ class GPUSpec:
     """An abstract GPU for scheduling and performance simulation."""
 
     name: str
-    arch: str                 # "volta" | "ampere" | "hopper"
+    arch: str                 # "volta" | "ampere" | "hopper" | "blackwell"
     sm_count: int
     #: Shared memory usable by one thread block (bytes).
     smem_per_block: int
@@ -47,6 +78,19 @@ class GPUSpec:
     #: Cache line / sector size used to convert bytes to miss counts.
     line_bytes: int = 128
     max_blocks_per_sm: int = 16
+    #: L1/texture (unified data cache) capacity per SM (bytes) and the
+    #: device-aggregate L1 bandwidth (bytes/s).
+    l1_capacity: int = 128 * 1024
+    l1_bandwidth: float = 12e12
+    #: Load-to-use DRAM latency (seconds) — with ``mlp_per_block`` this sets
+    #: how much memory-level parallelism is needed to saturate DRAM
+    #: (Little's law, see ``DeviceSimulator._occupancy``).
+    dram_latency: float = 450e-9
+    #: Outstanding cache lines one resident block sustains in flight.
+    mlp_per_block: int = 32
+    #: Per-family SIMT instruction weight overrides ((kind, weight) pairs);
+    #: kinds not listed fall back to the generic transcendental table.
+    instruction_weights: tuple[tuple[str, float], ...] = ()
 
     def resource_config(self) -> ResourceConfig:
         """The RCfg handed to Algorithm 1 (section 5.1)."""
@@ -54,6 +98,13 @@ class GPUSpec:
             smem_per_block=self.smem_per_block,
             regs_per_block=self.regfile_per_sm // 2,
         )
+
+    def instruction_weight(self, kind: str) -> float:
+        """FMA-equivalents of one scalar ``kind`` on this family."""
+        for k, w in self.instruction_weights:
+            if k == kind:
+                return w
+        return transcendental_weight(kind)
 
 
 VOLTA = GPUSpec(
@@ -68,6 +119,11 @@ VOLTA = GPUSpec(
     dram_bandwidth=900e9,
     l2_capacity=6 * 1024 * 1024,
     l2_bandwidth=2.2e12,
+    l1_capacity=128 * 1024,
+    l1_bandwidth=14e12,
+    dram_latency=440e-9,
+    mlp_per_block=24,
+    instruction_weights=VOLTA_INSTRUCTION_WEIGHTS,
 )
 
 AMPERE = GPUSpec(
@@ -82,6 +138,11 @@ AMPERE = GPUSpec(
     dram_bandwidth=2039e9,
     l2_capacity=40 * 1024 * 1024,
     l2_bandwidth=4.8e12,
+    l1_capacity=192 * 1024,
+    l1_bandwidth=19.5e12,
+    dram_latency=404e-9,
+    mlp_per_block=32,
+    instruction_weights=AMPERE_INSTRUCTION_WEIGHTS,
 )
 
 HOPPER = GPUSpec(
@@ -96,18 +157,71 @@ HOPPER = GPUSpec(
     dram_bandwidth=2000e9,
     l2_capacity=50 * 1024 * 1024,
     l2_bandwidth=5.5e12,
+    l1_capacity=256 * 1024,
+    l1_bandwidth=33e12,
+    dram_latency=480e-9,
+    mlp_per_block=40,
+    instruction_weights=HOPPER_INSTRUCTION_WEIGHTS,
 )
 
-#: The paper's three platforms, keyed by architecture label.
+#: Hopper refresh: same SM90 silicon as the H100 SXM with HBM3e — more SMs
+#: than the PCIe part and 2.4x its memory bandwidth, which is the whole
+#: point of the refresh (memory-bound workloads move, compute-bound don't).
+H200 = GPUSpec(
+    name="H200-SXM-141GB",
+    arch="hopper",
+    sm_count=132,
+    smem_per_block=227 * 1024,
+    smem_per_sm=228 * 1024,
+    regfile_per_sm=256 * 1024,
+    tensor_flops=989e12,
+    simt_flops=134e12,
+    dram_bandwidth=4800e9,
+    l2_capacity=50 * 1024 * 1024,
+    l2_bandwidth=8.0e12,
+    l1_capacity=256 * 1024,
+    l1_bandwidth=41e12,
+    dram_latency=500e-9,
+    mlp_per_block=48,
+    instruction_weights=HOPPER_INSTRUCTION_WEIGHTS,
+)
+
+#: Blackwell-class part (B200-like): spec-sheet numbers for the dense-FP16
+#: rate, HBM3e bandwidth and the much larger L2.
+BLACKWELL = GPUSpec(
+    name="B200-SXM-192GB",
+    arch="blackwell",
+    sm_count=148,
+    smem_per_block=227 * 1024,
+    smem_per_sm=228 * 1024,
+    regfile_per_sm=256 * 1024,
+    tensor_flops=2250e12,
+    simt_flops=150e12,
+    dram_bandwidth=8000e9,
+    l2_capacity=126 * 1024 * 1024,
+    l2_bandwidth=16e12,
+    l1_capacity=256 * 1024,
+    l1_bandwidth=54e12,
+    dram_latency=560e-9,
+    mlp_per_block=64,
+    instruction_weights=BLACKWELL_INSTRUCTION_WEIGHTS,
+)
+
+#: The paper's three platforms, in Figure 16c order.
+PAPER_ARCHITECTURES: tuple[str, ...] = ("volta", "ampere", "hopper")
+
+#: Every preset, keyed by architecture label.
 ARCHITECTURES: dict[str, GPUSpec] = {
     "volta": VOLTA,
     "ampere": AMPERE,
     "hopper": HOPPER,
+    "h200": H200,
+    "blackwell": BLACKWELL,
 }
 
 
 def get_gpu(name: str) -> GPUSpec:
-    """Look up a preset by architecture label or product name."""
+    """Look up a preset by architecture label or product-name prefix."""
     key = name.lower()
     if key in ARCHITECTURES:
         return ARCHITECTURES[key]

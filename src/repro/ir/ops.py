@@ -354,15 +354,27 @@ def make_barrier(
     )
 
 
-def transcendental_weight(kind: str) -> float:
+#: Generic SIMT instruction weights (FMA-equivalents per scalar op) used
+#: when no per-architecture table overrides them (see
+#: ``repro.hw.specs.GPUSpec.instruction_weight``).
+GENERIC_INSTRUCTION_WEIGHTS = {
+    "exp": 4.0, "log": 4.0, "erf": 6.0, "gelu": 8.0, "tanh": 6.0,
+    "sigmoid": 5.0, "silu": 5.0, "sqrt": 4.0, "rsqrt": 4.0, "pow": 6.0,
+}
+
+
+def transcendental_weight(kind: str, table=None) -> float:
     """Relative ALU cost of one scalar application of ``kind``.
 
     Used by the hardware cost model: special-function units make ``exp`` and
-    friends several times more expensive than an FMA.
+    friends several times more expensive than an FMA.  ``table`` (an optional
+    ``{kind: weight}`` mapping) overrides the generic numbers with a GPU
+    family's own latency table; unlisted kinds fall back to the generic
+    entries and plain FMA-class ops cost 1.0 everywhere.
     """
-    heavy = {"exp": 4.0, "log": 4.0, "erf": 6.0, "gelu": 8.0, "tanh": 6.0,
-             "sigmoid": 5.0, "silu": 5.0, "sqrt": 4.0, "rsqrt": 4.0, "pow": 6.0}
-    return heavy.get(kind, 1.0)
+    if table is not None and kind in table:
+        return float(table[kind])
+    return GENERIC_INSTRUCTION_WEIGHTS.get(kind, 1.0)
 
 
 def op_summary(op: Op, registry: DimRegistry) -> str:

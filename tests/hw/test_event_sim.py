@@ -88,3 +88,78 @@ class TestCrossCheck:
         kernel = build_barrier_kernel(sub)
         result = EventDrivenSimulator(AMPERE).simulate_kernel(kernel)
         assert result.time_s > 0
+
+
+class TestEfficiencyAndOverheadParity:
+    """Satellite fixes: the event simulator must honour the same manual
+    efficiency factor and launch-overhead regime as the analytical model,
+    or the two rank hand-tuned-library kernels differently."""
+
+    def test_manual_efficiency_speeds_event_sim(self, kernels):
+        ev = EventDrivenSimulator(AMPERE)
+        kernel = kernels[0]
+        base = ev.simulate_kernel(kernel).time_s
+        kernel.meta["efficiency"] = 1.5
+        boosted = ev.simulate_kernel(kernel).time_s
+        kernel.meta.pop("efficiency")
+        assert boosted <= base
+
+    def test_ranking_agrees_with_manual_efficiency(self, kernels):
+        """Rank agreement must survive meta['efficiency'] != 1.0 (the
+        old event sim dropped the factor from its SIMT rate)."""
+        sim = DeviceSimulator(AMPERE)
+        ev = EventDrivenSimulator(AMPERE)
+        for kernel in kernels:
+            if len(kernel.search_space) < 4:
+                continue
+            kernel.meta["efficiency"] = 0.45
+            try:
+                analytic_rank = [c for c, _t in sim.sweep_configs(kernel)]
+                event_rank = [c for c, _t in ev.rank_configs(kernel)]
+            finally:
+                kernel.meta.pop("efficiency")
+            pos = event_rank.index(analytic_rank[0])
+            assert pos <= max(2, len(event_rank) // 3)
+
+    def test_launch_overhead_param_honoured(self, kernels):
+        """CUDA-graph replay overhead must reach the event sim: with the
+        graph overhead the simulated time drops by exactly the delta."""
+        ev = EventDrivenSimulator(AMPERE)
+        kernel = kernels[0]
+        eager = ev.simulate_kernel(
+            kernel, launch_overhead=AMPERE.kernel_launch_overhead).time_s
+        graphs = ev.simulate_kernel(
+            kernel, launch_overhead=AMPERE.graph_launch_overhead).time_s
+        delta = AMPERE.kernel_launch_overhead - AMPERE.graph_launch_overhead
+        assert eager - graphs == pytest.approx(delta, rel=1e-9)
+
+    def test_default_overhead_is_eager(self, kernels):
+        ev = EventDrivenSimulator(AMPERE)
+        kernel = kernels[0]
+        default = ev.simulate_kernel(kernel).time_s
+        explicit = ev.simulate_kernel(
+            kernel, launch_overhead=AMPERE.kernel_launch_overhead).time_s
+        assert default == explicit
+
+
+class TestHierarchyReplay:
+    def test_replay_hit_rate_close_to_analytic(self, kernels):
+        """The granule replay and the closed-form hit model agree on the
+        read hit rate for every compiled kernel."""
+        from repro.hw.event_sim import cross_check_hierarchy
+        for kernel in kernels:
+            r = cross_check_hierarchy(kernel, AMPERE)
+            if not r["replayed"]:
+                continue
+            assert r["hit_rate_delta"] <= 0.15, (kernel.name, r)
+
+    def test_replay_dram_positive_and_bounded(self, kernels):
+        ev = EventDrivenSimulator(AMPERE)
+        sim = DeviceSimulator(AMPERE)
+        for kernel in kernels:
+            result = ev.simulate_kernel(kernel)
+            _c, b = sim.kernel_cost(kernel)
+            assert result.dram_bytes > 0
+            # Normalised to the analytical totals, so never far apart.
+            assert 0.5 * b.dram_bytes <= result.dram_bytes \
+                <= 1.5 * b.dram_bytes

@@ -60,9 +60,10 @@ class TestTrafficModelAgreement:
         _kernel, trace, breakdown = results[0]
         assert trace.load_bytes == breakdown.load_bytes
 
-    def test_ragged_blocks_within_tolerance(self, small_mha):
-        """Ragged grids: the model ignores partial-block savings, so the
-        trace may be slightly smaller — never larger."""
+    def test_ragged_blocks_match_exactly(self, small_mha):
+        """Indivisible blocks/tiles: sliced dimensions partition exactly
+        (edge blocks read only the remainder), so the model's accounting
+        is byte-exact on ragged grids too — not merely an upper bound."""
         smg = build_smg(small_mha)
         plan = plan_temporal_slice(smg, "l")
         kernel = KernelSchedule(
@@ -71,8 +72,7 @@ class TestTrafficModelAgreement:
         sched = ProgramSchedule("p", [kernel])
         _env, results = _traced_vs_modeled(small_mha, sched)
         _kernel, trace, breakdown = results[0]
-        assert trace.load_bytes <= breakdown.load_bytes
-        assert trace.load_bytes > 0.6 * breakdown.load_bytes
+        assert trace.load_bytes == breakdown.load_bytes
 
     def test_compiled_mlp_traffic_agrees(self, small_mlp):
         sched, _ = compile_for(small_mlp, AMPERE)
@@ -80,6 +80,39 @@ class TestTrafficModelAgreement:
         for kernel, trace, breakdown in results:
             assert trace.load_bytes <= breakdown.load_bytes
             assert trace.load_bytes >= 0.5 * breakdown.load_bytes
+
+    def test_ragged_layernorm_matches_exactly(self, small_ln):
+        """Indivisible row-block and temporal tile on the two-pass
+        LayerNorm; the remainder blocks must not be over-counted."""
+        smg = build_smg(small_ln)
+        plan = plan_temporal_slice(smg, "n")
+        kernel = KernelSchedule(
+            "k", smg, ("m",), plan,
+            config=ScheduleConfig(block=(("m", 7),), tile=25))
+        sched = ProgramSchedule("p", [kernel])
+        _env, results = _traced_vs_modeled(small_ln, sched)
+        _kernel, trace, breakdown = results[0]
+        assert trace.load_bytes == breakdown.load_bytes
+
+    def test_ragged_o2a_duplication_matches_exactly(self):
+        """One-to-All duplication on an indivisible grid: K/V are
+        re-fetched ceil(64/24) = 3 times, and the whole kernel's modeled
+        loads equal the traced bytes."""
+        graph = mha_graph(1, 1, 64, 32, 16, scaled=False)
+        smg = build_smg(graph)
+        plan = plan_temporal_slice(smg, "l")
+        kernel = KernelSchedule(
+            "k", smg, ("b", "h", "m"), plan,
+            config=ScheduleConfig(
+                block=(("b", 1), ("h", 1), ("m", 24)), tile=32))
+        sched = ProgramSchedule("p", [kernel])
+        feeds = random_feeds(graph, seed=0)
+        _env, traces = trace_program(sched, feeds)
+        trace = traces["k"]
+        k_bytes = graph.tensors["K"].nbytes(graph.dims)
+        assert trace.loads_by_tensor["K"] == 3 * k_bytes  # ceil(64/24)
+        _counters, breakdown = DeviceSimulator(AMPERE).kernel_cost(kernel)
+        assert trace.load_bytes == breakdown.load_bytes
 
     def test_o2a_duplication_visible_in_trace(self):
         """The trace must show K/V re-fetched once per m-block — the
